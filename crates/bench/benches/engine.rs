@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the simulation engine itself: how fast each
+//! policy executes epochs, and the VMM scan path. One benchmark per
+//! evaluation axis keeps `cargo bench` fast while still covering every
+//! policy family used by the paper's tables and figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hetero_core::engine::SingleVmSim;
+use hetero_core::{Policy, SimConfig};
+use hetero_workloads::{apps, AppWorkload};
+
+fn short_cfg() -> SimConfig {
+    SimConfig::paper_default().with_capacity_ratio(1, 4)
+}
+
+fn short_spec() -> hetero_workloads::WorkloadSpec {
+    let mut s = apps::redis();
+    s.total_instructions /= 40;
+    s
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_epoch");
+    group.sample_size(10);
+    for policy in [
+        Policy::SlowMemOnly,
+        Policy::HeapIoSlabOd,
+        Policy::HeteroLru,
+        Policy::VmmExclusive,
+        Policy::HeteroCoordinated,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let cfg = short_cfg();
+                let wl = AppWorkload::new(short_spec(), cfg.page_size, cfg.scale);
+                let mut sim = SingleVmSim::new(cfg, policy, wl);
+                let mut steps = 0u32;
+                while sim.step() && steps < 30 {
+                    steps += 1;
+                }
+                sim.report().runtime
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion wrappers for the table/figure regenerations — one benchmark
+//! per paper artifact, in quick mode, so `cargo bench` demonstrates the
+//! full harness end to end. (Use the `repro` binary for the full-length
+//! published numbers.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::run_experiment;
+use hetero_core::experiments::ExpOptions;
+
+fn bench_tables(c: &mut Criterion) {
+    let opts = ExpOptions::quick();
+    let mut group = c.benchmark_group("tables");
+    for t in ["table1", "table3", "table4", "table5", "table6"] {
+        group.bench_function(t, |b| {
+            b.iter(|| run_experiment(t, &opts).expect("known target"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut opts = ExpOptions::quick();
+    // Benches run each figure repeatedly; shrink further than test-quick.
+    opts.seed = 7;
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    // One cheap figure per experiment family keeps `cargo bench` minutes-
+    // scale; the repro binary covers the rest identically.
+    for t in ["fig7", "fig12"] {
+        group.bench_function(t, |b| {
+            b.iter(|| run_experiment(t, &opts).expect("known target"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Criterion benchmarks of the substrate operations every policy's costs
+//! are built from: buddy allocation, per-CPU lists, page-table walks and
+//! scans, LRU transitions, slab churn, DRF requests and page migration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use hetero_guest::buddy::BuddyAllocator;
+use hetero_guest::kernel::{GuestConfig, GuestKernel};
+use hetero_guest::page::Gfn;
+use hetero_guest::pagetable::PageTable;
+use hetero_guest::pcp::PerCpuLists;
+use hetero_guest::SlabClass;
+use hetero_mem::kind::KindMap;
+use hetero_mem::MemKind;
+use hetero_vmm::drf::{FairShare, GuestId, SharePolicy};
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_order0", |b| {
+        let mut buddy = BuddyAllocator::new(0, 1 << 16);
+        b.iter(|| {
+            let g = buddy.alloc_page().expect("capacity");
+            buddy.free_page(g);
+        });
+    });
+    c.bench_function("buddy_alloc_free_order5", |b| {
+        let mut buddy = BuddyAllocator::new(0, 1 << 16);
+        b.iter(|| {
+            let g = buddy.alloc(5).expect("capacity");
+            buddy.free(g, 5);
+        });
+    });
+}
+
+fn bench_pcp(c: &mut Criterion) {
+    c.bench_function("pcp_alloc_free_fast_path", |b| {
+        let mut buddy = BuddyAllocator::new(0, 1 << 16);
+        let mut pcp = PerCpuLists::new(4);
+        // Warm the list so the fast path is measured.
+        let g = pcp.alloc(0, MemKind::Fast, &mut buddy).expect("capacity");
+        pcp.free(0, MemKind::Fast, g, &mut buddy);
+        b.iter(|| {
+            let g = pcp.alloc(0, MemKind::Fast, &mut buddy).expect("capacity");
+            pcp.free(0, MemKind::Fast, g, &mut buddy);
+        });
+    });
+}
+
+fn bench_pagetable(c: &mut Criterion) {
+    c.bench_function("pagetable_map_unmap", |b| {
+        let mut pt = PageTable::new();
+        let mut vpn = 0u64;
+        b.iter(|| {
+            pt.map(vpn % (1 << 20), Gfn(vpn));
+            pt.unmap(vpn % (1 << 20));
+            vpn += 1;
+        });
+    });
+    c.bench_function("pagetable_scan_4k_entries", |b| {
+        let mut pt = PageTable::new();
+        for vpn in 0..4096 {
+            pt.map(vpn, Gfn(vpn));
+        }
+        b.iter(|| {
+            let mut hot = 0u64;
+            pt.scan_and_reset(0, 4096, |_, accessed, _| hot += u64::from(accessed));
+            hot
+        });
+    });
+}
+
+fn bench_kernel_paths(c: &mut Criterion) {
+    let config = GuestConfig {
+        frames: vec![(MemKind::Fast, 8192), (MemKind::Slow, 32768)],
+        cpus: 4,
+        page_size: 4096,
+    };
+    c.bench_function("kernel_alloc_free_page", |b| {
+        let mut k = GuestKernel::new(config.clone());
+        b.iter(|| {
+            let (g, _) = k
+                .alloc_page(
+                    hetero_guest::PageType::HeapAnon,
+                    128,
+                    &[MemKind::Fast, MemKind::Slow],
+                )
+                .expect("capacity");
+            k.free_page(g);
+        });
+    });
+    c.bench_function("kernel_migrate_page", |b| {
+        b.iter_batched(
+            || {
+                let mut k = GuestKernel::new(config.clone());
+                let (vma, _) = k
+                    .mmap_heap(64, std::iter::repeat(200), &[MemKind::Fast])
+                    .expect("capacity");
+                let gfns: Vec<Gfn> = (vma.start..vma.end())
+                    .map(|v| k.page_table().translate(v).expect("mapped"))
+                    .collect();
+                (k, gfns)
+            },
+            |(mut k, gfns)| {
+                for g in gfns {
+                    k.migrate_page(g, MemKind::Slow).expect("room on slow");
+                }
+                k
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("kernel_slab_alloc_free", |b| {
+        let mut k = GuestKernel::new(config.clone());
+        b.iter(|| {
+            k.slab_alloc(SlabClass::Skbuff, 224, &[MemKind::Fast])
+                .expect("capacity");
+            k.slab_free_any(SlabClass::Skbuff);
+        });
+    });
+}
+
+fn bench_drf(c: &mut Criterion) {
+    c.bench_function("drf_request_release", |b| {
+        let mut total: KindMap<u64> = KindMap::default();
+        total[MemKind::Fast] = 1 << 20;
+        total[MemKind::Slow] = 1 << 22;
+        let mut fs = FairShare::new(SharePolicy::paper_drf(), total);
+        for i in 0..8 {
+            fs.register(GuestId(i), KindMap::default());
+        }
+        let mut demand: KindMap<u64> = KindMap::default();
+        demand[MemKind::Fast] = 64;
+        b.iter(|| {
+            let g = fs.request(GuestId(3), demand);
+            fs.release(GuestId(3), MemKind::Fast, 64);
+            g
+        });
+    });
+}
+
+fn bench_reclaim_and_swap(c: &mut Criterion) {
+    use hetero_guest::kswapd::Kswapd;
+    use hetero_guest::pagecache::FileId;
+    c.bench_function("kswapd_balance_pass", |b| {
+        b.iter_batched(
+            || {
+                let mut k = GuestKernel::new(GuestConfig {
+                    frames: vec![(MemKind::Fast, 512), (MemKind::Slow, 512)],
+                    cpus: 1,
+                    page_size: 4096,
+                });
+                let d = Kswapd::for_kernel(&k);
+                let mut off = 0;
+                while k.free_frames(MemKind::Fast) > 8 {
+                    let (g, _) = k
+                        .page_in(FileId(1), off, 200, &[MemKind::Fast])
+                        .expect("capacity");
+                    k.io_complete(g);
+                    off += 1;
+                }
+                (k, d)
+            },
+            |(mut k, mut d)| {
+                d.balance(&mut k, MemKind::Fast);
+                (k, d)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("swap_out_in_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                let mut k = GuestKernel::new(GuestConfig {
+                    frames: vec![(MemKind::Fast, 256), (MemKind::Slow, 256)],
+                    cpus: 1,
+                    page_size: 4096,
+                });
+                let (vma, _) = k
+                    .mmap_heap(64, std::iter::repeat(100), &[MemKind::Fast])
+                    .expect("capacity");
+                (k, vma)
+            },
+            |(mut k, vma)| {
+                for vpn in vma.start..vma.end() {
+                    let g = k.page_table().translate(vpn).expect("mapped");
+                    k.swap_out(g);
+                }
+                k.swap_in_any(64, &[MemKind::Fast]);
+                k
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    use hetero_sim::SimRng;
+    use hetero_workloads::{apps, AppWorkload, WorkloadTrace};
+    c.bench_function("trace_record_and_roundtrip", |b| {
+        b.iter(|| {
+            let mut spec = apps::nginx();
+            spec.total_instructions /= 100;
+            let wl = AppWorkload::new(spec, 4096, 64);
+            let mut rng = SimRng::seed_from(3);
+            let t = WorkloadTrace::record(wl, &mut rng);
+            let text = t.to_text();
+            WorkloadTrace::from_text(&text, t.spec.clone()).expect("roundtrip")
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_buddy,
+    bench_pcp,
+    bench_pagetable,
+    bench_kernel_paths,
+    bench_drf,
+    bench_reclaim_and_swap,
+    bench_trace
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--seed N] <target>...
+//! repro all            # every table and figure
+//! repro ablations      # the design-choice ablations
+//! repro fig9 fig10     # specific targets
+//! ```
+
+use std::process::ExitCode;
+
+use bench::{run_experiment, ABLATIONS, EXTENSIONS, TARGETS};
+use hetero_core::experiments::ExpOptions;
+
+fn main() -> ExitCode {
+    let mut opts = ExpOptions::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => opts.seed = seed,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
+            "ablations" => targets.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            "extensions" => targets.extend(EXTENSIONS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--seed N] <target>...");
+                println!("targets: all ablations extensions {}", TARGETS.join(" "));
+                println!("         {} {}", ABLATIONS.join(" "), EXTENSIONS.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("no targets; try `repro all` or `repro --help`");
+        return ExitCode::FAILURE;
+    }
+    for target in targets {
+        match run_experiment(&target, &opts) {
+            Ok(out) => {
+                println!("==================== {target} ====================");
+                println!("{out}");
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1314 @@
+//! The single-VM simulation engine.
+//!
+//! Drives one guest kernel under one [`Policy`] against one workload,
+//! epoch by epoch:
+//!
+//! 1. apply the epoch's page operations (frees/releases, then allocations,
+//!    each placed by the policy's tier preference),
+//! 2. price the epoch's wall time from placement: LLC-modelled misses split
+//!    across tiers by heat-weighted residency, latency plus bandwidth
+//!    dilation (fixed-point),
+//! 3. run the policy's management machinery — statistics windows, LRU aging
+//!    and watermark demotion, hotness scans, migrations — charging every
+//!    scan, TLB flush, page walk and page copy at Table 6 / Fig 8 rates.
+//!
+//! The result is a [`RunReport`]; slowdowns and gains come from comparing
+//! reports across policies, exactly as the paper compares runs.
+
+use hetero_guest::kernel::{AllocFailed, GuestConfig, MigrateError};
+use hetero_guest::page::{Gfn, Page, PageType};
+use hetero_guest::pagecache::FileId;
+use hetero_guest::{GuestKernel, SlabClass};
+use hetero_mem::{MemKind, NodeParams};
+use hetero_sim::{Clock, CostCategory, EventKind, EventLog, Nanos, SimRng};
+use hetero_workloads::spec::{EpochDemand, Workload};
+use hetero_workloads::AppWorkload;
+
+use crate::adaptive::IntervalController;
+use crate::config::SimConfig;
+use crate::metrics::RunReport;
+use crate::policy::{Policy, Tracking};
+use hetero_vmm::HotnessTracker;
+
+/// A tier-preference chain (small, copyable — avoids borrowing the engine
+/// while the kernel is borrowed mutably).
+#[derive(Debug, Clone, Copy)]
+struct TierChain {
+    kinds: [MemKind; 3],
+    len: u8,
+}
+
+impl TierChain {
+    fn new(kinds: &[MemKind]) -> Self {
+        let mut arr = [MemKind::Slow; 3];
+        arr[..kinds.len()].copy_from_slice(kinds);
+        TierChain {
+            kinds: arr,
+            len: kinds.len() as u8,
+        }
+    }
+
+    fn as_slice(&self) -> &[MemKind] {
+        &self.kinds[..self.len as usize]
+    }
+}
+
+/// File identity used for page-cache traffic.
+const CACHE_FILE: FileId = FileId(1);
+/// File identity used for buffer-cache traffic.
+const BUFFER_FILE: FileId = FileId(2);
+/// skbuff objects per network-buffer page (512 B objects in 4 KiB pages).
+const NETBUF_OBJS_PER_PAGE: u64 = 8;
+/// fs-metadata objects per slab page (256 B objects in 4 KiB pages).
+const SLAB_OBJS_PER_PAGE: u64 = 16;
+/// Fraction of NUMA-preferred allocations that land CPU-locally on the
+/// SlowMem node (first-touch locality noise of stock NUMA management).
+const NUMA_LOCAL_NOISE: f64 = 0.3;
+/// Per-page bookkeeping cost of LRU aging.
+const LRU_AGE_COST: Nanos = Nanos::from_nanos(150);
+/// Slack (fraction of the resident target) that lazily reclaimed I/O pages
+/// may occupy before the reclaim storm fires (§3.3's lazy baseline).
+const LAZY_RECLAIM_SLACK: f64 = 0.25;
+/// Disk service time for swapping one *simulated* page in (multi-VM
+/// overcommit only — single-VM runs never swap).
+const SWAP_SERVICE: Nanos = Nanos::from_micros(100);
+
+/// One application run in progress.
+pub struct SingleVmSim<W: Workload = AppWorkload> {
+    cfg: SimConfig,
+    policy: Policy,
+    workload: W,
+    kernel: GuestKernel,
+    rng: SimRng,
+    clock: Clock,
+    tracker: HotnessTracker,
+    interval: IntervalController,
+    next_scan: Nanos,
+    next_window: Nanos,
+    prioritized: Option<PageType>,
+    fast_params: NodeParams,
+    slow_params: NodeParams,
+    medium_params: Option<NodeParams>,
+    /// Fastest-first chain over the configured tiers.
+    chain_fast_first: TierChain,
+    /// Slow-only chain (no FastMem preference).
+    chain_slow_only: TierChain,
+    /// Slowest-first chain (lazy placement).
+    chain_slow_first: TierChain,
+    // Live-object registries (identities stable across migration).
+    heap_chunks: std::collections::VecDeque<(u64, u64)>,
+    /// Hot heap pages in allocation order (as virtual pages — stable across
+    /// migration). Cooling pops from the front: the *oldest* hot data goes
+    /// cold first, preserving the allocation-recency ↔ hotness correlation
+    /// that makes on-demand placement effective (§2.2 Observation 3).
+    hot_vpns: std::collections::VecDeque<u64>,
+    /// Next instant the guest LRU may run a demotion batch.
+    next_demote: Nanos,
+    /// Pages the previous coordinated scan actually migrated (drives the
+    /// yield-aware interval backoff).
+    last_scan_yield: u64,
+    cache_next: u64,
+    cache_live: std::collections::VecDeque<u64>,
+    cache_lazy: std::collections::VecDeque<u64>,
+    buffer_next: u64,
+    buffer_live: std::collections::VecDeque<u64>,
+    buffer_lazy: std::collections::VecDeque<u64>,
+    // Accumulators.
+    misses_total: f64,
+    epoch_misses: f64,
+    /// Store misses served by the slow tier (endurance proxy, §4.3).
+    slow_writes: f64,
+    /// Heap pages pushed to disk by balloon pressure (multi-VM overcommit).
+    swapped_heap: u64,
+    /// Fraction of each node's bandwidth available to this VM (shared-host
+    /// contention in multi-VM runs).
+    bw_share: f64,
+    scans: u64,
+    scanned_pages: u64,
+    epochs: u64,
+    done: bool,
+    /// Optional trace of what the run did (see `SimConfig::trace_events`).
+    events: Option<EventLog>,
+}
+
+impl<W: Workload> SingleVmSim<W> {
+    /// Prepares a run. The guest's tier reservations come from `cfg`;
+    /// `FastMem-only` gets an effectively unlimited fast tier.
+    pub fn new(cfg: SimConfig, policy: Policy, workload: W) -> Self {
+        let (fast_frames, slow_frames) = match policy {
+            Policy::FastMemOnly => (
+                cfg.guest_frames_fast() + cfg.guest_frames_slow() * 2,
+                cfg.guest_frames_slow().min(64),
+            ),
+            _ => (cfg.guest_frames_fast(), cfg.guest_frames_slow()),
+        };
+        let medium_frames = match policy {
+            Policy::FastMemOnly => 0,
+            _ => cfg.guest_frames_medium(),
+        };
+        let mut frames = vec![(MemKind::Fast, fast_frames), (MemKind::Slow, slow_frames)];
+        if medium_frames > 0 {
+            frames.push((MemKind::Medium, medium_frames));
+        }
+        let kernel = GuestKernel::new(GuestConfig {
+            frames,
+            cpus: cfg.cpus,
+            page_size: cfg.page_size,
+        });
+        let fast_params = NodeParams::new(MemKind::Fast, cfg.fast_bytes.max(1), cfg.fast_throttle);
+        let slow_params = if cfg.nvm_slow {
+            NodeParams::nvm_like(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle)
+        } else {
+            NodeParams::new(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle)
+        };
+        let medium_params = (medium_frames > 0)
+            .then(|| NodeParams::new(MemKind::Medium, cfg.medium_bytes.max(1), cfg.medium_throttle));
+        let (chain_fast_first, chain_slow_only, chain_slow_first) = if medium_frames > 0 {
+            (
+                TierChain::new(&[MemKind::Fast, MemKind::Medium, MemKind::Slow]),
+                TierChain::new(&[MemKind::Slow, MemKind::Medium]),
+                TierChain::new(&[MemKind::Slow, MemKind::Medium, MemKind::Fast]),
+            )
+        } else {
+            (
+                TierChain::new(&[MemKind::Fast, MemKind::Slow]),
+                TierChain::new(&[MemKind::Slow]),
+                TierChain::new(&[MemKind::Slow, MemKind::Fast]),
+            )
+        };
+        let interval = IntervalController::new(
+            cfg.scan_interval,
+            cfg.adaptive_bounds.0,
+            cfg.adaptive_bounds.1,
+        );
+        SingleVmSim {
+            rng: SimRng::seed_from(cfg.seed),
+            clock: Clock::new(),
+            // Threshold 1: a page is promotion-hot when its access bit was
+            // found set on the last visit — HeteroVisor promotes on recent
+            // reference, and batched sweeps visit each page rarely.
+            tracker: HotnessTracker::new(1),
+            interval,
+            next_scan: cfg.scan_interval,
+            next_window: cfg.stats_window,
+            prioritized: None,
+            fast_params,
+            slow_params,
+            medium_params,
+            chain_fast_first,
+            chain_slow_only,
+            chain_slow_first,
+            heap_chunks: Default::default(),
+            hot_vpns: Default::default(),
+            next_demote: Nanos::ZERO,
+            last_scan_yield: u64::MAX,
+            cache_next: 0,
+            cache_live: Default::default(),
+            cache_lazy: Default::default(),
+            buffer_next: 0,
+            buffer_live: Default::default(),
+            buffer_lazy: Default::default(),
+            misses_total: 0.0,
+            epoch_misses: 0.0,
+            slow_writes: 0.0,
+            swapped_heap: 0,
+            bw_share: 1.0,
+            scans: 0,
+            scanned_pages: 0,
+            epochs: 0,
+            done: false,
+            events: (cfg.trace_events > 0).then(|| EventLog::new(cfg.trace_events)),
+            kernel,
+            workload,
+            cfg,
+            policy,
+        }
+    }
+
+    /// Read access to the guest kernel (tests, experiments).
+    pub fn kernel(&self) -> &GuestKernel {
+        &self.kernel
+    }
+
+    /// Simulated time so far.
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// The policy driving this run.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Restricts this VM to a fraction of each node's bandwidth (multi-VM
+    /// hosts share the memory channels).
+    pub fn set_bandwidth_share(&mut self, share: f64) {
+        self.bw_share = share.clamp(0.05, 1.0);
+    }
+
+    /// Heap pages currently on disk: swap-subsystem slots plus allocations
+    /// that never found a frame under balloon pressure.
+    pub fn swapped_pages(&self) -> u64 {
+        self.kernel.swapped_pages() + self.swapped_heap
+    }
+
+    /// The run's event log, when tracing was enabled
+    /// (`SimConfig::trace_events > 0`).
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
+    }
+
+    fn trace(&mut self, kind: EventKind, detail: impl FnOnce() -> String) {
+        if let Some(log) = self.events.as_mut() {
+            log.emit(self.clock.now(), kind, detail());
+        }
+    }
+
+    /// Balloon-back `n` pages of `kind` to the VMM, reclaiming in order of
+    /// increasing pain: free pages, lingering I/O pages, then swapping cold
+    /// heap pages to disk. Returns pages actually yielded.
+    pub fn yield_pages(&mut self, kind: MemKind, n: u64) -> u64 {
+        let mut got = self.kernel.balloon_inflate(kind, n);
+        if got < n {
+            self.force_reclaim_all();
+            got += self.kernel.balloon_inflate(kind, n - got);
+        }
+        while got < n {
+            // Swap out the coldest anonymous pages of this tier through the
+            // guest swap subsystem (§4.2: the balloon "swap[s] pages to the
+            // disk" once the LRU has nothing left to give).
+            let victims = self.kernel.lru_candidates(kind, (n - got) as usize, |p| {
+                p.page_type == PageType::HeapAnon
+            });
+            if victims.is_empty() {
+                break;
+            }
+            let mut count = 0;
+            for gfn in victims {
+                if self.kernel.swap_out(gfn) {
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                break;
+            }
+            self.trace(EventKind::Swap, || format!("swapped out {count} pages"));
+            self.clock
+                .charge(CostCategory::IoWait, SWAP_SERVICE.saturating_mul(count));
+            got += self.kernel.balloon_inflate(kind, n - got);
+        }
+        got
+    }
+
+    /// Accepts `n` pages of `kind` granted by the VMM (balloon deflation).
+    /// Swapped-out heap pages fault back in first.
+    pub fn accept_pages(&mut self, kind: MemKind, n: u64) -> u64 {
+        let freed = self.kernel.balloon_deflate(kind, n);
+        if kind == MemKind::Slow && freed > 0 {
+            // Fault swapped pages back in, then retire any unbacked
+            // allocations that never got frames.
+            let chain = self.chain_slow_first;
+            let back = self.kernel.swap_in_any(freed, chain.as_slice());
+            if back > 0 {
+                self.trace(EventKind::Swap, || format!("swapped in {back} pages"));
+                self.clock
+                    .charge(CostCategory::IoWait, SWAP_SERVICE.saturating_mul(back));
+            }
+            let unbacked = self.swapped_heap.min(freed - back);
+            self.swapped_heap -= unbacked;
+        }
+        freed
+    }
+
+    // ------------------------------------------------------------ placement
+
+    fn preference(&mut self, page_type: PageType) -> TierChain {
+        match self.policy {
+            Policy::SlowMemOnly => self.chain_slow_only,
+            Policy::FastMemOnly => self.chain_fast_first,
+            Policy::Random => {
+                if self.rng.chance(0.5) {
+                    self.chain_fast_first
+                } else {
+                    self.chain_slow_first
+                }
+            }
+            Policy::NumaPreferred => {
+                // Stock NUMA management: FastMem preferred, but first-touch
+                // locality places a share of allocations on the node local
+                // to the allocating CPU (§5.3 discusses how existing NUMA
+                // policies mis-place under heterogeneity).
+                if self.rng.chance(NUMA_LOCAL_NOISE) {
+                    self.chain_slow_first
+                } else {
+                    self.chain_fast_first
+                }
+            }
+            Policy::HeapOd => {
+                if page_type == PageType::HeapAnon {
+                    self.chain_fast_first
+                } else {
+                    self.chain_slow_only
+                }
+            }
+            Policy::HeapIoSlabOd | Policy::HeteroLru | Policy::HeteroCoordinated => {
+                // Demand-based prioritization (§3.2): while FastMem is
+                // plentiful every subsystem may allocate there; once scarce,
+                // only the subsystem with the highest windowed miss ratio
+                // keeps FastMem preference.
+                let scarce =
+                    self.kernel.free_fraction(MemKind::Fast) < self.cfg.fast_low_watermark * 2.0;
+                if !scarce {
+                    self.chain_fast_first
+                } else {
+                    match self.prioritized {
+                        // No signal yet: admit everyone and let the window
+                        // discover the neediest type.
+                        None => self.chain_fast_first,
+                        Some(t) if t == page_type => self.chain_fast_first,
+                        Some(_) => self.chain_slow_only,
+                    }
+                }
+            }
+            // HeteroVisor's lazy placement: the guest is heterogeneity
+            // blind; pages land wherever the VMM backs them first (SlowMem
+            // until pressure), and only migration moves them up (§5.2).
+            Policy::VmmExclusive => self.chain_slow_first,
+        }
+    }
+
+    // --------------------------------------------------------------- epochs
+
+    /// Runs one epoch. Returns `false` when the workload completed.
+    pub fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let Some(demand) = self.workload.next_epoch(&mut self.rng) else {
+            self.done = true;
+            return false;
+        };
+        self.apply_releases(&demand);
+        self.apply_allocations(&demand);
+        self.cool_heap();
+        self.price_epoch(&demand);
+        self.roll_stats_window();
+        self.run_management();
+        self.epochs += 1;
+        true
+    }
+
+    /// Runs to completion and produces the report.
+    pub fn run(mut self) -> RunReport {
+        while self.step() {}
+        self.report()
+    }
+
+    /// The report for the work done so far.
+    pub fn report(&self) -> RunReport {
+        RunReport::from_parts(
+            self.policy.name(),
+            self.workload.spec().name,
+            &self.clock,
+            self.misses_total,
+            self.kernel.migrations,
+            self.scans,
+            self.scanned_pages,
+            self.kernel.stats().overall_miss_ratio(),
+            self.slow_writes,
+            self.epochs,
+        )
+    }
+
+    // ----------------------------------------------------------- page churn
+
+    fn apply_releases(&mut self, d: &EpochDemand) {
+        // Heap churn: unmap the oldest chunks ("frequently allocate and
+        // release", §2.2). HeteroOS-LRU treats the region eagerly; plain
+        // munmap frees either way.
+        let mut to_free = d.heap_free;
+        // Freed data that lives on swap just disappears from the swap file.
+        let from_swap = self.swapped_heap.min(to_free);
+        self.swapped_heap -= from_swap;
+        to_free -= from_swap;
+        while to_free > 0 {
+            let Some((start, pages)) = self.heap_chunks.pop_front() else {
+                break;
+            };
+            let take = pages.min(to_free);
+            self.kernel.munmap(start, take);
+            if take < pages {
+                self.heap_chunks.push_front((start + take, pages - take));
+            }
+            to_free -= take;
+        }
+        // I/O completions: HeteroOS-LRU evicts released I/O pages from
+        // FastMem immediately (§3.3); the lazy baselines leave them cached
+        // until a reclaim storm.
+        let eager = self
+            .cfg
+            .eager_io_override
+            .unwrap_or(self.policy.uses_guest_lru());
+        for _ in 0..d.cache_releases {
+            let Some(off) = self.cache_live.pop_front() else {
+                break;
+            };
+            self.release_io_page(CACHE_FILE, off, eager, true);
+        }
+        for _ in 0..d.buffer_releases {
+            let Some(off) = self.buffer_live.pop_front() else {
+                break;
+            };
+            self.release_io_page(BUFFER_FILE, off, eager, false);
+        }
+        self.lazy_reclaim_if_due();
+        // Kernel objects free immediately (kfree) under every policy.
+        for _ in 0..d.slab_frees * SLAB_OBJS_PER_PAGE {
+            if !self.kernel.slab_free_any(SlabClass::FsMeta) {
+                break;
+            }
+        }
+        for _ in 0..d.netbuf_frees * NETBUF_OBJS_PER_PAGE {
+            if !self.kernel.slab_free_any(SlabClass::Skbuff) {
+                break;
+            }
+        }
+    }
+
+    fn release_io_page(&mut self, file: FileId, off: u64, eager: bool, is_cache: bool) {
+        if eager {
+            self.kernel.drop_cache_page(file, off);
+        } else {
+            // Mark I/O complete (page goes inactive) and queue for the lazy
+            // reclaimer.
+            if let Some(gfn) = self.lookup_cached(file, off) {
+                self.kernel.io_complete(gfn);
+            }
+            if is_cache {
+                self.cache_lazy.push_back(off);
+            } else {
+                self.buffer_lazy.push_back(off);
+            }
+        }
+    }
+
+    fn lookup_cached(&mut self, file: FileId, off: u64) -> Option<Gfn> {
+        self.kernel.cached_page(file, off)
+    }
+
+    fn lazy_reclaim_if_due(&mut self) {
+        // Lazy baseline: released pages linger; once they exceed the slack,
+        // a reclaim storm drops them all at once (§3.3's criticism).
+        let slack = |target: usize| ((target as f64 * LAZY_RECLAIM_SLACK) as usize).max(16);
+        if self.cache_lazy.len() > slack(self.cache_live.len().max(1)) {
+            while let Some(off) = self.cache_lazy.pop_front() {
+                self.kernel.drop_cache_page(CACHE_FILE, off);
+            }
+            self.charge_management(Nanos::from_micros(200));
+        }
+        if self.buffer_lazy.len() > slack(self.buffer_live.len().max(1)) {
+            while let Some(off) = self.buffer_lazy.pop_front() {
+                self.kernel.drop_cache_page(BUFFER_FILE, off);
+            }
+            self.charge_management(Nanos::from_micros(200));
+        }
+    }
+
+    fn apply_allocations(&mut self, d: &EpochDemand) {
+        if d.heap_alloc > 0 {
+            let pref = self.preference(PageType::HeapAnon);
+            let spec = self.workload.spec().clone();
+            // During the ramp the footprint arrives with its steady-state
+            // hot mix; churned allocations afterwards run hot — fresh
+            // buffers are about to be used (temporal locality).
+            let hot_p = if self.workload.progress() <= spec.ramp_fraction {
+                spec.hot_page_fraction
+            } else {
+                spec.fresh_hot_fraction
+            };
+            let heats: Vec<u8> = (0..d.heap_alloc)
+                .map(|_| spec.sample_heat_with(&mut self.rng, PageType::HeapAnon, hot_p))
+                .collect();
+            if self.cfg.app_hints {
+                // §3.1's extended mmap() flag: the application maps its hot
+                // buffers with an explicit FastMem hint and its cold data
+                // with a SlowMem hint — two separate regions.
+                let hot: Vec<u8> = heats.iter().copied().filter(|&h| h > 50).collect();
+                let cold: Vec<u8> = heats.iter().copied().filter(|&h| h <= 50).collect();
+                let groups = [
+                    (hot, self.chain_fast_first),
+                    (cold, self.chain_slow_only),
+                ];
+                for (group, chain) in groups {
+                    if group.is_empty() {
+                        continue;
+                    }
+                    if let Ok((vma, _)) = self.kernel.mmap_heap(
+                        group.len() as u64,
+                        group.clone(),
+                        chain.as_slice(),
+                    ) {
+                        self.heap_chunks.push_back((vma.start, vma.pages));
+                        self.assign_heap_write_heats(&vma, &group);
+                        for (i, &h) in group.iter().enumerate() {
+                            if h > 50 && h < 200 {
+                                self.hot_vpns.push_back(vma.start + i as u64);
+                            }
+                        }
+                    }
+                }
+                return self.apply_io_and_slab_allocations(d);
+            }
+            match self.kernel.mmap_heap(d.heap_alloc, heats.clone(), pref.as_slice()) {
+                Ok((vma, _)) => {
+                    self.heap_chunks.push_back((vma.start, vma.pages));
+                    self.assign_heap_write_heats(&vma, &heats);
+                    for (i, &h) in heats.iter().enumerate() {
+                        // The super-hot tier (255) is the stable working-set
+                        // core and never cools; only transient fresh heat
+                        // (96) enters the cooling queue.
+                        if h > 50 && h < 200 {
+                            self.hot_vpns.push_back(vma.start + i as u64);
+                        }
+                    }
+                }
+                Err(AllocFailed { .. }) => {
+                    // Total memory pressure: force the lazy queues out and
+                    // retry once.
+                    self.force_reclaim_all();
+                    let heats: Vec<u8> = (0..d.heap_alloc)
+                        .map(|_| spec.sample_heat_with(&mut self.rng, PageType::HeapAnon, hot_p))
+                        .collect();
+                    match self.kernel.mmap_heap(d.heap_alloc, heats.clone(), pref.as_slice()) {
+                        Ok((vma, _)) => {
+                            self.heap_chunks.push_back((vma.start, vma.pages));
+                            self.assign_heap_write_heats(&vma, &heats);
+                            for (i, &h) in heats.iter().enumerate() {
+                                if h > 50 && h < 200 {
+                                    self.hot_vpns.push_back(vma.start + i as u64);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            // Memory truly exhausted (multi-VM balloon
+                            // pressure): the pages live on swap instead.
+                            self.swapped_heap += d.heap_alloc;
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_io_and_slab_allocations(d);
+    }
+
+    fn apply_io_and_slab_allocations(&mut self, d: &EpochDemand) {
+        for _ in 0..d.cache_reads {
+            let pref = self.preference(PageType::PageCache);
+            let off = self.cache_next;
+            self.cache_next += 1;
+            if self.ensure_one_free() && self.kernel.page_in(CACHE_FILE, off, 224, pref.as_slice()).is_ok() {
+                self.cache_live.push_back(off);
+            }
+        }
+        for _ in 0..d.buffer_allocs {
+            let pref = self.preference(PageType::BufferCache);
+            let off = self.buffer_next;
+            self.buffer_next += 1;
+            if self.ensure_one_free()
+                && self
+                    .kernel
+                    .buffer_page_in(BUFFER_FILE, off, 224, pref.as_slice())
+                    .is_ok()
+            {
+                self.buffer_live.push_back(off);
+            }
+        }
+        for _ in 0..d.slab_allocs * SLAB_OBJS_PER_PAGE {
+            let pref = self.preference(PageType::Slab);
+            let _ = self.kernel.slab_alloc(SlabClass::FsMeta, 224, pref.as_slice());
+        }
+        for _ in 0..d.netbuf_allocs * NETBUF_OBJS_PER_PAGE {
+            let pref = self.preference(PageType::NetBuf);
+            let _ = self.kernel.slab_alloc(SlabClass::Skbuff, 224, pref.as_slice());
+        }
+    }
+
+    /// Assigns per-page write heat to a freshly mapped heap chunk: a
+    /// `write_fraction`-sized subset of the hot pages is write-hot (their
+    /// stores dominate), the rest are read-mostly. This is the §4.3
+    /// read/write-imbalance structure write-aware migration exploits.
+    fn assign_heap_write_heats(&mut self, vma: &hetero_guest::vma::Vma, heats: &[u8]) {
+        let wf = self.workload.spec().write_fraction.clamp(0.0, 1.0);
+        for (i, &h) in heats.iter().enumerate() {
+            let vpn = vma.start + i as u64;
+            let Some(gfn) = self.kernel.page_table().translate(vpn) else {
+                continue;
+            };
+            let write_heat = if h > 50 && self.rng.chance(wf) {
+                h // write-hot: stores track its access intensity
+            } else {
+                h / 8 // read-mostly
+            };
+            if write_heat > 0 {
+                self.kernel.set_page_write_heat(gfn, write_heat);
+            }
+        }
+    }
+
+    /// Ages workload heat: fresh allocations run hot
+    /// (`fresh_hot_fraction`), and this pass cools randomly chosen hot heap
+    /// pages until the resident hot fraction settles back at
+    /// `hot_page_fraction`. The resulting recency gradient is what lets
+    /// on-demand recycling and LRU demotion separate hot from cold.
+    fn cool_heap(&mut self) {
+        let spec = self.workload.spec();
+        let target_frac = spec.hot_page_fraction;
+        let mm = self.kernel.memmap();
+        let pages = mm.resident_pages(PageType::HeapAnon);
+        if pages == 0 {
+            return;
+        }
+        let heat: u64 = mm.heat_on(PageType::HeapAnon, MemKind::Fast)
+            + mm.heat_on(PageType::HeapAnon, MemKind::Medium)
+            + mm.heat_on(PageType::HeapAnon, MemKind::Slow);
+        // heat ≈ hot·E[hot heat] + (pages−hot)·cold.
+        let cold = hetero_workloads::WorkloadSpec::COLD_HEAT as u64;
+        let hot_heat = hetero_workloads::WorkloadSpec::expected_hot_heat();
+        let hot_now =
+            (heat.saturating_sub(cold * pages) as f64 / (hot_heat - cold as f64)) as u64;
+        let target = (target_frac * pages as f64) as u64;
+        if hot_now <= target {
+            return;
+        }
+        // Cool the *oldest* hot pages first (allocation-order FIFO): data
+        // goes cold in the order it was produced.
+        let mut to_cool = (hot_now - target).min(1024);
+        while to_cool > 0 {
+            let Some(vpn) = self.hot_vpns.pop_front() else {
+                break;
+            };
+            let Some(gfn) = self.kernel.page_table().translate(vpn) else {
+                continue; // already unmapped by churn
+            };
+            if self.kernel.memmap().page(gfn).heat > 50 {
+                self.kernel.set_page_heat(gfn, hetero_workloads::WorkloadSpec::COLD_HEAT);
+                self.kernel.set_page_write_heat(gfn, 1);
+                to_cool -= 1;
+            }
+        }
+    }
+
+    fn ensure_one_free(&mut self) -> bool {
+        if self.kernel.free_frames(MemKind::Fast) + self.kernel.free_frames(MemKind::Slow) == 0 {
+            self.force_reclaim_all();
+        }
+        self.kernel.free_frames(MemKind::Fast) + self.kernel.free_frames(MemKind::Slow) > 0
+    }
+
+    fn force_reclaim_all(&mut self) {
+        while let Some(off) = self.cache_lazy.pop_front() {
+            self.kernel.drop_cache_page(CACHE_FILE, off);
+        }
+        while let Some(off) = self.buffer_lazy.pop_front() {
+            self.kernel.drop_cache_page(BUFFER_FILE, off);
+        }
+    }
+
+    // --------------------------------------------------------------- timing
+
+    fn price_epoch(&mut self, d: &EpochDemand) {
+        let spec = self.workload.spec();
+        let miss_scale = self.cfg.llc.mpki_scale(spec.hot_wss_bytes);
+        let misses = d.instructions as f64 * spec.miss_per_instruction() * miss_scale;
+        // Split misses across tiers, per type, weighted by resident heat.
+        let mm = self.kernel.memmap();
+        let wf = spec.write_fraction.clamp(0.0, 1.0);
+        // Per-tier (reads, writes): reads split by heat, writes by write
+        // heat — write-hot pages concentrate stores the way §4.3's
+        // read/write-imbalanced NVM workloads do. When no write heats have
+        // been assigned, writes follow the read split.
+        let mut reads = [0.0f64; 3];
+        let mut writes = [0.0f64; 3];
+        let tier_idx = |k: MemKind| k.tier() as usize;
+        for t in PageType::ALL {
+            let share = spec.access_mix.of(t);
+            if share <= 0.0 {
+                continue;
+            }
+            let m = misses * share;
+            let heats =
+                [MemKind::Fast, MemKind::Medium, MemKind::Slow].map(|k| mm.heat_on(t, k) as f64);
+            let wheats = [MemKind::Fast, MemKind::Medium, MemKind::Slow]
+                .map(|k| mm.write_heat_on(t, k) as f64);
+            let heat_total: f64 = heats.iter().sum();
+            let wheat_total: f64 = wheats.iter().sum();
+            if heat_total <= 0.0 {
+                reads[tier_idx(MemKind::Slow)] += m * (1.0 - wf);
+                writes[tier_idx(MemKind::Slow)] += m * wf;
+                continue;
+            }
+            for i in 0..3 {
+                reads[i] += m * (1.0 - wf) * heats[i] / heat_total;
+                let wshare = if wheat_total > 0.0 {
+                    wheats[i] / wheat_total
+                } else {
+                    heats[i] / heat_total
+                };
+                writes[i] += m * wf * wshare;
+            }
+        }
+        self.slow_writes += writes[tier_idx(MemKind::Slow)];
+        let threads = spec.threads.max(1.0);
+        let compute_ns = d.instructions as f64 * spec.compute_ns_per_instruction() / threads;
+        let keff = spec.mlp.max(1.0) * threads;
+        // Roofline: the epoch is either latency-bound (misses stall the
+        // threads) or bandwidth-bound (a node's channel is the bottleneck),
+        // whichever is worse. This is what makes only the high-`threads`
+        // batch engines sensitive to the B:y factor (Observation 1).
+        let line_bytes = 64.0;
+        let params = [
+            Some(&self.fast_params),
+            self.medium_params.as_ref(),
+            Some(&self.slow_params),
+        ];
+        let mut lat_bound = compute_ns;
+        let mut bw_bound: f64 = 0.0;
+        for i in 0..3 {
+            let Some(p) = params[i] else { continue };
+            lat_bound += (reads[i] * p.load_latency.as_nanos() as f64
+                + writes[i] * p.store_latency.as_nanos() as f64)
+                / keff;
+            bw_bound = bw_bound
+                .max((reads[i] + writes[i]) * line_bytes / (p.bandwidth_gbps * self.bw_share));
+        }
+        let total_ns = lat_bound.max(bw_bound);
+        let compute = Nanos::from_nanos(compute_ns.round() as u64);
+        let stall = Nanos::from_nanos((total_ns - compute_ns).max(0.0).round() as u64);
+        self.clock.charge(CostCategory::Compute, compute);
+        self.clock.charge(CostCategory::MemoryStall, stall);
+        // Swapped-out heap pages fault in from disk when touched. The
+        // swapped set is the coldest tail, so weight its traffic by cold
+        // heat, and fault each page at most once per epoch.
+        let swapped_total = self.kernel.swapped_pages() + self.swapped_heap;
+        if swapped_total > 0 {
+            let heap_misses = misses * spec.access_mix.heap;
+            let resident_heat = (mm.heat_on(PageType::HeapAnon, MemKind::Fast)
+                + mm.heat_on(PageType::HeapAnon, MemKind::Medium)
+                + mm.heat_on(PageType::HeapAnon, MemKind::Slow)) as f64;
+            // The swap subsystem remembers real per-page heat; unbacked
+            // allocations are assumed cold.
+            let swap_heat = self.kernel.swapped_heat() as f64
+                + self.swapped_heap as f64
+                    * hetero_workloads::WorkloadSpec::COLD_HEAT as f64;
+            let frac = swap_heat / (swap_heat + resident_heat.max(1.0));
+            // Cold pages have reuse distances far beyond one epoch: once
+            // faulted in, a page stays resident for many epochs (something
+            // colder takes its place). Cap the per-epoch fault rate at a
+            // fraction of the swapped set.
+            let faults = (heap_misses * frac).min(swapped_total as f64 / 8.0);
+            self.clock.charge(
+                CostCategory::IoWait,
+                SWAP_SERVICE.saturating_mul(faults.round() as u64),
+            );
+        }
+        self.misses_total += misses;
+        self.epoch_misses = misses;
+    }
+
+    // ----------------------------------------------------------- management
+
+    fn roll_stats_window(&mut self) {
+        if self.clock.now() < self.next_window {
+            return;
+        }
+        self.next_window = self.clock.now() + self.cfg.stats_window;
+        if self.policy.uses_demand_prioritization() {
+            self.prioritized = self.kernel.stats().neediest_type();
+        }
+        self.kernel.roll_stats_window();
+    }
+
+    fn charge_management(&mut self, t: Nanos) {
+        self.clock.charge(CostCategory::Management, t);
+    }
+
+    fn charge_scan(&mut self, sim_pages: u64) {
+        let real = self.cfg.real_pages(sim_pages);
+        self.scanned_pages += real;
+        let mut scan = self.cfg.costs.scan_per_page.saturating_mul(real);
+        let mut flush = self.cfg.costs.tlb_flush;
+        if self.cfg.bare_metal {
+            // §4.3: on bare metal the scanner runs inside the OS — no VM
+            // exits, no grant-table walks, no hypervisor shoot-down relay.
+            scan = scan.mul_f64(0.5);
+            flush = flush.mul_f64(0.5);
+        }
+        self.clock.charge(CostCategory::HotnessScan, scan);
+        self.clock.charge(CostCategory::TlbFlush, flush);
+    }
+
+    fn charge_migration(&mut self, sim_pages: u64, guest_checked: bool) {
+        if sim_pages == 0 {
+            return;
+        }
+        let real = self.cfg.real_pages(sim_pages);
+        let walk = self
+            .cfg
+            .costs
+            .page_walk_per_page(real)
+            .saturating_mul(real);
+        let copy = self
+            .cfg
+            .costs
+            .page_move_per_page(real)
+            .saturating_mul(real);
+        self.clock.charge(CostCategory::PageWalk, walk);
+        self.clock.charge(CostCategory::PageCopy, copy);
+        self.clock
+            .charge(CostCategory::TlbFlush, self.cfg.costs.tlb_flush);
+        if guest_checked {
+            let validity = self.cfg.costs.validity_cost(real);
+            self.clock.charge(CostCategory::PageWalk, validity);
+        }
+    }
+
+    fn run_management(&mut self) {
+        if self.policy.uses_guest_lru() {
+            self.run_guest_lru();
+        }
+        match self.policy.tracking() {
+            Tracking::None => {}
+            Tracking::FullVm => self.run_vmm_exclusive_tracking(),
+            Tracking::Guided => self.run_coordinated_tracking(),
+        }
+    }
+
+    fn run_guest_lru(&mut self) {
+        // Active monitoring: age cold pages out of the active lists.
+        let aged = self.kernel.age_lru(
+            MemKind::Fast,
+            self.cfg.lru_age_batch,
+            self.cfg.lru_cold_heat,
+        );
+        if aged > 0 {
+            self.charge_management(LRU_AGE_COST.saturating_mul(aged));
+        }
+        // Memory-type-specific threshold: demote inactive pages when a
+        // tier runs low (§3.3). Demotion is *need-based* with hysteresis and
+        // runs at most once per management window — the LRU tops up what
+        // churn consumed instead of cycling the tier through migration.
+        if self.clock.now() < self.next_demote {
+            return;
+        }
+        // Budget scales with elapsed windows (long epochs may span several).
+        let windows = (self
+            .clock
+            .now()
+            .checked_sub(self.next_demote)
+            .unwrap_or(Nanos::ZERO)
+            .ratio(self.cfg.stats_window) as u64)
+            .clamp(0, 3)
+            + 1;
+        let tiers: &[MemKind] = if self.medium_params.is_some() {
+            &[MemKind::Fast, MemKind::Medium]
+        } else {
+            &[MemKind::Fast]
+        };
+        let mut any = false;
+        for &tier in tiers {
+            let total = self.kernel.total_frames(tier);
+            let free = self.kernel.free_frames(tier);
+            let low = (self.cfg.fast_low_watermark * total as f64) as u64;
+            if free < low {
+                any = true;
+                let goal = low + low / 2;
+                let needed =
+                    (goal - free).min(self.cfg.sim_batch(self.cfg.demote_batch) * windows);
+                let moved = if self.cfg.typed_demotion {
+                    self.kernel.demote_inactive_typed(tier, needed)
+                } else {
+                    self.kernel.demote_inactive(tier, needed)
+                };
+                self.charge_migration(moved, true);
+                if moved > 0 {
+                    self.trace(EventKind::Migration, || {
+                        format!("LRU demoted {moved} pages off {tier}")
+                    });
+                }
+            }
+        }
+        if any {
+            self.next_demote = self.clock.now() + self.cfg.stats_window;
+        }
+    }
+
+    /// Touch oracle shared by both tracking disciplines: a page reads as
+    /// accessed with probability proportional to its heat, scaled by how
+    /// much of the app's inter-scan activity the interval covers.
+    fn touch_probability(interval: Nanos, page: &Page) -> f64 {
+        // Saturating: a genuinely warm page (heat ≥ 64) is all but certain
+        // to be touched within a 100 ms interval, so it never reads as a
+        // demotion candidate; only the cold tail looks idle. Cold pages
+        // still trip the bit occasionally (false hots), which is the
+        // realistic noise budget-wasting blind trackers pay for.
+        let intensity = interval.as_millis_f64() / 25.0;
+        (page.heat as f64 / 255.0 * intensity).min(1.0)
+    }
+
+    fn run_vmm_exclusive_tracking(&mut self) {
+        // Epochs can span several scan intervals; catch up (bounded) so the
+        // fixed 100 ms cadence holds in simulated time.
+        let mut fired = 0;
+        while self.clock.now() >= self.next_scan && fired < 4 {
+            self.next_scan += self.cfg.scan_interval;
+            fired += 1;
+            self.vmm_exclusive_scan_once();
+        }
+        if self.clock.now() >= self.next_scan {
+            // Too far behind: resynchronise without unbounded catch-up.
+            self.next_scan = self.clock.now() + self.cfg.scan_interval;
+        }
+    }
+
+    fn vmm_exclusive_scan_once(&mut self) {
+        self.scans += 1;
+        let batch = self.cfg.sim_batch(self.cfg.scan_batch);
+        let interval = self.cfg.scan_interval;
+        let mut rng = self.rng.fork();
+        let mut oracle =
+            move |p: &Page| rng.chance(Self::touch_probability(interval, p));
+        let outcome = self.tracker.scan_full(&self.kernel, &mut oracle, batch);
+        self.charge_scan(outcome.scanned);
+        self.trace(EventKind::Scan, || {
+            format!(
+                "full scan: {} frames, {} hot / {} cold candidates",
+                outcome.scanned,
+                outcome.hot_candidates.len(),
+                outcome.cold_candidates.len()
+            )
+        });
+        // Promote hot pages, hottest first — multi-interval access-bit
+        // history ranks pages by touch frequency. The VMM is blind to guest
+        // page state, so it migrates forced — including soon-to-die pages.
+        let budget = self.cfg.sim_batch(self.cfg.migrate_batch);
+        let mut migrated = 0u64;
+        let mut hot = outcome.hot_candidates;
+        hot.sort_by_key(|&g| std::cmp::Reverse(self.kernel.memmap().page(g).heat));
+        let mut cold = outcome.cold_candidates.into_iter();
+        for gfn in hot.into_iter().take(budget as usize) {
+            if self.kernel.free_frames(MemKind::Fast) == 0 {
+                // Make room by demoting a cold FastMem page first.
+                match cold.next() {
+                    Some(victim) => {
+                        if self
+                            .kernel
+                            .migrate_page_forced(victim, MemKind::Slow)
+                            .is_ok()
+                        {
+                            migrated += 1;
+                        } else {
+                            continue;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if self.kernel.migrate_page_forced(gfn, MemKind::Fast).is_ok() {
+                migrated += 1;
+            }
+        }
+        self.charge_migration(migrated, false);
+    }
+
+    fn run_coordinated_tracking(&mut self) {
+        let mut fired = 0;
+        while self.clock.now() >= self.next_scan && fired < 4 {
+            fired += 1;
+            self.coordinated_scan_once();
+        }
+        if self.clock.now() >= self.next_scan {
+            self.next_scan = self.clock.now() + self.interval.interval();
+        }
+    }
+
+    fn coordinated_scan_once(&mut self) {
+        // Architectural hints: Eq. 1 adapts the interval from LLC-miss
+        // movement (§4.1). On top of Eq. 1, a yield-aware backoff stretches
+        // the interval when recent scans found little to migrate — the
+        // operational form of "when [misses are] low, the interval is
+        // longer": once the hot set is placed, tracking pays for itself
+        // ever more rarely.
+        if self.cfg.adaptive_interval {
+            self.interval.observe(self.epoch_misses);
+            if self.last_scan_yield.saturating_mul(4)
+                < self.cfg.sim_batch(self.cfg.migrate_batch)
+            {
+                self.interval.back_off(1.5);
+            }
+            self.next_scan += self.interval.interval();
+        } else {
+            self.next_scan += self.cfg.scan_interval;
+        }
+        self.scans += 1;
+        // The guest guides *what* to track: heap VMA ranges; short-lived
+        // I/O pages and pinned types go on the exception list.
+        let tracking = self
+            .kernel
+            .address_space()
+            .ranges_of(hetero_guest::vma::VmaKind::Anon);
+        let exceptions = [
+            PageType::PageCache,
+            PageType::BufferCache,
+            PageType::NetBuf,
+            PageType::PageTable,
+            PageType::Dma,
+        ];
+        let batch = self.cfg.sim_batch(self.cfg.scan_batch);
+        let interval = if self.cfg.adaptive_interval {
+            self.interval.interval()
+        } else {
+            self.cfg.scan_interval
+        };
+        let mut rng = self.rng.fork();
+        let mut oracle =
+            move |p: &Page| rng.chance(Self::touch_probability(interval, p));
+        let outcome = {
+            let mut tracker = std::mem::replace(&mut self.tracker, HotnessTracker::new(1));
+            let out = if self.cfg.guided_tracking {
+                tracker.scan_tracked(&self.kernel, &tracking, &exceptions, &mut oracle, batch)
+            } else {
+                tracker.scan_full(&self.kernel, &mut oracle, batch)
+            };
+            self.tracker = tracker;
+            out
+        };
+        self.charge_scan(outcome.scanned);
+        self.trace(EventKind::Scan, || {
+            format!(
+                "guided scan: {} PTEs, {} hot candidates",
+                outcome.scanned,
+                outcome.hot_candidates.len()
+            )
+        });
+        // Guest-side migration with §4.1 validity checks, hottest first.
+        // In write-aware mode (§4.3 extension over NVM-like SlowMem), the
+        // rank adds write heat weighted by the store/load asymmetry — a
+        // write-hot page saves more per promoted byte.
+        let budget = self.cfg.sim_batch(self.cfg.migrate_batch);
+        let mut migrated = 0u64;
+        let mut checked = 0u64;
+        let mut hot = outcome.hot_candidates;
+        let store_bias = if self.cfg.write_aware {
+            (self.slow_params.store_latency.as_nanos() as f64
+                / self.slow_params.load_latency.as_nanos().max(1) as f64)
+                - 1.0
+        } else {
+            0.0
+        };
+        hot.sort_by_key(|&g| {
+            let p = self.kernel.memmap().page(g);
+            std::cmp::Reverse(p.heat as u32 + (p.write_heat as f64 * store_bias) as u32)
+        });
+        for gfn in hot.into_iter().take(budget as usize) {
+            checked += 1;
+            if self.kernel.free_frames(MemKind::Fast) == 0 {
+                let moved = self.kernel.demote_inactive(MemKind::Fast, 1);
+                migrated += moved;
+                if self.kernel.free_frames(MemKind::Fast) == 0 {
+                    break;
+                }
+            }
+            match self.kernel.migrate_page(gfn, MemKind::Fast) {
+                Ok(_) => migrated += 1,
+                Err(
+                    MigrateError::MarkedForReclaim
+                    | MigrateError::DirtyIo
+                    | MigrateError::NotPresent
+                    | MigrateError::AlreadyThere
+                    | MigrateError::NotMigratable,
+                ) => {}
+                Err(MigrateError::TargetFull) => break,
+            }
+        }
+        // Validity checks are cheap page walks over the candidates.
+        let validity = self.cfg.costs.validity_cost(self.cfg.real_pages(checked));
+        self.clock.charge(CostCategory::PageWalk, validity);
+        self.charge_migration(migrated, false);
+        self.last_scan_yield = migrated;
+        if migrated > 0 {
+            self.trace(EventKind::Migration, || {
+                format!("guest promoted {migrated} pages ({checked} checked)")
+            });
+        }
+    }
+}
+
+/// Convenience: run `policy` over an [`AppWorkload`] built from `spec`.
+pub fn run_app(cfg: &SimConfig, policy: Policy, spec: hetero_workloads::WorkloadSpec) -> RunReport {
+    let workload = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+    SingleVmSim::new(cfg.clone(), policy, workload).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_workloads::apps;
+
+    fn quick_cfg() -> SimConfig {
+        // Small, fast configuration for unit tests: 1/4 capacity ratio.
+        SimConfig::paper_default()
+            .with_capacity_ratio(1, 4)
+            .with_seed(7)
+    }
+
+    fn short_spec(mut spec: hetero_workloads::WorkloadSpec) -> hetero_workloads::WorkloadSpec {
+        spec.total_instructions /= 5;
+        spec
+    }
+
+    #[test]
+    fn fastmem_only_beats_slowmem_only() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::graphchi());
+        let fast = run_app(&cfg, Policy::FastMemOnly, spec.clone());
+        let slow = run_app(&cfg, Policy::SlowMemOnly, spec);
+        assert!(
+            slow.runtime > fast.runtime.saturating_mul(2),
+            "slow {} vs fast {}",
+            slow.runtime,
+            fast.runtime
+        );
+    }
+
+    #[test]
+    fn heap_od_helps_heap_bound_apps() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::graphchi());
+        let od = run_app(&cfg, Policy::HeapOd, spec.clone());
+        let slow = run_app(&cfg, Policy::SlowMemOnly, spec);
+        assert!(
+            od.gain_percent_vs(&slow) > 20.0,
+            "Heap-OD gain {:.1}%",
+            od.gain_percent_vs(&slow)
+        );
+    }
+
+    #[test]
+    fn io_prioritization_helps_io_bound_apps() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::leveldb());
+        let heap_od = run_app(&cfg, Policy::HeapOd, spec.clone());
+        let io_od = run_app(&cfg, Policy::HeapIoSlabOd, spec);
+        assert!(
+            io_od.runtime < heap_od.runtime,
+            "io-od {} vs heap-od {}",
+            io_od.runtime,
+            heap_od.runtime
+        );
+    }
+
+    #[test]
+    fn vmm_exclusive_pays_tracking_overhead() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::graphchi());
+        let r = run_app(&cfg, Policy::VmmExclusive, spec);
+        assert!(r.scans > 0, "tracking must run");
+        assert!(r.scanned_pages > 0);
+        assert!(
+            r.overhead_percent() > 1.0,
+            "overhead {:.2}%",
+            r.overhead_percent()
+        );
+        assert!(r.migrations > 0, "hot pages must be promoted");
+    }
+
+    #[test]
+    fn hetero_lru_migrates_without_vmm_scans() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::graphchi());
+        let r = run_app(&cfg, Policy::HeteroLru, spec);
+        assert_eq!(r.scans, 0, "no VMM tracking in guest-only mode");
+        assert_eq!(r.scanned_pages, 0);
+    }
+
+    #[test]
+    fn coordinated_scans_less_than_vmm_exclusive() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::graphchi());
+        let coord = run_app(&cfg, Policy::HeteroCoordinated, spec.clone());
+        let vmm = run_app(&cfg, Policy::VmmExclusive, spec);
+        // Guided scans touch tracked ranges only; normalised per scan they
+        // cover no more than the full-VM batches.
+        assert!(coord.scans > 0);
+        let per_scan_coord = coord.scanned_pages as f64 / coord.scans as f64;
+        let per_scan_vmm = vmm.scanned_pages as f64 / vmm.scans as f64;
+        assert!(
+            per_scan_coord <= per_scan_vmm * 1.01,
+            "guided {per_scan_coord:.0} vs full {per_scan_vmm:.0}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::redis());
+        let a = run_app(&cfg, Policy::HeteroLru, spec.clone());
+        let b = run_app(&cfg, Policy::HeteroLru, spec);
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.misses, b.misses);
+    }
+
+    #[test]
+    fn alloc_miss_ratio_rises_as_fastmem_shrinks() {
+        let spec = short_spec(apps::x_stream());
+        let big = run_app(
+            &quick_cfg().with_capacity_ratio(1, 2),
+            Policy::HeapIoSlabOd,
+            spec.clone(),
+        );
+        let small = run_app(
+            &quick_cfg().with_capacity_ratio(1, 8),
+            Policy::HeapIoSlabOd,
+            spec,
+        );
+        assert!(
+            small.fast_alloc_miss_ratio > big.fast_alloc_miss_ratio,
+            "1/8 ratio {:.3} vs 1/2 ratio {:.3}",
+            small.fast_alloc_miss_ratio,
+            big.fast_alloc_miss_ratio
+        );
+    }
+
+    #[test]
+    fn tracing_captures_scans_and_migrations() {
+        let cfg = SimConfig {
+            trace_events: 64,
+            ..quick_cfg()
+        };
+        let spec = short_spec(apps::graphchi());
+        let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(cfg, Policy::HeteroCoordinated, wl);
+        while sim.step() {}
+        let log = sim.events().expect("tracing enabled");
+        assert!(!log.is_empty());
+        assert!(
+            log.iter().any(|e| e.kind == hetero_sim::EventKind::Scan)
+                || log.dropped() > 0,
+            "scans should be traced"
+        );
+        // Untraced runs carry no log.
+        let wl = AppWorkload::new(short_spec(apps::nginx()), 4096, 64);
+        let sim = SingleVmSim::new(quick_cfg(), Policy::SlowMemOnly, wl);
+        assert!(sim.events().is_none());
+    }
+
+    #[test]
+    fn epoch_count_matches_workload() {
+        let cfg = quick_cfg();
+        let spec = short_spec(apps::nginx());
+        let expected = spec.epochs();
+        let r = run_app(&cfg, Policy::SlowMemOnly, spec);
+        assert_eq!(r.epochs, expected);
+    }
+}

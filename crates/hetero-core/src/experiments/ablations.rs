@@ -1,0 +1,186 @@
+//! Ablations of the design choices DESIGN.md calls out — beyond the
+//! paper's own experiments.
+//!
+//! * eager vs. lazy I/O page eviction (HeteroOS-LRU's §3.3 claim),
+//! * adaptive vs. fixed hotness-tracking interval (Eq. 1's claim),
+//! * guided tracking lists vs. full-VM scans (§4.1's claim),
+//! * DRF weight sensitivity (§4.2's weighting choice).
+
+use hetero_mem::kind::KindMap;
+use hetero_mem::MemKind;
+use hetero_sim::SeriesSet;
+use hetero_vmm::SharePolicy;
+use hetero_workloads::apps;
+
+use crate::engine::run_app;
+use crate::experiments::{sharing, ExpOptions};
+use crate::multivm::MultiVmSim;
+use crate::{Policy, SimConfig};
+
+/// Eager vs. lazy release of completed I/O pages, under HeteroOS-LRU, for
+/// the I/O-intensive applications. Y: gain (%) over SlowMem-only.
+pub fn ablation_lru_eviction(opts: &ExpOptions) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        "Ablation — eager vs lazy I/O page eviction (HeteroOS-LRU, 1/4 ratio)",
+        "app-index",
+    );
+    for (ai, spec) in [apps::x_stream(), apps::leveldb(), apps::graphchi()]
+        .into_iter()
+        .enumerate()
+    {
+        let spec = opts.tune(spec);
+        let base = SimConfig::paper_default()
+            .with_capacity_ratio(1, 4)
+            .with_seed(opts.seed);
+        let slow = run_app(&base, Policy::SlowMemOnly, spec.clone());
+        let eager = run_app(&base, Policy::HeteroLru, spec.clone());
+        let lazy_cfg = SimConfig {
+            eager_io_override: Some(false),
+            ..base
+        };
+        let lazy = run_app(&lazy_cfg, Policy::HeteroLru, spec.clone());
+        set.record("eager", ai as f64, eager.gain_percent_vs(&slow));
+        set.record("lazy", ai as f64, lazy.gain_percent_vs(&slow));
+    }
+    set
+}
+
+/// Adaptive (Eq. 1 + yield backoff) vs. fixed 100 ms tracking interval for
+/// the coordinated policy. Y: gain (%) and overhead (%).
+pub fn ablation_adaptive_interval(opts: &ExpOptions) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        "Ablation — adaptive vs fixed tracking interval (coordinated, 1/4 ratio)",
+        "app-index",
+    );
+    for (ai, spec) in [apps::graphchi(), apps::redis()].into_iter().enumerate() {
+        let spec = opts.tune(spec);
+        let base = SimConfig::paper_default()
+            .with_capacity_ratio(1, 4)
+            .with_seed(opts.seed);
+        let slow = run_app(&base, Policy::SlowMemOnly, spec.clone());
+        let adaptive = run_app(&base, Policy::HeteroCoordinated, spec.clone());
+        let fixed_cfg = SimConfig {
+            adaptive_interval: false,
+            ..base
+        };
+        let fixed = run_app(&fixed_cfg, Policy::HeteroCoordinated, spec.clone());
+        set.record("adaptive-gain", ai as f64, adaptive.gain_percent_vs(&slow));
+        set.record("fixed-gain", ai as f64, fixed.gain_percent_vs(&slow));
+        set.record("adaptive-overhead", ai as f64, adaptive.overhead_percent());
+        set.record("fixed-overhead", ai as f64, fixed.overhead_percent());
+    }
+    set
+}
+
+/// Guided tracking lists vs. full-VM scans for the coordinated policy.
+pub fn ablation_tracking_scope(opts: &ExpOptions) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        "Ablation — guided tracking list vs full-VM scan (coordinated, 1/4 ratio)",
+        "app-index",
+    );
+    for (ai, spec) in [apps::graphchi(), apps::x_stream()].into_iter().enumerate() {
+        let spec = opts.tune(spec);
+        let base = SimConfig::paper_default()
+            .with_capacity_ratio(1, 4)
+            .with_seed(opts.seed);
+        let slow = run_app(&base, Policy::SlowMemOnly, spec.clone());
+        let guided = run_app(&base, Policy::HeteroCoordinated, spec.clone());
+        let full_cfg = SimConfig {
+            guided_tracking: false,
+            ..base
+        };
+        let full = run_app(&full_cfg, Policy::HeteroCoordinated, spec.clone());
+        set.record("guided-gain", ai as f64, guided.gain_percent_vs(&slow));
+        set.record("full-scan-gain", ai as f64, full.gain_percent_vs(&slow));
+        set.record(
+            "guided-scanned-M",
+            ai as f64,
+            guided.scanned_pages as f64 / 1e6,
+        );
+        set.record(
+            "full-scanned-M",
+            ai as f64,
+            full.scanned_pages as f64 / 1e6,
+        );
+    }
+    set
+}
+
+/// DRF FastMem-weight sweep on the Fig 13 scenario. Y: the Graphchi VM's
+/// runtime in seconds (lower is better for the protected VM).
+pub fn ablation_drf_weights(opts: &ExpOptions) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        "Ablation — DRF FastMem weight sweep (Fig 13 scenario)",
+        "fast-weight",
+    );
+    for weight in [1.0, 2.0, 4.0] {
+        let mut weights: KindMap<f64> = KindMap::from_fn(|_| 1.0);
+        weights[MemKind::Fast] = weight;
+        let reports = MultiVmSim::new(
+            SimConfig::paper_default()
+                .with_fast_bytes(4 << 30)
+                .with_slow_bytes(8 << 30)
+                .with_seed(opts.seed),
+            SharePolicy::WeightedDrf { weights },
+            Policy::HeteroCoordinated,
+            sharing::paper_setups(opts),
+        )
+        .run();
+        set.record("graphchi-vm-runtime-s", weight, reports[0].runtime.as_secs_f64());
+        set.record("metis-vm-runtime-s", weight, reports[1].runtime.as_secs_f64());
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_eviction_does_not_hurt() {
+        let set = ablation_lru_eviction(&ExpOptions::quick());
+        let eager = set.get("eager").expect("series");
+        let lazy = set.get("lazy").expect("series");
+        for (e, l) in eager.points().iter().zip(lazy.points()) {
+            assert!(
+                e.1 >= l.1 - 3.0,
+                "eager {:.1}% vs lazy {:.1}% at {}",
+                e.1,
+                l.1,
+                e.0
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_interval_cuts_overhead() {
+        let set = ablation_adaptive_interval(&ExpOptions::quick());
+        let a = set.get("adaptive-overhead").expect("series");
+        let f = set.get("fixed-overhead").expect("series");
+        for (x, y) in a.points() {
+            let fy = f
+                .points()
+                .iter()
+                .find(|&&(px, _)| (px - x).abs() < 1e-9)
+                .expect("matching point")
+                .1;
+            assert!(*y <= fy + 0.5, "adaptive {y:.1}% vs fixed {fy:.1}%");
+        }
+    }
+
+    #[test]
+    fn guided_tracking_scans_no_more_than_full() {
+        let set = ablation_tracking_scope(&ExpOptions::quick());
+        let g = set.get("guided-scanned-M").expect("series");
+        let f = set.get("full-scanned-M").expect("series");
+        for (gp, fp) in g.points().iter().zip(f.points()) {
+            assert!(gp.1 <= fp.1 * 1.05, "guided {} vs full {}", gp.1, fp.1);
+        }
+    }
+
+    #[test]
+    fn drf_weight_sweep_produces_three_points() {
+        let set = ablation_drf_weights(&ExpOptions::quick());
+        assert_eq!(set.get("graphchi-vm-runtime-s").map(|s| s.len()), Some(3));
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 3 — FastMem capacity impact.
+//!
+//! The FastMem:SlowMem ratio sweeps 1/2 … 1/32 at `(L:5, B:9)` under simple
+//! preferred placement; the y value is the slowdown relative to a 1:1 ratio
+//! (everything fits in FastMem).
+
+use hetero_sim::SeriesSet;
+use hetero_workloads::apps;
+
+use crate::engine::run_app;
+use crate::experiments::ExpOptions;
+use crate::{Policy, SimConfig};
+
+/// The Fig 3 x axis: FastMem:SlowMem capacity denominators.
+pub const RATIOS: [u64; 5] = [2, 4, 8, 16, 32];
+
+/// Figure 3: slowdown versus the FastMem capacity ratio.
+pub fn fig3(opts: &ExpOptions) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        "Fig 3 — slowdown vs FastMem 1:1 ratio (L:5,B:9, on-demand placement)",
+        "1/ratio",
+    );
+    for spec in apps::all() {
+        let spec = opts.tune(spec);
+        let base_cfg = SimConfig::paper_default().with_seed(opts.seed);
+        // 1:1 baseline: FastMem as large as SlowMem — effectively the
+        // everything-fits-in-FastMem ideal.
+        let baseline = run_app(
+            &base_cfg.clone().with_capacity_ratio(1, 1),
+            Policy::FastMemOnly,
+            spec.clone(),
+        );
+        for den in RATIOS {
+            let cfg = base_cfg.clone().with_capacity_ratio(1, den);
+            // Observation 3 is about *on-demand* allocation to FastMem.
+            let r = run_app(&cfg, Policy::HeapIoSlabOd, spec.clone());
+            set.record(spec.name, den as f64, r.slowdown_vs(&baseline));
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_observation_3() {
+        let set = fig3(&ExpOptions::quick());
+        let at = |app: &str, x: f64| {
+            set.get(app)
+                .and_then(|s| {
+                    s.points()
+                        .iter()
+                        .find(|&&(px, _)| (px - x).abs() < 1e-9)
+                        .map(|&(_, y)| y)
+                })
+                .unwrap_or_else(|| panic!("{app}@{x} missing"))
+        };
+        // Observation 3: capacity-intensive Graphchi suffers only modestly
+        // even at a 1/2 ratio (paper: <2x; our placement differentiation is
+        // compressed, see EXPERIMENTS.md, so allow a little headroom).
+        assert!(at("Graphchi", 2.0) < 2.6);
+        // Slowdowns grow (weakly) as FastMem shrinks.
+        for app in ["Graphchi", "Metis"] {
+            assert!(at(app, 2.0) <= at(app, 32.0) + 0.05, "{app}");
+        }
+        // The tiny-working-set web server barely reacts at any ratio.
+        assert!(at("Nginx", 32.0) < 1.3);
+        // I/O-intensive apps degrade gently from 1/2 to 1/16 (§2.2: "show
+        // significantly lower impact even as the ratio is reduced").
+        assert!(at("LevelDB", 16.0) / at("LevelDB", 2.0) < 1.8);
+    }
+}

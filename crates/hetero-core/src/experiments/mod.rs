@@ -1,0 +1,62 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Every function is deterministic given [`ExpOptions::seed`] and returns
+//! either a [`SeriesSet`] (figures) or a formatted string (tables). The
+//! `repro` binary in the `bench` crate prints them; `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+//!
+//! [`ExpOptions::quick`] shortens every run ~8× for tests and benches; the
+//! published numbers use the full-length runs.
+
+use hetero_workloads::WorkloadSpec;
+
+pub mod ablations;
+pub mod capacity;
+pub mod coordinated;
+pub mod distribution;
+pub mod extensions;
+pub mod micro;
+pub mod overhead;
+pub mod placement;
+pub mod sensitivity;
+pub mod sharing;
+pub mod tables;
+
+pub use hetero_sim::{Series, SeriesSet};
+
+/// Options shared by all experiment drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Shorten runs ~8× (tests, smoke runs). Full runs match the paper's
+    /// multi-minute durations so migrations amortise.
+    pub quick: bool,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode options (for tests and benches).
+    pub fn quick() -> Self {
+        ExpOptions {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    /// Applies the run-length scaling to a workload spec.
+    pub(crate) fn tune(&self, mut spec: WorkloadSpec) -> WorkloadSpec {
+        if self.quick {
+            spec.total_instructions /= 8;
+        }
+        spec
+    }
+}

@@ -1,0 +1,140 @@
+//! Tables 1, 3, 4, 5 and 6 — parameter and mechanism tables.
+
+use std::fmt::Write as _;
+
+use hetero_mem::{CostModel, TechProfile, ThrottleConfig};
+use hetero_workloads::apps;
+
+use crate::policy::Policy;
+
+/// Table 1: heterogeneous memory characteristics.
+pub fn table1() -> String {
+    let mut out = String::from(
+        "# Table 1 — heterogeneous memory characteristics\n\
+         technology    density(xDRAM)  load(ns)   store(ns)    BW(GB/s)\n",
+    );
+    for t in TechProfile::table1() {
+        writeln!(
+            out,
+            "{:<12} {:>7.2}-{:<6.2} {:>4}-{:<4} {:>5}-{:<5} {:>6.0}-{:<5.0}",
+            t.name,
+            t.density_rel_dram.0,
+            t.density_rel_dram.1,
+            t.load_latency.0.as_nanos(),
+            t.load_latency.1.as_nanos(),
+            t.store_latency.0.as_nanos(),
+            t.store_latency.1.as_nanos(),
+            t.bandwidth_gbps.0,
+            t.bandwidth_gbps.1,
+        )
+        .expect("writing to string cannot fail");
+    }
+    out
+}
+
+/// Table 3: throttle configurations.
+pub fn table3() -> String {
+    let mut out = String::from(
+        "# Table 3 — throttle configurations (L:x latency factor, B:y bandwidth factor)\n\
+         config      latency(ns)   BW(GB/s)\n",
+    );
+    for t in ThrottleConfig::table3() {
+        writeln!(
+            out,
+            "{:<10} {:>10} {:>10.2}",
+            t.label(),
+            t.latency.as_nanos(),
+            t.bandwidth_gbps
+        )
+        .expect("writing to string cannot fail");
+    }
+    out
+}
+
+/// Table 4: application memory intensity (MPKI).
+pub fn table4() -> String {
+    let mut out = String::from("# Table 4 — memory intensity of applications (MPKI)\n");
+    for spec in apps::all() {
+        writeln!(out, "{:<10} {:>6.1}", spec.name, spec.mpki)
+            .expect("writing to string cannot fail");
+    }
+    out
+}
+
+/// Table 5: the incremental HeteroOS mechanisms.
+pub fn table5() -> String {
+    let mut out = String::from("# Table 5 — HeteroOS incremental mechanisms\n");
+    for p in [
+        Policy::HeapOd,
+        Policy::HeapIoSlabOd,
+        Policy::HeteroLru,
+        Policy::HeteroCoordinated,
+    ] {
+        writeln!(out, "{:<22} {}", p.name(), p.description())
+            .expect("writing to string cannot fail");
+    }
+    out
+}
+
+/// Table 6: per-page migration cost versus batch size.
+pub fn table6() -> String {
+    let costs = CostModel::default();
+    let mut out = String::from(
+        "# Table 6 — per-page migration cost vs batch size\n\
+         batch     Tpage_move(us)  Tpage_walk(us)\n",
+    );
+    for batch in [8 * 1024u64, 64 * 1024, 128 * 1024] {
+        writeln!(
+            out,
+            "{:<9} {:>14.2} {:>15.2}",
+            format!("{}K", batch / 1024),
+            costs.page_move_per_page(batch).as_micros_f64(),
+            costs.page_walk_per_page(batch).as_micros_f64(),
+        )
+        .expect("writing to string cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_three_technologies() {
+        let t = table1();
+        assert!(t.contains("Stacked-3D"));
+        assert!(t.contains("DRAM"));
+        assert!(t.contains("NVM (PCM)"));
+    }
+
+    #[test]
+    fn table3_shows_anchor_values() {
+        let t = table3();
+        assert!(t.contains("L:5,B:12"));
+        assert!(t.contains("960"));
+        assert!(t.contains("1.38"));
+    }
+
+    #[test]
+    fn table4_matches_paper_mpki() {
+        let t = table4();
+        assert!(t.contains("27.4"), "Graphchi MPKI");
+        assert!(t.contains("2.1"), "Nginx MPKI");
+    }
+
+    #[test]
+    fn table5_lists_four_mechanisms() {
+        let t = table5();
+        assert_eq!(t.lines().count(), 5);
+        assert!(t.contains("HeteroOS-coordinated"));
+    }
+
+    #[test]
+    fn table6_matches_measured_anchors() {
+        let t = table6();
+        assert!(t.contains("25.50"));
+        assert!(t.contains("43.21"));
+        assert!(t.contains("10.25"));
+    }
+}

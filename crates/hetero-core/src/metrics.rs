@@ -1,0 +1,171 @@
+//! Run results and derived figures-of-merit.
+
+use hetero_sim::{Clock, CostCategory, Nanos};
+
+/// The result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Policy and application names (for table rendering).
+    pub policy: &'static str,
+    /// Application name.
+    pub app: &'static str,
+    /// End-to-end runtime.
+    pub runtime: Nanos,
+    /// Time attribution (compute, stalls, management categories).
+    pub breakdown: Vec<(CostCategory, Nanos)>,
+    /// Total LLC misses served by memory.
+    pub misses: f64,
+    /// Completed page migrations (promotions + demotions), simulated pages.
+    pub migrations: u64,
+    /// Hotness scans performed.
+    pub scans: u64,
+    /// Real (4 KiB) pages examined by scans.
+    pub scanned_pages: u64,
+    /// Cumulative FastMem allocation miss ratio (Fig 10 metric).
+    pub fast_alloc_miss_ratio: f64,
+    /// Average memory stall per miss, in nanoseconds.
+    pub avg_miss_latency_ns: f64,
+    /// Achieved memory bandwidth in GB/s (Fig 7 metric).
+    pub achieved_bandwidth_gbps: f64,
+    /// Store misses served by the slow tier — the §4.3 endurance proxy
+    /// (each is one cache-line write into NVM).
+    pub slow_writes: f64,
+    /// Epochs executed.
+    pub epochs: u64,
+}
+
+impl RunReport {
+    /// Assembles a report from engine state.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        policy: &'static str,
+        app: &'static str,
+        clock: &Clock,
+        misses: f64,
+        migrations: u64,
+        scans: u64,
+        scanned_pages: u64,
+        fast_alloc_miss_ratio: f64,
+        slow_writes: f64,
+        epochs: u64,
+    ) -> Self {
+        let runtime = clock.now();
+        let stall = clock.spent(CostCategory::MemoryStall);
+        let avg_miss_latency_ns = if misses > 0.0 {
+            stall.as_nanos() as f64 / misses
+        } else {
+            0.0
+        };
+        let achieved_bandwidth_gbps = if runtime.is_zero() {
+            0.0
+        } else {
+            misses * 64.0 / runtime.as_nanos() as f64
+        };
+        RunReport {
+            policy,
+            app,
+            runtime,
+            breakdown: clock.breakdown().collect(),
+            misses,
+            migrations,
+            scans,
+            scanned_pages,
+            fast_alloc_miss_ratio,
+            avg_miss_latency_ns,
+            achieved_bandwidth_gbps,
+            slow_writes,
+            epochs,
+        }
+    }
+
+    /// Time spent in one category.
+    pub fn spent(&self, category: CostCategory) -> Nanos {
+        self.breakdown
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|&(_, t)| t)
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Total tiering-management overhead.
+    pub fn overhead(&self) -> Nanos {
+        self.breakdown
+            .iter()
+            .filter(|(c, _)| c.is_overhead())
+            .map(|&(_, t)| t)
+            .sum()
+    }
+
+    /// Management overhead as a percentage of runtime (Fig 8 y-axis).
+    pub fn overhead_percent(&self) -> f64 {
+        self.overhead().ratio(self.runtime) * 100.0
+    }
+
+    /// Performance gain over a baseline, in percent (Fig 9/11/13 y-axis):
+    /// `(T_base / T_self − 1) × 100`.
+    pub fn gain_percent_vs(&self, baseline: &RunReport) -> f64 {
+        (baseline.runtime.ratio(self.runtime) - 1.0) * 100.0
+    }
+
+    /// Slowdown factor relative to a baseline (Fig 1/2/3 y-axis):
+    /// `T_self / T_base`.
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        self.runtime.ratio(baseline.runtime)
+    }
+
+    /// Average miss latency converted to core cycles (Fig 6 y-axis).
+    pub fn avg_miss_latency_cycles(&self, clock_ghz: f64) -> f64 {
+        self.avg_miss_latency_ns * clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(runtime_ms: u64, stall_ms: u64, misses: f64) -> RunReport {
+        let mut clock = Clock::new();
+        clock.charge(
+            CostCategory::Compute,
+            Nanos::from_millis(runtime_ms - stall_ms),
+        );
+        clock.charge(CostCategory::MemoryStall, Nanos::from_millis(stall_ms));
+        RunReport::from_parts("p", "a", &clock, misses, 0, 0, 0, 0.0, 0.0, 10)
+    }
+
+    #[test]
+    fn gain_and_slowdown_are_inverse_views() {
+        let fast = report(100, 20, 1e6);
+        let slow = report(300, 200, 1e6);
+        assert!((slow.slowdown_vs(&fast) - 3.0).abs() < 1e-9);
+        assert!((fast.gain_percent_vs(&slow) - 200.0).abs() < 1e-9);
+        assert!((slow.gain_percent_vs(&slow)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_latency_derives_from_stall() {
+        let r = report(100, 50, 1e6);
+        // 50 ms stall over 1e6 misses = 50 ns/miss.
+        assert!((r.avg_miss_latency_ns - 50.0).abs() < 1e-9);
+        assert!((r.avg_miss_latency_cycles(2.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_derives_from_misses() {
+        let r = report(100, 50, 1e6);
+        // 64 MB over 100 ms = 0.64 GB/s.
+        assert!((r.achieved_bandwidth_gbps - 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_percent_with_management_time() {
+        let mut clock = Clock::new();
+        clock.charge(CostCategory::Compute, Nanos::from_millis(80));
+        clock.charge(CostCategory::HotnessScan, Nanos::from_millis(15));
+        clock.charge(CostCategory::PageCopy, Nanos::from_millis(5));
+        let r = RunReport::from_parts("p", "a", &clock, 0.0, 0, 0, 0, 0.0, 0.0, 1);
+        assert!((r.overhead_percent() - 20.0).abs() < 1e-9);
+        assert_eq!(r.spent(CostCategory::HotnessScan), Nanos::from_millis(15));
+        assert_eq!(r.avg_miss_latency_ns, 0.0, "no misses, no latency");
+    }
+}

@@ -1,0 +1,335 @@
+//! A binary buddy page allocator, one instance per guest NUMA node.
+//!
+//! This is the guest's equivalent of the Linux zoned buddy allocator that
+//! HeteroOS extends (§3.1): HeteroOS routes FastMem allocations through its
+//! own allocator exclusively, so each tier's node gets its own
+//! [`BuddyAllocator`] over that tier's static `Gfn` range.
+//!
+//! The implementation is a faithful buddy system: per-order free lists,
+//! block splitting on allocation, and eager buddy coalescing on free.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::page::Gfn;
+
+/// Largest supported allocation order (2^10 pages = 4 MiB with 4 KiB pages),
+/// matching Linux's `MAX_ORDER - 1`.
+pub const MAX_ORDER: u8 = 10;
+
+/// Error returned when an allocation cannot be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// The order that was requested.
+    pub order: u8,
+    /// Free frames remaining (possibly fragmented below the request).
+    pub free_frames: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of memory: no free block of order {} ({} frames free)",
+            self.order, self.free_frames
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Binary buddy allocator over a contiguous `Gfn` range.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_guest::buddy::BuddyAllocator;
+///
+/// let mut buddy = BuddyAllocator::new(0, 1024);
+/// let block = buddy.alloc(3)?; // 8 contiguous pages
+/// assert_eq!(buddy.free_frames(), 1024 - 8);
+/// buddy.free(block, 3);
+/// assert_eq!(buddy.free_frames(), 1024);
+/// # Ok::<(), hetero_guest::buddy::OutOfMemory>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    base: u64,
+    frames: u64,
+    /// Free block *offsets* (relative to `base`), one set per order.
+    free_lists: Vec<BTreeSet<u64>>,
+    free_frames: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over `frames` pages starting at guest frame
+    /// `base`. The range need not be power-of-two sized.
+    pub fn new(base: u64, frames: u64) -> Self {
+        let mut a = BuddyAllocator {
+            base,
+            frames,
+            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+            free_frames: 0,
+        };
+        // Greedily carve the range into maximal aligned blocks.
+        let mut off = 0u64;
+        while off < frames {
+            let align_order = off.trailing_zeros().min(MAX_ORDER as u32) as u8;
+            let mut order = align_order;
+            while order > 0 && off + (1 << order) > frames {
+                order -= 1;
+            }
+            if off + (1 << order) > frames {
+                break; // fewer frames than one page — cannot happen with order 0
+            }
+            a.free_lists[order as usize].insert(off);
+            a.free_frames += 1 << order;
+            off += 1 << order;
+        }
+        a
+    }
+
+    /// Total frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Frames currently free (across all orders).
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Number of free blocks at one order (diagnostic / fragmentation view).
+    pub fn free_blocks(&self, order: u8) -> usize {
+        self.free_lists
+            .get(order as usize)
+            .map_or(0, BTreeSet::len)
+    }
+
+    /// Allocates a block of `2^order` contiguous pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when no block of sufficient order exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > MAX_ORDER`.
+    pub fn alloc(&mut self, order: u8) -> Result<Gfn, OutOfMemory> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        // Find the smallest order with a free block.
+        let mut found = None;
+        for o in order..=MAX_ORDER {
+            if let Some(&off) = self.free_lists[o as usize].iter().next() {
+                found = Some((o, off));
+                break;
+            }
+        }
+        let (mut o, off) = found.ok_or(OutOfMemory {
+            order,
+            free_frames: self.free_frames,
+        })?;
+        self.free_lists[o as usize].remove(&off);
+        // Split down to the requested order, returning the upper halves.
+        while o > order {
+            o -= 1;
+            let buddy = off + (1 << o);
+            self.free_lists[o as usize].insert(buddy);
+        }
+        self.free_frames -= 1 << order;
+        Ok(Gfn(self.base + off))
+    }
+
+    /// Allocates one page (order 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the node is exhausted.
+    pub fn alloc_page(&mut self) -> Result<Gfn, OutOfMemory> {
+        self.alloc(0)
+    }
+
+    /// Frees a block previously returned by [`BuddyAllocator::alloc`] with
+    /// the same `order`, coalescing with free buddies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block lies outside the allocator's range, is
+    /// misaligned for its order, or (detectably) double-freed.
+    pub fn free(&mut self, block: Gfn, order: u8) {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        assert!(
+            block.0 >= self.base && block.0 + (1 << order) <= self.base + self.frames,
+            "{block} (order {order}) outside allocator range"
+        );
+        let mut off = block.0 - self.base;
+        assert_eq!(
+            off & ((1 << order) - 1),
+            0,
+            "{block} misaligned for order {order}"
+        );
+        // Double-free detection: the block (or a coalesced ancestor
+        // covering it) must not already be free at any order.
+        for o in order..=MAX_ORDER {
+            let aligned = off & !((1u64 << o) - 1);
+            assert!(
+                !self.free_lists[o as usize].contains(&aligned),
+                "double free of {block} at order {order}"
+            );
+        }
+        let mut o = order;
+        // Coalesce upwards while the buddy is free.
+        while o < MAX_ORDER {
+            let buddy = off ^ (1 << o);
+            if buddy + (1 << o) <= self.frames && self.free_lists[o as usize].remove(&buddy) {
+                off = off.min(buddy);
+                o += 1;
+            } else {
+                break;
+            }
+        }
+        self.free_lists[o as usize].insert(off);
+        self.free_frames += 1 << order;
+    }
+
+    /// Frees one page (order 0).
+    ///
+    /// # Panics
+    ///
+    /// As for [`BuddyAllocator::free`].
+    pub fn free_page(&mut self, gfn: Gfn) {
+        self.free(gfn, 0);
+    }
+
+    /// Largest order with at least one free block, `None` when empty.
+    pub fn max_free_order(&self) -> Option<u8> {
+        (0..=MAX_ORDER)
+            .rev()
+            .find(|&o| !self.free_lists[o as usize].is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_covers_whole_range() {
+        let b = BuddyAllocator::new(0, 1024);
+        assert_eq!(b.free_frames(), 1024);
+        assert_eq!(b.max_free_order(), Some(MAX_ORDER));
+    }
+
+    #[test]
+    fn non_power_of_two_range_is_fully_usable() {
+        let b = BuddyAllocator::new(100, 1000);
+        assert_eq!(b.free_frames(), 1000);
+    }
+
+    #[test]
+    fn alloc_splits_and_free_coalesces() {
+        let mut b = BuddyAllocator::new(0, 1024);
+        let x = b.alloc(0).unwrap();
+        // Splitting a max-order block leaves one free block at each order.
+        for o in 0..MAX_ORDER {
+            assert_eq!(b.free_blocks(o), 1, "order {o}");
+        }
+        b.free(x, 0);
+        assert_eq!(b.max_free_order(), Some(MAX_ORDER));
+        assert_eq!(b.free_blocks(MAX_ORDER), 1);
+        assert_eq!(b.free_frames(), 1024);
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let mut b = BuddyAllocator::new(0, 256);
+        let mut seen = std::collections::HashSet::new();
+        while let Ok(g) = b.alloc(2) {
+            for i in 0..4 {
+                assert!(seen.insert(g.0 + i), "overlap at {}", g.0 + i);
+            }
+        }
+        assert_eq!(seen.len(), 256);
+        assert_eq!(b.free_frames(), 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let mut b = BuddyAllocator::new(0, 2);
+        b.alloc(1).unwrap();
+        let err = b.alloc(0).unwrap_err();
+        assert_eq!(err.free_frames, 0);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn fragmented_node_fails_large_alloc_but_counts_free() {
+        let mut b = BuddyAllocator::new(0, 4);
+        let p0 = b.alloc(0).unwrap();
+        let _p1 = b.alloc(0).unwrap();
+        let _p2 = b.alloc(0).unwrap();
+        let _p3 = b.alloc(0).unwrap();
+        b.free(p0, 0);
+        // One free page but no order-1 block starting anywhere usable.
+        assert_eq!(b.free_frames(), 1);
+        assert!(b.alloc(1).is_err());
+        assert!(b.alloc(0).is_ok());
+    }
+
+    #[test]
+    fn base_offset_is_respected() {
+        let mut b = BuddyAllocator::new(5000, 64);
+        let g = b.alloc(0).unwrap();
+        assert!(g.0 >= 5000 && g.0 < 5064);
+        b.free(g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(0, 4);
+        let g = b.alloc(0).unwrap();
+        b.free(g, 0);
+        b.free(g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_free_panics() {
+        let mut b = BuddyAllocator::new(0, 8);
+        let _ = b.alloc(1).unwrap();
+        b.free(Gfn(1), 1); // order-1 block cannot start at odd offset
+    }
+
+    #[test]
+    #[should_panic(expected = "outside allocator range")]
+    fn foreign_free_panics() {
+        let mut b = BuddyAllocator::new(0, 8);
+        b.free(Gfn(100), 0);
+    }
+
+    #[test]
+    fn alloc_free_stress_restores_state() {
+        let mut b = BuddyAllocator::new(0, 512);
+        let mut held = Vec::new();
+        // Deterministic interleaving of allocs and frees.
+        for i in 0..200u64 {
+            if i % 3 == 2 {
+                if let Some((g, o)) = held.pop() {
+                    b.free(g, o);
+                }
+            } else {
+                let order = (i % 4) as u8;
+                if let Ok(g) = b.alloc(order) {
+                    held.push((g, order));
+                }
+            }
+        }
+        for (g, o) in held {
+            b.free(g, o);
+        }
+        assert_eq!(b.free_frames(), 512);
+        assert_eq!(b.max_free_order(), Some(9)); // 512 = 2^9
+        assert_eq!(b.free_blocks(9), 1);
+    }
+}

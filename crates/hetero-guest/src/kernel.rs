@@ -1,0 +1,1572 @@
+//! The guest kernel facade: ties the memmap, buddy allocators, per-CPU
+//! lists, LRUs, page table, page cache and slab caches into the
+//! heterogeneity-aware memory manager of §3.
+//!
+//! The kernel provides **mechanism** — tier-targeted allocation with
+//! fallback, migration with validity checks, eager LRU transitions, balloon
+//! inflation. **Policy** (which tier a page type should prefer, when to
+//! migrate) lives in `hetero-core`, which drives this API.
+
+use std::fmt;
+
+use hetero_mem::kind::KindMap;
+use hetero_mem::MemKind;
+
+use crate::buddy::BuddyAllocator;
+use crate::lru::LruRegistry;
+use crate::memmap::MemMap;
+use crate::page::{Gfn, PageFlags, PageType, RMap};
+use crate::pagecache::{FileId, PageCache};
+use crate::pagetable::PageTable;
+use crate::pcp::PerCpuLists;
+use crate::slab::SlabCache;
+use crate::stats::AllocStats;
+use crate::swap::{SwapEntry, SwapMap};
+use crate::vma::{AddressSpace, Vma, VmaKind};
+
+/// Guest kernel configuration.
+#[derive(Debug, Clone)]
+pub struct GuestConfig {
+    /// Per-tier guest frame reservation, e.g.
+    /// `[(MemKind::Fast, 131072), (MemKind::Slow, 1048576)]`.
+    pub frames: Vec<(MemKind, u64)>,
+    /// Number of vCPUs (sizes the per-CPU lists).
+    pub cpus: usize,
+    /// Page size in bytes (used by the slab layer).
+    pub page_size: u64,
+}
+
+impl Default for GuestConfig {
+    fn default() -> Self {
+        GuestConfig {
+            frames: vec![(MemKind::Fast, 4096), (MemKind::Slow, 32768)],
+            cpus: 4,
+            page_size: 4096,
+        }
+    }
+}
+
+/// Error returned when no tier in the preference list can provide a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocFailed {
+    /// The page type that was requested.
+    pub page_type: PageType,
+}
+
+impl fmt::Display for AllocFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no tier could provide a {} page", self.page_type)
+    }
+}
+
+impl std::error::Error for AllocFailed {}
+
+/// Why a migration was refused (the §4.1 validity checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateError {
+    /// Page is not allocated.
+    NotPresent,
+    /// Page type is pinned (page table / DMA).
+    NotMigratable,
+    /// Page is marked for deletion (unmap in progress).
+    MarkedForReclaim,
+    /// Dirty short-lived I/O page — migrating it only wastes bandwidth.
+    DirtyIo,
+    /// Target tier has no free page.
+    TargetFull,
+    /// Page already lives on the target tier.
+    AlreadyThere,
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MigrateError::NotPresent => "page is not present",
+            MigrateError::NotMigratable => "page type is pinned",
+            MigrateError::MarkedForReclaim => "page is marked for reclaim",
+            MigrateError::DirtyIo => "dirty short-lived I/O page",
+            MigrateError::TargetFull => "target tier is full",
+            MigrateError::AlreadyThere => "page already on target tier",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// Kernel slab classes the workloads exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlabClass {
+    /// Network buffers (`skbuff`) — [`PageType::NetBuf`] pages.
+    Skbuff,
+    /// Filesystem metadata (dentries/inodes) — [`PageType::Slab`] pages.
+    FsMeta,
+}
+
+/// The heterogeneity-aware guest kernel.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_guest::kernel::{GuestConfig, GuestKernel};
+/// use hetero_guest::page::PageType;
+/// use hetero_mem::MemKind;
+///
+/// let mut kernel = GuestKernel::new(GuestConfig::default());
+/// let (gfn, kind) = kernel.alloc_page(
+///     PageType::HeapAnon, 200, &[MemKind::Fast, MemKind::Slow])?;
+/// assert_eq!(kind, MemKind::Fast);
+/// kernel.free_page(gfn);
+/// # Ok::<(), hetero_guest::kernel::AllocFailed>(())
+/// ```
+#[derive(Debug)]
+pub struct GuestKernel {
+    config: GuestConfig,
+    mm: MemMap,
+    buddies: KindMap<Option<BuddyAllocator>>,
+    pcp: PerCpuLists,
+    lru: LruRegistry,
+    space: AddressSpace,
+    pt: PageTable,
+    cache: PageCache,
+    skbuff: SlabCache,
+    fs_meta: SlabCache,
+    stats: AllocStats,
+    swap: SwapMap,
+    ballooned: KindMap<Vec<Gfn>>,
+    pt_backing: Vec<Gfn>,
+    next_cpu: usize,
+    /// Completed page migrations (promotions + demotions).
+    pub migrations: u64,
+}
+
+impl GuestKernel {
+    /// Boots a guest kernel: initialises one NUMA node (memmap range +
+    /// buddy allocator) per configured tier (§3.1 "extends the boot
+    /// allocator to initialize one NUMA node … for each memory type").
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tier list or zero CPUs.
+    pub fn new(config: GuestConfig) -> Self {
+        let mm = MemMap::new(&config.frames);
+        let buddies = KindMap::from_fn(|k| {
+            let r = mm.range(k);
+            if r.is_empty() {
+                None
+            } else {
+                Some(BuddyAllocator::new(r.start, r.end - r.start))
+            }
+        });
+        let page_size = config.page_size as u32;
+        GuestKernel {
+            pcp: PerCpuLists::new(config.cpus),
+            lru: LruRegistry::new(),
+            space: AddressSpace::new(crate::pagetable::VPN_LIMIT),
+            pt: PageTable::new(),
+            cache: PageCache::new(),
+            skbuff: SlabCache::new("skbuff", 512, page_size),
+            fs_meta: SlabCache::new("fs-meta", 256, page_size),
+            stats: AllocStats::new(),
+            swap: SwapMap::new(),
+            ballooned: KindMap::default(),
+            pt_backing: Vec::new(),
+            next_cpu: 0,
+            migrations: 0,
+            mm,
+            buddies,
+            config,
+        }
+    }
+
+    /// The configuration the kernel booted with.
+    pub fn config(&self) -> &GuestConfig {
+        &self.config
+    }
+
+    /// Shared view of the memmap (residency/heat accounting).
+    pub fn memmap(&self) -> &MemMap {
+        &self.mm
+    }
+
+    /// Shared view of the LRU registry.
+    pub fn lru(&self) -> &LruRegistry {
+        &self.lru
+    }
+
+    /// Shared view of the address space.
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Shared view of the page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    /// Allocation statistics (demand-prioritization input).
+    pub fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    /// Rolls the statistics window (call once per prioritization period).
+    pub fn roll_stats_window(&mut self) {
+        self.stats.roll_window();
+    }
+
+    /// Free frames on a tier (buddy + per-CPU caches).
+    pub fn free_frames(&self, kind: MemKind) -> u64 {
+        let buddy = self.buddies[kind]
+            .as_ref()
+            .map_or(0, BuddyAllocator::free_frames);
+        buddy + self.pcp.cached_total(kind) as u64
+    }
+
+    /// Total frames reserved on a tier (including ballooned-out ones).
+    pub fn total_frames(&self, kind: MemKind) -> u64 {
+        let r = self.mm.range(kind);
+        r.end - r.start
+    }
+
+    /// Fraction of a tier's frames that are free, `0.0` for absent tiers.
+    pub fn free_fraction(&self, kind: MemKind) -> f64 {
+        let total = self.total_frames(kind);
+        if total == 0 {
+            0.0
+        } else {
+            self.free_frames(kind) as f64 / total as f64
+        }
+    }
+
+    fn next_cpu(&mut self) -> usize {
+        let cpu = self.next_cpu;
+        self.next_cpu = (self.next_cpu + 1) % self.pcp.cpus();
+        cpu
+    }
+
+    fn raw_alloc(&mut self, kind: MemKind) -> Option<Gfn> {
+        let cpu = self.next_cpu();
+        let buddy = self.buddies[kind].as_mut()?;
+        if let Some(g) = self.pcp.alloc(cpu, kind, buddy) {
+            return Some(g);
+        }
+        // Memory pressure: free pages may be stranded on other CPUs'
+        // lists. Drain them back to the buddy and retry once.
+        self.pcp.drain_kind(kind, buddy);
+        self.pcp.alloc(cpu, kind, buddy)
+    }
+
+    fn raw_free(&mut self, gfn: Gfn) {
+        let kind = self.mm.kind_of(gfn);
+        let cpu = self.next_cpu();
+        let buddy = self.buddies[kind]
+            .as_mut()
+            .expect("page belongs to a configured tier");
+        self.pcp.free(cpu, kind, gfn, buddy);
+    }
+
+    /// Allocates one page of `page_type` with the given workload heat,
+    /// trying tiers in `preference` order. Records hit/miss statistics
+    /// against the first preference and links the page on the appropriate
+    /// LRU (active for anonymous pages, inactive for file/I-O pages, as in
+    /// Linux).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocFailed`] when every preferred tier is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preference` is empty.
+    pub fn alloc_page(
+        &mut self,
+        page_type: PageType,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> Result<(Gfn, MemKind), AllocFailed> {
+        assert!(!preference.is_empty(), "preference list must be non-empty");
+        let wanted_fast = preference[0] == MemKind::Fast;
+        for &kind in preference {
+            if let Some(gfn) = self.raw_alloc(kind) {
+                self.mm.set_allocated(gfn, page_type, heat);
+                match crate::lru::LruClass::of(page_type) {
+                    Some(crate::lru::LruClass::Anon) => self.lru.insert_active(&mut self.mm, gfn),
+                    // Slab/netbuf pages hold live kernel objects from the
+                    // moment they are carved — they start active. Plain
+                    // file pages start inactive (Linux semantics) and are
+                    // activated by their I/O.
+                    Some(crate::lru::LruClass::File)
+                        if matches!(page_type, PageType::Slab | PageType::NetBuf) =>
+                    {
+                        self.lru.insert_active(&mut self.mm, gfn)
+                    }
+                    Some(crate::lru::LruClass::File) => {
+                        self.lru.insert_inactive(&mut self.mm, gfn)
+                    }
+                    None => {}
+                }
+                self.stats
+                    .record(page_type, wanted_fast, kind == MemKind::Fast);
+                return Ok((gfn, kind));
+            }
+        }
+        self.stats.record(page_type, wanted_fast, false);
+        Err(AllocFailed { page_type })
+    }
+
+    /// Frees one page: unlinks it from the LRU and its reverse mapping
+    /// (page table entry or page-cache slot) and returns it to the
+    /// allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn free_page(&mut self, gfn: Gfn) {
+        self.lru.remove(&mut self.mm, gfn);
+        match self.mm.page(gfn).rmap {
+            RMap::Anon(vpn) => {
+                self.pt.unmap(vpn);
+            }
+            RMap::File(file, off) => {
+                self.cache.remove(FileId(file), off);
+            }
+            RMap::None => {}
+        }
+        self.mm.set_free(gfn);
+        self.raw_free(gfn);
+    }
+
+    // ---------------------------------------------------------------- heap
+
+    /// Maps a heap region of `pages` pages, allocating and mapping each page
+    /// with the given per-page heat (provided by the workload model).
+    /// Returns the VMA and how many pages landed on each tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocFailed`] if virtual space or every tier is exhausted;
+    /// partially allocated pages are rolled back.
+    pub fn mmap_heap(
+        &mut self,
+        pages: u64,
+        heats: impl IntoIterator<Item = u8>,
+        preference: &[MemKind],
+    ) -> Result<(Vma, KindMap<u64>), AllocFailed> {
+        let vma = self
+            .space
+            .mmap(pages, VmaKind::Anon, None)
+            .map_err(|_| AllocFailed {
+                page_type: PageType::HeapAnon,
+            })?;
+        let mut placed = KindMap::default();
+        let mut mapped = Vec::new();
+        let mut heats = heats.into_iter();
+        for vpn in vma.start..vma.end() {
+            let heat = heats.next().unwrap_or(0);
+            match self.alloc_page(PageType::HeapAnon, heat, preference) {
+                Ok((gfn, kind)) => {
+                    self.pt.map(vpn, gfn);
+                    self.mm.page_mut(gfn).rmap = RMap::Anon(vpn);
+                    placed[kind] += 1;
+                    mapped.push(vpn);
+                }
+                Err(e) => {
+                    for vpn in mapped {
+                        let gfn = self.pt.translate(vpn).expect("just mapped");
+                        self.free_page(gfn);
+                    }
+                    self.space.munmap(vma.start, vma.pages);
+                    return Err(e);
+                }
+            }
+        }
+        self.sync_pagetable_pages(preference);
+        Ok((vma, placed))
+    }
+
+    /// Unmaps `[vpn, vpn + pages)`: pages in the range are marked for
+    /// reclaim and freed. Returns the number of pages released.
+    pub fn munmap(&mut self, vpn: u64, pages: u64) -> u64 {
+        let removed = self.space.munmap(vpn, pages);
+        let mut freed = 0;
+        for v in vpn..vpn + pages {
+            if let Some(gfn) = self.pt.translate(v) {
+                self.mm.page_mut(gfn).flags.insert(PageFlags::RECLAIM);
+                self.free_page(gfn);
+                freed += 1;
+            }
+        }
+        // Swapped-out pages in the range die with the mapping — their swap
+        // slots are discarded without I/O.
+        freed += self.swap.discard_range(vpn, pages);
+        debug_assert!(freed <= removed || removed == 0 || freed >= removed);
+        freed
+    }
+
+    // ------------------------------------------------------------ page I/O
+
+    /// Brings one file page into the page cache (or touches it if cached).
+    /// Returns the page and whether it was a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocFailed`] on a miss when every tier is exhausted.
+    pub fn page_in(
+        &mut self,
+        file: FileId,
+        offset_page: u64,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> Result<(Gfn, bool), AllocFailed> {
+        if let Some(gfn) = self.cache.lookup(file, offset_page) {
+            self.lru.activate(&mut self.mm, gfn);
+            return Ok((gfn, true));
+        }
+        let (gfn, _) = self.alloc_page(PageType::PageCache, heat, preference)?;
+        self.mm.page_mut(gfn).rmap = RMap::File(file.0, offset_page);
+        self.cache.insert(file, offset_page, gfn);
+        // A page being filled is hot by definition (mark_page_accessed);
+        // it drops to inactive when its I/O completes (§3.3).
+        self.lru.activate(&mut self.mm, gfn);
+        Ok((gfn, false))
+    }
+
+    /// Allocates one buffer-cache page (filesystem journal/metadata block).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocFailed`] when every tier is exhausted.
+    pub fn alloc_buffer_page(
+        &mut self,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> Result<Gfn, AllocFailed> {
+        let (gfn, _) = self.alloc_page(PageType::BufferCache, heat, preference)?;
+        Ok(gfn)
+    }
+
+    /// Brings one buffer-cache block in under a `(file, offset)` identity so
+    /// callers can address it stably across migrations (mirrors
+    /// [`GuestKernel::page_in`] for [`PageType::BufferCache`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocFailed`] on a miss when every tier is exhausted.
+    pub fn buffer_page_in(
+        &mut self,
+        file: FileId,
+        offset_page: u64,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> Result<(Gfn, bool), AllocFailed> {
+        if let Some(gfn) = self.cache.lookup(file, offset_page) {
+            self.lru.activate(&mut self.mm, gfn);
+            return Ok((gfn, true));
+        }
+        let (gfn, _) = self.alloc_page(PageType::BufferCache, heat, preference)?;
+        self.mm.page_mut(gfn).rmap = RMap::File(file.0, offset_page);
+        self.cache.insert(file, offset_page, gfn);
+        self.lru.activate(&mut self.mm, gfn);
+        Ok((gfn, false))
+    }
+
+    /// Looks up a cached page by identity without allocating on a miss.
+    /// Counts as a cache probe in the hit/miss statistics.
+    pub fn cached_page(&mut self, file: FileId, offset_page: u64) -> Option<Gfn> {
+        self.cache.lookup(file, offset_page)
+    }
+
+    /// Drops one cached page by identity (cache shrink / short-lived I/O
+    /// page release). Returns `true` when a page was freed.
+    pub fn drop_cache_page(&mut self, file: FileId, offset_page: u64) -> bool {
+        match self.cache.remove(file, offset_page) {
+            Some(gfn) => {
+                self.mm.page_mut(gfn).rmap = RMap::None;
+                self.free_page(gfn);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks an I/O page's request complete: the page is cleaned and
+    /// *eagerly deactivated* — HeteroOS-LRU's §3.3 rule that released I/O
+    /// pages become immediate eviction candidates.
+    pub fn io_complete(&mut self, gfn: Gfn) {
+        let p = self.mm.page_mut(gfn);
+        p.flags.remove(PageFlags::DIRTY);
+        self.lru.deactivate(&mut self.mm, gfn);
+    }
+
+    /// Marks a page dirty (buffered write).
+    pub fn mark_dirty(&mut self, gfn: Gfn) {
+        self.mm.page_mut(gfn).flags.insert(PageFlags::DIRTY);
+    }
+
+    /// Drops a file's pages from the cache and frees them.
+    pub fn drop_file(&mut self, file: FileId) -> u64 {
+        let pages = self.cache.remove_file(file);
+        let n = pages.len() as u64;
+        for gfn in pages {
+            // remove_file already unindexed them; clear rmap so free_page
+            // does not double-remove.
+            self.mm.page_mut(gfn).rmap = RMap::None;
+            self.free_page(gfn);
+        }
+        n
+    }
+
+    // --------------------------------------------------------------- slabs
+
+    /// Allocates one kernel object, growing the slab with a page of the
+    /// right type when needed. Returns the backing page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocFailed`] when a fresh slab page was needed but every
+    /// tier is exhausted.
+    pub fn slab_alloc(
+        &mut self,
+        class: SlabClass,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> Result<Gfn, AllocFailed> {
+        let page_type = match class {
+            SlabClass::Skbuff => PageType::NetBuf,
+            SlabClass::FsMeta => PageType::Slab,
+        };
+        // Split-borrow dance: try without a new page first.
+        let cache = match class {
+            SlabClass::Skbuff => &mut self.skbuff,
+            SlabClass::FsMeta => &mut self.fs_meta,
+        };
+        if let Some(gfn) = cache.alloc_object(|| None) {
+            return Ok(gfn);
+        }
+        let (new_page, _) = self.alloc_page(page_type, heat, preference)?;
+        let cache = match class {
+            SlabClass::Skbuff => &mut self.skbuff,
+            SlabClass::FsMeta => &mut self.fs_meta,
+        };
+        let gfn = cache
+            .alloc_object(|| Some(new_page))
+            .expect("fresh page provided");
+        debug_assert_eq!(gfn, new_page);
+        Ok(gfn)
+    }
+
+    /// Frees one kernel object living on `page`; releases the page when its
+    /// slab empties (eagerly deactivating first would be moot — it is gone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not a slab page of that class.
+    pub fn slab_free(&mut self, class: SlabClass, page: Gfn) {
+        let cache = match class {
+            SlabClass::Skbuff => &mut self.skbuff,
+            SlabClass::FsMeta => &mut self.fs_meta,
+        };
+        if let Some(empty) = cache.free_object(page) {
+            self.free_page(empty);
+        }
+    }
+
+    /// Frees one object of a class without naming its page (round-trip
+    /// request buffers). Returns `false` when the class holds no objects.
+    pub fn slab_free_any(&mut self, class: SlabClass) -> bool {
+        let cache = match class {
+            SlabClass::Skbuff => &mut self.skbuff,
+            SlabClass::FsMeta => &mut self.fs_meta,
+        };
+        match cache.free_any_object() {
+            Some(Some(empty)) => {
+                self.free_page(empty);
+                true
+            }
+            Some(None) => true,
+            None => false,
+        }
+    }
+
+    /// Live objects in a slab class.
+    pub fn slab_objects(&self, class: SlabClass) -> u64 {
+        match class {
+            SlabClass::Skbuff => self.skbuff.objects(),
+            SlabClass::FsMeta => self.fs_meta.objects(),
+        }
+    }
+
+    // ---------------------------------------------------------- page table
+
+    /// Reconciles the number of [`PageType::PageTable`] backing pages with
+    /// the radix tree's actual table count. Called after map/unmap bursts.
+    pub fn sync_pagetable_pages(&mut self, preference: &[MemKind]) {
+        let needed = self.pt.table_pages();
+        while (self.pt_backing.len() as u64) < needed {
+            match self.alloc_page(PageType::PageTable, 0, preference) {
+                Ok((gfn, _)) => self.pt_backing.push(gfn),
+                Err(_) => break, // accounting best-effort under pressure
+            }
+        }
+        while (self.pt_backing.len() as u64) > needed {
+            let gfn = self.pt_backing.pop().expect("len checked");
+            self.free_page(gfn);
+        }
+    }
+
+    // ----------------------------------------------------------- migration
+
+    /// §4.1 validity checks, without performing the migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`MigrateError`] the migration would fail with.
+    pub fn can_migrate(&self, gfn: Gfn, target: MemKind) -> Result<(), MigrateError> {
+        let p = self.mm.page(gfn);
+        if !p.is_present() {
+            return Err(MigrateError::NotPresent);
+        }
+        if !p.page_type.is_migratable() {
+            return Err(MigrateError::NotMigratable);
+        }
+        if p.flags.contains(PageFlags::RECLAIM) {
+            return Err(MigrateError::MarkedForReclaim);
+        }
+        if p.page_type.is_io() && p.flags.contains(PageFlags::DIRTY) {
+            return Err(MigrateError::DirtyIo);
+        }
+        if p.kind == target {
+            return Err(MigrateError::AlreadyThere);
+        }
+        Ok(())
+    }
+
+    /// Migrates a page to `target`: allocates a destination page, copies
+    /// state (type, heat, dirty bit, rmap), rewires the page table or page
+    /// cache, preserves LRU activity, and frees the source. Returns the new
+    /// page.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MigrateError`] when a validity check fails or the target
+    /// tier has no free page.
+    pub fn migrate_page(&mut self, gfn: Gfn, target: MemKind) -> Result<Gfn, MigrateError> {
+        self.can_migrate(gfn, target)?;
+        let new = self.raw_alloc(target).ok_or(MigrateError::TargetFull)?;
+        let (page_type, heat, write_heat, rmap, was_active, was_dirty) = {
+            let p = self.mm.page(gfn);
+            (
+                p.page_type,
+                p.heat,
+                p.write_heat,
+                p.rmap,
+                p.flags.contains(PageFlags::ACTIVE),
+                p.flags.contains(PageFlags::DIRTY),
+            )
+        };
+        self.mm.set_allocated(new, page_type, heat);
+        if write_heat > 0 {
+            self.mm.set_write_heat(new, write_heat);
+        }
+        if was_dirty {
+            self.mm.page_mut(new).flags.insert(PageFlags::DIRTY);
+        }
+        self.mm.page_mut(new).rmap = rmap;
+        match rmap {
+            RMap::Anon(vpn) => {
+                self.pt.remap(vpn, new);
+            }
+            RMap::File(file, off) => {
+                self.cache.insert(FileId(file), off, new);
+            }
+            RMap::None => {}
+        }
+        if was_active {
+            self.lru.insert_active(&mut self.mm, new);
+        } else {
+            self.lru.insert_inactive(&mut self.mm, new);
+        }
+        // Slab caches key their bookkeeping by backing page: rehome it.
+        match page_type {
+            PageType::NetBuf if self.skbuff.owns(gfn) => self.skbuff.rehome(gfn, new),
+            PageType::Slab if self.fs_meta.owns(gfn) => self.fs_meta.rehome(gfn, new),
+            _ => {}
+        }
+        // Free the old page without touching the (already rewired) rmap.
+        self.lru.remove(&mut self.mm, gfn);
+        self.mm.page_mut(gfn).rmap = RMap::None;
+        self.mm.set_free(gfn);
+        self.raw_free(gfn);
+        self.migrations += 1;
+        Ok(new)
+    }
+
+    /// Migration as the guest-transparent VMM performs it (HeteroVisor
+    /// baseline): **without** the application-state validity checks the
+    /// guest could do. Pages marked for deletion and dirty short-lived I/O
+    /// pages are moved anyway — paying full cost for no benefit (§4.1
+    /// explains why this pollutes FastMem). Only physical impossibilities
+    /// (absent page, pinned type, full target) still fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MigrateError::NotPresent`], [`MigrateError::NotMigratable`],
+    /// [`MigrateError::AlreadyThere`] or [`MigrateError::TargetFull`].
+    pub fn migrate_page_forced(&mut self, gfn: Gfn, target: MemKind) -> Result<Gfn, MigrateError> {
+        match self.can_migrate(gfn, target) {
+            Ok(())
+            | Err(MigrateError::MarkedForReclaim)
+            | Err(MigrateError::DirtyIo) => {}
+            Err(e) => return Err(e),
+        }
+        // Temporarily clear the states the VMM cannot see, migrate, restore.
+        let (had_reclaim, had_dirty) = {
+            let p = self.mm.page_mut(gfn);
+            let r = p.flags.contains(PageFlags::RECLAIM);
+            let d = p.flags.contains(PageFlags::DIRTY);
+            p.flags.remove(PageFlags::RECLAIM);
+            p.flags.remove(PageFlags::DIRTY);
+            (r, d)
+        };
+        match self.migrate_page(gfn, target) {
+            Ok(new) => {
+                let p = self.mm.page_mut(new);
+                p.flags.set(PageFlags::RECLAIM, had_reclaim);
+                p.flags.set(PageFlags::DIRTY, had_dirty);
+                Ok(new)
+            }
+            Err(e) => {
+                let p = self.mm.page_mut(gfn);
+                p.flags.set(PageFlags::RECLAIM, had_reclaim);
+                p.flags.set(PageFlags::DIRTY, had_dirty);
+                Err(e)
+            }
+        }
+    }
+
+    /// Demotes up to `n` inactive pages off `from` to the next slower
+    /// configured tier, preferring file pages. Returns pages moved.
+    pub fn demote_inactive(&mut self, from: MemKind, n: u64) -> u64 {
+        self.demote_inactive_with(from, n, false)
+    }
+
+    /// Multi-level variant of [`GuestKernel::demote_inactive`] implementing
+    /// the §4.3 page-type-specific demotion policy: anonymous pages step
+    /// down **one level at a time** (they have high reuse and may come
+    /// back), while released I/O pages drop **straight to the slowest
+    /// tier** (they are mostly dead after the I/O completes). On a
+    /// two-tier machine both rules coincide with plain demotion.
+    pub fn demote_inactive_typed(&mut self, from: MemKind, n: u64) -> u64 {
+        self.demote_inactive_with(from, n, true)
+    }
+
+    fn demote_inactive_with(&mut self, from: MemKind, n: u64, typed: bool) -> u64 {
+        let Some(next) = self.next_slower_configured(from) else {
+            return 0;
+        };
+        let slowest = self.slowest_configured();
+        let victims = self.lru.shrink_inactive(&mut self.mm, from, n);
+        let mut moved = 0;
+        for gfn in victims {
+            let target = if typed && self.mm.page(gfn).page_type.is_io() {
+                slowest
+            } else {
+                next
+            };
+            // shrink removed them from the LRU; migrate re-links on target.
+            // Re-link first so migrate_page's LRU bookkeeping stays uniform.
+            self.lru.insert_inactive(&mut self.mm, gfn);
+            match self.migrate_page(gfn, target) {
+                Ok(_) => moved += 1,
+                Err(MigrateError::DirtyIo) => {
+                    // Leave dirty I/O pages; writeback will clean them.
+                }
+                Err(MigrateError::TargetFull) => break,
+                Err(_) => {}
+            }
+        }
+        moved
+    }
+
+    /// The slowest configured tier.
+    fn slowest_configured(&self) -> MemKind {
+        [MemKind::Slow, MemKind::Medium, MemKind::Fast]
+            .into_iter()
+            .find(|&k| self.buddies[k].is_some())
+            .expect("at least one tier is configured")
+    }
+
+    fn next_slower_configured(&self, from: MemKind) -> Option<MemKind> {
+        let mut k = from;
+        while let Some(slower) = k.next_slower() {
+            if self.buddies[slower].is_some() {
+                return Some(slower);
+            }
+            k = slower;
+        }
+        None
+    }
+
+    // ------------------------------------------------------------- balloon
+
+    /// Updates a present page's workload heat, keeping the memmap's heat
+    /// accounting in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn set_page_heat(&mut self, gfn: Gfn, heat: u8) {
+        self.mm.set_heat(gfn, heat);
+    }
+
+    /// Updates a present page's workload *write* heat (§4.3 extension),
+    /// keeping the memmap's accounting in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not allocated.
+    pub fn set_page_write_heat(&mut self, gfn: Gfn, write_heat: u8) {
+        self.mm.set_write_heat(gfn, write_heat);
+    }
+
+    /// Shrinks a tier's caches: drops up to `n` clean, inactive file-class
+    /// pages (page cache, buffer cache), skipping dirty pages — the
+    /// kswapd/direct-reclaim primitive. Returns pages freed.
+    pub fn shrink_caches(&mut self, kind: MemKind, n: u64) -> u64 {
+        let victims = self.lru_candidates(kind, (n * 4) as usize, |p| {
+            p.page_type.is_io()
+                && !p.flags.contains(PageFlags::ACTIVE)
+                && !p.flags.contains(PageFlags::DIRTY)
+        });
+        let mut freed = 0;
+        for gfn in victims {
+            if freed >= n {
+                break;
+            }
+            self.free_page(gfn);
+            freed += 1;
+        }
+        freed
+    }
+
+    /// Moves a page to its tier's inactive list (LRU aging). No-op when
+    /// unlisted or already inactive.
+    pub fn deactivate_page(&mut self, gfn: Gfn) {
+        self.lru.deactivate(&mut self.mm, gfn);
+    }
+
+    /// Moves a page to its tier's active list (re-reference). No-op when
+    /// unlisted or already active.
+    pub fn activate_page(&mut self, gfn: Gfn) {
+        self.lru.activate(&mut self.mm, gfn);
+    }
+
+    /// One pass of HeteroOS-LRU's active monitoring (§3.3): walks up to
+    /// `batch` pages of a tier's LRU and deactivates those whose heat falls
+    /// below `cold_heat` (the workload stopped using them). Returns pages
+    /// deactivated.
+    pub fn age_lru(&mut self, kind: MemKind, batch: usize, cold_heat: u8) -> u64 {
+        let victims = self.lru_candidates(kind, batch, |p| {
+            p.heat < cold_heat && p.flags.contains(PageFlags::ACTIVE)
+        });
+        let n = victims.len() as u64;
+        for gfn in victims {
+            self.lru.deactivate(&mut self.mm, gfn);
+        }
+        n
+    }
+
+    /// Balloon inflation: pulls `n` free pages of a tier out of the guest
+    /// allocator (to be returned to the VMM). Returns the number actually
+    /// reclaimed — pressure may leave fewer free.
+    pub fn balloon_inflate(&mut self, kind: MemKind, n: u64) -> u64 {
+        let mut got = 0;
+        for _ in 0..n {
+            match self.raw_alloc(kind) {
+                Some(gfn) => {
+                    self.mm.set_allocated(gfn, PageType::Dma, 0); // pinned, unlisted
+                    self.mm.page_mut(gfn).flags.insert(PageFlags::BALLOONED);
+                    self.ballooned[kind].push(gfn);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
+    /// Balloon deflation: returns up to `n` ballooned pages of a tier to
+    /// the allocator. Returns the number released.
+    pub fn balloon_deflate(&mut self, kind: MemKind, n: u64) -> u64 {
+        let mut freed = 0;
+        for _ in 0..n {
+            match self.ballooned[kind].pop() {
+                Some(gfn) => {
+                    self.mm.page_mut(gfn).flags.remove(PageFlags::BALLOONED);
+                    self.mm.set_free(gfn);
+                    self.raw_free(gfn);
+                    freed += 1;
+                }
+                None => break,
+            }
+        }
+        freed
+    }
+
+    /// Pages currently ballooned out of a tier.
+    pub fn ballooned_pages(&self, kind: MemKind) -> u64 {
+        self.ballooned[kind].len() as u64
+    }
+
+    // ---------------------------------------------------------------- swap
+
+    /// Swaps an anonymous page out: remembers its workload state under its
+    /// VPN, unmaps it and frees the frame. Returns `false` (and does
+    /// nothing) for pages that are not swappable anonymous mappings.
+    pub fn swap_out(&mut self, gfn: Gfn) -> bool {
+        let page = *self.mm.page(gfn);
+        if !page.is_present() || page.page_type != PageType::HeapAnon {
+            return false;
+        }
+        let RMap::Anon(vpn) = page.rmap else {
+            return false;
+        };
+        if self.swap.contains(vpn) {
+            return false;
+        }
+        self.swap.insert(
+            vpn,
+            SwapEntry {
+                heat: page.heat,
+                write_heat: page.write_heat,
+            },
+        );
+        self.free_page(gfn); // unmaps the PTE via the reverse map
+        true
+    }
+
+    /// Swaps one page back in at its original VPN, restoring its workload
+    /// state. Returns the new frame, or `None` when the VPN is not on swap
+    /// or no tier in `preference` has room.
+    pub fn swap_in(&mut self, vpn: u64, preference: &[MemKind]) -> Option<Gfn> {
+        let entry = self.swap.remove(vpn)?;
+        match self.alloc_page(PageType::HeapAnon, entry.heat, preference) {
+            Ok((gfn, _)) => {
+                self.pt.map(vpn, gfn);
+                self.mm.page_mut(gfn).rmap = RMap::Anon(vpn);
+                if entry.write_heat > 0 {
+                    self.mm.set_write_heat(gfn, entry.write_heat);
+                }
+                self.swap.count_swap_in();
+                Some(gfn)
+            }
+            Err(_) => {
+                // No room: the slot stays on swap.
+                self.swap.insert(vpn, entry);
+                None
+            }
+        }
+    }
+
+    /// Swaps in up to `n` pages (balloon deflation fault-ahead). Returns
+    /// pages brought back.
+    pub fn swap_in_any(&mut self, n: u64, preference: &[MemKind]) -> u64 {
+        let mut brought = 0;
+        for _ in 0..n {
+            let Some(vpn) = self.swap.any_vpn() else { break };
+            if self.swap_in(vpn, preference).is_none() {
+                break;
+            }
+            brought += 1;
+        }
+        brought
+    }
+
+    /// Pages currently on swap.
+    pub fn swapped_pages(&self) -> u64 {
+        self.swap.len()
+    }
+
+    /// Sum of the remembered heat of swapped pages (fault-model input).
+    pub fn swapped_heat(&self) -> u64 {
+        self.swap.total_heat()
+    }
+
+    // ---------------------------------------------------------- inspection
+
+    /// Batched scan of resident pages across the whole guest-frame space,
+    /// as a VMM walking its per-VM reverse map would see them. Starts at
+    /// `cursor`, visits at most `limit` *frames* (present or not), and
+    /// returns the present ones plus the wrapped-around next cursor.
+    pub fn scan_resident(&self, cursor: u64, limit: u64) -> (Vec<Gfn>, u64) {
+        let total = self.mm.total_frames();
+        if total == 0 || limit == 0 {
+            return (Vec::new(), cursor);
+        }
+        let mut out = Vec::new();
+        let mut pos = cursor % total;
+        for _ in 0..limit.min(total) {
+            let gfn = Gfn(pos);
+            if self.mm.page(gfn).is_present() {
+                out.push(gfn);
+            }
+            pos = (pos + 1) % total;
+        }
+        (out, pos)
+    }
+
+    /// Collects up to `limit` migration candidates from a tier's LRU lists
+    /// (active first — hot pages worth promoting), filtering by predicate.
+    pub fn lru_candidates(
+        &self,
+        kind: MemKind,
+        limit: usize,
+        mut keep: impl FnMut(&crate::page::Page) -> bool,
+    ) -> Vec<Gfn> {
+        let mut out = Vec::new();
+        for class in [crate::lru::LruClass::Anon, crate::lru::LruClass::File] {
+            let split = self.lru.split(kind, class);
+            for list in [&split.active, &split.inactive] {
+                for gfn in list.iter(&self.mm) {
+                    if out.len() >= limit {
+                        return out;
+                    }
+                    if keep(self.mm.page(gfn)) {
+                        out.push(gfn);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kernel() -> GuestKernel {
+        GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 256)],
+            cpus: 2,
+            page_size: 4096,
+        })
+    }
+
+    #[test]
+    fn alloc_respects_preference_order() {
+        let mut k = small_kernel();
+        let (_, kind) = k
+            .alloc_page(PageType::HeapAnon, 10, &[MemKind::Fast, MemKind::Slow])
+            .unwrap();
+        assert_eq!(kind, MemKind::Fast);
+        let (_, kind) = k
+            .alloc_page(PageType::HeapAnon, 10, &[MemKind::Slow])
+            .unwrap();
+        assert_eq!(kind, MemKind::Slow);
+    }
+
+    #[test]
+    fn alloc_falls_back_when_fast_exhausted() {
+        let mut k = small_kernel();
+        // Exhaust FastMem.
+        while k
+            .alloc_page(PageType::HeapAnon, 1, &[MemKind::Fast])
+            .is_ok()
+        {}
+        let (_, kind) = k
+            .alloc_page(PageType::HeapAnon, 1, &[MemKind::Fast, MemKind::Slow])
+            .unwrap();
+        assert_eq!(kind, MemKind::Slow);
+        // Stats recorded the miss.
+        assert!(k.stats().window(PageType::HeapAnon).fast_misses() >= 1);
+    }
+
+    #[test]
+    fn alloc_failure_is_reported_and_counted() {
+        let mut k = small_kernel();
+        while k
+            .alloc_page(PageType::Slab, 1, &[MemKind::Fast])
+            .is_ok()
+        {}
+        let err = k
+            .alloc_page(PageType::Slab, 1, &[MemKind::Fast])
+            .unwrap_err();
+        assert_eq!(err.page_type, PageType::Slab);
+        assert!(err.to_string().contains("no tier"));
+    }
+
+    #[test]
+    fn free_page_returns_capacity() {
+        let mut k = small_kernel();
+        let before = k.free_frames(MemKind::Fast);
+        let (gfn, _) = k
+            .alloc_page(PageType::HeapAnon, 5, &[MemKind::Fast])
+            .unwrap();
+        assert_eq!(k.free_frames(MemKind::Fast), before - 1);
+        k.free_page(gfn);
+        assert_eq!(k.free_frames(MemKind::Fast), before);
+        assert_eq!(k.memmap().resident_on(MemKind::Fast), 0);
+    }
+
+    #[test]
+    fn mmap_heap_maps_and_accounts() {
+        let mut k = small_kernel();
+        let heats = vec![200u8; 16];
+        let (vma, placed) = k
+            .mmap_heap(16, heats, &[MemKind::Fast, MemKind::Slow])
+            .unwrap();
+        assert_eq!(placed[MemKind::Fast], 16);
+        assert_eq!(k.page_table().mapped_pages(), 16);
+        assert_eq!(k.memmap().resident_pages(PageType::HeapAnon), 16);
+        // Page-table backing pages were accounted too.
+        assert!(k.memmap().resident_pages(PageType::PageTable) > 0);
+        let freed = k.munmap(vma.start, vma.pages);
+        assert_eq!(freed, 16);
+        assert_eq!(k.memmap().resident_pages(PageType::HeapAnon), 0);
+        assert_eq!(k.page_table().mapped_pages(), 0);
+    }
+
+    #[test]
+    fn mmap_heap_rolls_back_on_exhaustion() {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 32)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        let resident_before = k.memmap().resident_on(MemKind::Fast);
+        let err = k.mmap_heap(100, std::iter::repeat(1), &[MemKind::Fast]);
+        assert!(err.is_err());
+        assert_eq!(k.memmap().resident_on(MemKind::Fast), resident_before);
+        assert_eq!(k.address_space().mapped_pages(), 0);
+    }
+
+    #[test]
+    fn page_in_caches_and_hits() {
+        let mut k = small_kernel();
+        let f = FileId(1);
+        let (gfn, hit) = k.page_in(f, 0, 50, &[MemKind::Fast]).unwrap();
+        assert!(!hit);
+        let (gfn2, hit2) = k.page_in(f, 0, 50, &[MemKind::Fast]).unwrap();
+        assert!(hit2);
+        assert_eq!(gfn, gfn2);
+        // Cached file pages start inactive, re-reference activates.
+        assert!(k.memmap().page(gfn).flags.contains(PageFlags::ACTIVE));
+        assert_eq!(k.drop_file(f), 1);
+        assert_eq!(k.memmap().resident_pages(PageType::PageCache), 0);
+    }
+
+    #[test]
+    fn io_complete_deactivates_eagerly() {
+        let mut k = small_kernel();
+        let (gfn, _) = k.page_in(FileId(2), 3, 50, &[MemKind::Fast]).unwrap();
+        k.lru.activate(&mut k.mm, gfn);
+        k.mark_dirty(gfn);
+        k.io_complete(gfn);
+        let p = k.memmap().page(gfn);
+        assert!(!p.flags.contains(PageFlags::ACTIVE));
+        assert!(!p.flags.contains(PageFlags::DIRTY));
+    }
+
+    #[test]
+    fn slab_objects_share_pages_and_release() {
+        let mut k = small_kernel();
+        // 512-byte skbuffs: 8 per 4K page.
+        let p1 = k
+            .slab_alloc(SlabClass::Skbuff, 30, &[MemKind::Fast])
+            .unwrap();
+        let p2 = k
+            .slab_alloc(SlabClass::Skbuff, 30, &[MemKind::Fast])
+            .unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(k.memmap().resident_pages(PageType::NetBuf), 1);
+        k.slab_free(SlabClass::Skbuff, p1);
+        assert_eq!(k.memmap().resident_pages(PageType::NetBuf), 1);
+        k.slab_free(SlabClass::Skbuff, p2);
+        assert_eq!(k.memmap().resident_pages(PageType::NetBuf), 0);
+        assert_eq!(k.slab_objects(SlabClass::Skbuff), 0);
+    }
+
+    #[test]
+    fn migrate_moves_page_and_rewires_pt() {
+        let mut k = small_kernel();
+        let (vma, _) = k
+            .mmap_heap(4, vec![100u8; 4], &[MemKind::Fast, MemKind::Slow])
+            .unwrap();
+        let gfn = k.page_table().translate(vma.start).unwrap();
+        assert_eq!(k.memmap().kind_of(gfn), MemKind::Fast);
+        let new = k.migrate_page(gfn, MemKind::Slow).unwrap();
+        assert_eq!(k.memmap().kind_of(new), MemKind::Slow);
+        assert_eq!(k.page_table().translate(vma.start), Some(new));
+        assert_eq!(k.memmap().page(new).heat, 100);
+        assert_eq!(k.migrations, 1);
+        // Old frame is reusable.
+        assert!(!k.memmap().page(gfn).is_present());
+    }
+
+    #[test]
+    fn migrate_rewires_page_cache() {
+        let mut k = small_kernel();
+        let f = FileId(9);
+        let (gfn, _) = k.page_in(f, 7, 60, &[MemKind::Fast]).unwrap();
+        let new = k.migrate_page(gfn, MemKind::Slow).unwrap();
+        let (found, hit) = k.page_in(f, 7, 60, &[MemKind::Fast]).unwrap();
+        assert!(hit);
+        assert_eq!(found, new);
+    }
+
+    #[test]
+    fn migrate_validity_checks() {
+        let mut k = small_kernel();
+        let (gfn, _) = k.page_in(FileId(1), 0, 10, &[MemKind::Fast]).unwrap();
+        k.mark_dirty(gfn);
+        assert_eq!(
+            k.migrate_page(gfn, MemKind::Slow),
+            Err(MigrateError::DirtyIo)
+        );
+        k.io_complete(gfn);
+        assert_eq!(
+            k.migrate_page(gfn, MemKind::Fast),
+            Err(MigrateError::AlreadyThere)
+        );
+        assert!(k.migrate_page(gfn, MemKind::Slow).is_ok());
+        assert_eq!(
+            k.migrate_page(Gfn(5), MemKind::Slow),
+            Err(MigrateError::NotPresent)
+        );
+    }
+
+    #[test]
+    fn migrate_fails_when_target_full() {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 64)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        // Fill SlowMem completely.
+        while k
+            .alloc_page(PageType::HeapAnon, 1, &[MemKind::Slow])
+            .is_ok()
+        {}
+        let (gfn, _) = k
+            .alloc_page(PageType::HeapAnon, 1, &[MemKind::Fast])
+            .unwrap();
+        assert_eq!(
+            k.migrate_page(gfn, MemKind::Slow),
+            Err(MigrateError::TargetFull)
+        );
+    }
+
+    #[test]
+    fn demote_inactive_moves_cold_pages_down() {
+        let mut k = small_kernel();
+        for i in 0..8 {
+            let (gfn, _) = k.page_in(FileId(3), i, 20, &[MemKind::Fast]).unwrap();
+            k.io_complete(gfn);
+        }
+        assert_eq!(k.memmap().residency(PageType::PageCache, MemKind::Fast).pages, 8);
+        let moved = k.demote_inactive(MemKind::Fast, 5);
+        assert_eq!(moved, 5);
+        assert_eq!(k.memmap().residency(PageType::PageCache, MemKind::Slow).pages, 5);
+        assert_eq!(k.migrations, 5);
+    }
+
+    #[test]
+    fn three_tier_kernel_allocates_on_every_tier() {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![
+                (MemKind::Fast, 32),
+                (MemKind::Medium, 64),
+                (MemKind::Slow, 128),
+            ],
+            cpus: 1,
+            page_size: 4096,
+        });
+        for kind in [MemKind::Fast, MemKind::Medium, MemKind::Slow] {
+            let (gfn, got) = k.alloc_page(PageType::HeapAnon, 10, &[kind]).unwrap();
+            assert_eq!(got, kind);
+            assert_eq!(k.memmap().kind_of(gfn), kind);
+        }
+        // Fallback cascade walks all three tiers.
+        while k.alloc_page(PageType::HeapAnon, 1, &[MemKind::Fast]).is_ok() {}
+        let (_, got) = k
+            .alloc_page(
+                PageType::HeapAnon,
+                1,
+                &[MemKind::Fast, MemKind::Medium, MemKind::Slow],
+            )
+            .unwrap();
+        assert_eq!(got, MemKind::Medium);
+    }
+
+    #[test]
+    fn typed_demotion_cascades_anon_but_drops_io_to_slowest() {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![
+                (MemKind::Fast, 64),
+                (MemKind::Medium, 64),
+                (MemKind::Slow, 128),
+            ],
+            cpus: 1,
+            page_size: 4096,
+        });
+        // Cold anon pages + released I/O pages on FastMem.
+        k.mmap_heap(8, vec![4u8; 8], &[MemKind::Fast]).unwrap();
+        for off in 0..8 {
+            let (g, _) = k.page_in(FileId(5), off, 224, &[MemKind::Fast]).unwrap();
+            k.io_complete(g);
+        }
+        k.age_lru(MemKind::Fast, 64, 50);
+        let moved = k.demote_inactive_typed(MemKind::Fast, 64);
+        assert_eq!(moved, 16);
+        // §4.3: anon pages stepped one level (Medium); I/O pages went to
+        // the slowest tier directly.
+        assert_eq!(
+            k.memmap().residency(PageType::HeapAnon, MemKind::Medium).pages,
+            8
+        );
+        assert_eq!(
+            k.memmap().residency(PageType::PageCache, MemKind::Slow).pages,
+            8
+        );
+        assert_eq!(
+            k.memmap().residency(PageType::PageCache, MemKind::Medium).pages,
+            0
+        );
+    }
+
+    #[test]
+    fn two_tier_typed_demotion_matches_plain() {
+        let mut k = small_kernel();
+        for off in 0..6 {
+            let (g, _) = k.page_in(FileId(3), off, 20, &[MemKind::Fast]).unwrap();
+            k.io_complete(g);
+        }
+        let moved = k.demote_inactive_typed(MemKind::Fast, 6);
+        assert_eq!(moved, 6);
+        assert_eq!(
+            k.memmap().residency(PageType::PageCache, MemKind::Slow).pages,
+            6
+        );
+    }
+
+    #[test]
+    fn balloon_inflate_deflate_roundtrip() {
+        let mut k = small_kernel();
+        let free = k.free_frames(MemKind::Fast);
+        let got = k.balloon_inflate(MemKind::Fast, 10);
+        assert_eq!(got, 10);
+        assert_eq!(k.ballooned_pages(MemKind::Fast), 10);
+        assert_eq!(k.free_frames(MemKind::Fast), free - 10);
+        let back = k.balloon_deflate(MemKind::Fast, 4);
+        assert_eq!(back, 4);
+        assert_eq!(k.free_frames(MemKind::Fast), free - 6);
+        // Deflating more than ballooned caps out.
+        assert_eq!(k.balloon_deflate(MemKind::Fast, 100), 6);
+    }
+
+    #[test]
+    fn balloon_inflate_caps_at_free_memory() {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 64)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        let got = k.balloon_inflate(MemKind::Fast, 1000);
+        assert_eq!(got, 64);
+        assert_eq!(k.free_frames(MemKind::Fast), 0);
+    }
+
+    #[test]
+    fn lru_candidates_filters() {
+        let mut k = small_kernel();
+        k.mmap_heap(6, vec![250u8; 6], &[MemKind::Slow]).unwrap();
+        let hot = k.lru_candidates(MemKind::Slow, 10, |p| p.heat > 200);
+        assert_eq!(hot.len(), 6);
+        let none = k.lru_candidates(MemKind::Slow, 10, |p| p.heat < 10);
+        // Page-table backing pages are unlisted, so only heap pages appear.
+        assert!(none.iter().all(|&g| k.memmap().page(g).heat < 10));
+    }
+
+    #[test]
+    fn buffer_page_in_and_drop_roundtrip() {
+        let mut k = small_kernel();
+        let f = FileId(100);
+        let (gfn, hit) = k.buffer_page_in(f, 0, 60, &[MemKind::Fast]).unwrap();
+        assert!(!hit);
+        assert_eq!(k.memmap().page(gfn).page_type, PageType::BufferCache);
+        let (again, hit2) = k.buffer_page_in(f, 0, 60, &[MemKind::Fast]).unwrap();
+        assert!(hit2);
+        assert_eq!(gfn, again);
+        assert!(k.drop_cache_page(f, 0));
+        assert!(!k.drop_cache_page(f, 0), "second drop finds nothing");
+        assert_eq!(k.memmap().resident_pages(PageType::BufferCache), 0);
+    }
+
+    #[test]
+    fn buffer_page_survives_migration_by_identity() {
+        let mut k = small_kernel();
+        let f = FileId(100);
+        let (gfn, _) = k.buffer_page_in(f, 3, 60, &[MemKind::Fast]).unwrap();
+        k.migrate_page(gfn, MemKind::Slow).unwrap();
+        assert!(k.drop_cache_page(f, 3), "identity survives migration");
+    }
+
+    #[test]
+    fn slab_free_any_releases_pages_eventually() {
+        let mut k = small_kernel();
+        for _ in 0..16 {
+            k.slab_alloc(SlabClass::Skbuff, 30, &[MemKind::Fast]).unwrap();
+        }
+        assert_eq!(k.slab_objects(SlabClass::Skbuff), 16);
+        for _ in 0..16 {
+            assert!(k.slab_free_any(SlabClass::Skbuff));
+        }
+        assert!(!k.slab_free_any(SlabClass::Skbuff));
+        assert_eq!(k.memmap().resident_pages(PageType::NetBuf), 0);
+    }
+
+    #[test]
+    fn slab_page_migration_rehomes_cache() {
+        let mut k = small_kernel();
+        let page = k
+            .slab_alloc(SlabClass::Skbuff, 30, &[MemKind::Fast])
+            .unwrap();
+        let new = k.migrate_page(page, MemKind::Slow).unwrap();
+        assert_ne!(page, new);
+        // Freeing through the cache still works (bookkeeping rehomed).
+        assert!(k.slab_free_any(SlabClass::Skbuff));
+        assert_eq!(k.memmap().resident_pages(PageType::NetBuf), 0);
+    }
+
+    #[test]
+    fn age_lru_deactivates_cold_active_pages() {
+        let mut k = small_kernel();
+        k.mmap_heap(4, vec![5u8; 4], &[MemKind::Fast]).unwrap();
+        k.mmap_heap(4, vec![250u8; 4], &[MemKind::Fast]).unwrap();
+        let aged = k.age_lru(MemKind::Fast, 100, 50);
+        assert_eq!(aged, 4, "only the cold pages age out");
+        assert_eq!(k.age_lru(MemKind::Fast, 100, 50), 0, "idempotent");
+    }
+
+    #[test]
+    fn swap_out_in_roundtrip_preserves_state() {
+        let mut k = small_kernel();
+        let (vma, _) = k
+            .mmap_heap(4, vec![200u8; 4], &[MemKind::Fast])
+            .unwrap();
+        let vpn = vma.start;
+        let gfn = k.page_table().translate(vpn).unwrap();
+        k.set_page_write_heat(gfn, 150);
+        let free_before = k.free_frames(MemKind::Fast);
+        assert!(k.swap_out(gfn));
+        assert_eq!(k.swapped_pages(), 1);
+        assert_eq!(k.swapped_heat(), 200);
+        assert_eq!(k.page_table().translate(vpn), None, "PTE cleared");
+        assert_eq!(k.free_frames(MemKind::Fast), free_before + 1);
+        let back = k.swap_in(vpn, &[MemKind::Fast]).unwrap();
+        assert_eq!(k.page_table().translate(vpn), Some(back));
+        let p = k.memmap().page(back);
+        assert_eq!(p.heat, 200);
+        assert_eq!(p.write_heat, 150);
+        assert_eq!(k.swapped_pages(), 0);
+    }
+
+    #[test]
+    fn swap_rejects_non_anon_pages() {
+        let mut k = small_kernel();
+        let (cache, _) = k.page_in(FileId(1), 0, 60, &[MemKind::Fast]).unwrap();
+        assert!(!k.swap_out(cache), "file pages are not swapped");
+        let page = k
+            .slab_alloc(SlabClass::Skbuff, 60, &[MemKind::Fast])
+            .unwrap();
+        assert!(!k.swap_out(page), "slab pages are not swapped");
+        assert_eq!(k.swapped_pages(), 0);
+    }
+
+    #[test]
+    fn munmap_discards_swap_slots() {
+        let mut k = small_kernel();
+        let (vma, _) = k
+            .mmap_heap(4, vec![100u8; 4], &[MemKind::Fast])
+            .unwrap();
+        for vpn in vma.start..vma.end() {
+            let gfn = k.page_table().translate(vpn).unwrap();
+            assert!(k.swap_out(gfn));
+        }
+        assert_eq!(k.swapped_pages(), 4);
+        let freed = k.munmap(vma.start, vma.pages);
+        assert_eq!(freed, 4, "swap slots count as released pages");
+        assert_eq!(k.swapped_pages(), 0);
+        // Swap-in after discard finds nothing.
+        assert!(k.swap_in(vma.start, &[MemKind::Fast]).is_none());
+    }
+
+    #[test]
+    fn swap_in_any_respects_capacity() {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 32)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        let (vma, _) = k
+            .mmap_heap(8, vec![100u8; 8], &[MemKind::Fast])
+            .unwrap();
+        for vpn in vma.start..vma.end() {
+            let gfn = k.page_table().translate(vpn).unwrap();
+            k.swap_out(gfn);
+        }
+        // Consume all free memory so only part of the swap fits back.
+        while k
+            .alloc_page(PageType::HeapAnon, 1, &[MemKind::Fast])
+            .is_ok()
+        {}
+        assert_eq!(k.swap_in_any(8, &[MemKind::Fast]), 0);
+        assert_eq!(k.swapped_pages(), 8, "slots survive a failed swap-in");
+    }
+
+    #[test]
+    fn forced_migration_ignores_guest_state() {
+        let mut k = small_kernel();
+        let (gfn, _) = k.page_in(FileId(1), 0, 10, &[MemKind::Fast]).unwrap();
+        k.mark_dirty(gfn);
+        // The guest-checked path refuses; the VMM path migrates anyway.
+        assert_eq!(k.migrate_page(gfn, MemKind::Slow), Err(MigrateError::DirtyIo));
+        let new = k.migrate_page_forced(gfn, MemKind::Slow).unwrap();
+        assert!(k.memmap().page(new).flags.contains(PageFlags::DIRTY));
+        assert_eq!(k.memmap().kind_of(new), MemKind::Slow);
+        // Physical impossibilities still fail.
+        assert_eq!(
+            k.migrate_page_forced(new, MemKind::Slow),
+            Err(MigrateError::AlreadyThere)
+        );
+    }
+
+    #[test]
+    fn scan_resident_wraps_and_filters() {
+        let mut k = small_kernel();
+        let (a, _) = k
+            .alloc_page(PageType::HeapAnon, 1, &[MemKind::Fast])
+            .unwrap();
+        let (b, _) = k
+            .alloc_page(PageType::HeapAnon, 1, &[MemKind::Slow])
+            .unwrap();
+        let total = k.memmap().total_frames();
+        let (found, next) = k.scan_resident(0, total);
+        assert!(found.contains(&a) && found.contains(&b));
+        assert_eq!(found.len(), 2);
+        assert_eq!(next, 0, "full scan wraps to start");
+        // Batched scan makes progress.
+        let (_, next) = k.scan_resident(0, 10);
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn free_fraction_tracks_pressure() {
+        let mut k = small_kernel();
+        assert!((k.free_fraction(MemKind::Fast) - 1.0).abs() < 1e-12);
+        k.balloon_inflate(MemKind::Fast, 32);
+        assert!((k.free_fraction(MemKind::Fast) - 0.5).abs() < 1e-12);
+        assert_eq!(k.free_fraction(MemKind::Medium), 0.0);
+    }
+}

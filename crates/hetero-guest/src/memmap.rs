@@ -1,0 +1,319 @@
+//! The guest memmap: one [`Page`] descriptor per guest frame, plus the
+//! per-(type, tier) resident accounting the HeteroOS allocator's
+//! demand-based prioritization consumes (§3.2).
+//!
+//! Guest frame numbers are statically partitioned into per-tier ranges at
+//! boot (the boot allocator "initializes one NUMA node and its related data
+//! structures for each memory type", §3.1), so a `Gfn`'s tier never changes.
+
+use hetero_mem::kind::KindMap;
+use hetero_mem::MemKind;
+
+use crate::page::{Gfn, Page, PageFlags, PageType};
+
+/// Aggregate residency of one `(page type, tier)` bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Residency {
+    /// Pages currently allocated in the bucket.
+    pub pages: u64,
+    /// Sum of the pages' heat values (drives simulated access splitting).
+    pub heat: u64,
+    /// Sum of the pages' write-heat values (drives store splitting).
+    pub write_heat: u64,
+}
+
+/// The guest's page-descriptor array and tier layout.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_guest::memmap::MemMap;
+/// use hetero_guest::page::{Gfn, PageType};
+/// use hetero_mem::MemKind;
+///
+/// let mut mm = MemMap::new(&[(MemKind::Fast, 16), (MemKind::Slow, 64)]);
+/// let gfn = Gfn(mm.range(MemKind::Fast).start);
+/// mm.set_allocated(gfn, PageType::HeapAnon, 200);
+/// assert_eq!(mm.residency(PageType::HeapAnon, MemKind::Fast).pages, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemMap {
+    pages: Vec<Page>,
+    ranges: Vec<(MemKind, std::ops::Range<u64>)>,
+    residency: [KindMap<Residency>; PageType::COUNT],
+}
+
+impl MemMap {
+    /// Builds a memmap with the given per-tier frame counts, laid out
+    /// fastest tier first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate tiers or an empty layout.
+    pub fn new(layout: &[(MemKind, u64)]) -> Self {
+        assert!(!layout.is_empty(), "memmap needs at least one tier");
+        let mut sorted: Vec<(MemKind, u64)> = layout.to_vec();
+        sorted.sort_by_key(|(k, _)| *k);
+        for w in sorted.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate tier {}", w[0].0);
+        }
+        let mut pages = Vec::new();
+        let mut ranges = Vec::new();
+        let mut base = 0u64;
+        for (kind, frames) in sorted {
+            ranges.push((kind, base..base + frames));
+            pages.extend((0..frames).map(|_| Page::free_on(kind)));
+            base += frames;
+        }
+        MemMap {
+            pages,
+            ranges,
+            residency: [KindMap::default(); PageType::COUNT],
+        }
+    }
+
+    /// Total number of guest frames.
+    pub fn total_frames(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// The `Gfn` range of a tier (empty range when not configured).
+    pub fn range(&self, kind: MemKind) -> std::ops::Range<u64> {
+        self.ranges
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| r.clone())
+            .unwrap_or(0..0)
+    }
+
+    /// The tier a frame belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gfn` is out of range.
+    pub fn kind_of(&self, gfn: Gfn) -> MemKind {
+        self.page(gfn).kind
+    }
+
+    /// Shared access to a page descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gfn` is out of range.
+    #[inline]
+    pub fn page(&self, gfn: Gfn) -> &Page {
+        &self.pages[gfn.index()]
+    }
+
+    /// Exclusive access to a page descriptor.
+    ///
+    /// Mutating `page_type`, `kind`, `heat` or `PRESENT` through this
+    /// reference without going through [`MemMap::set_allocated`] /
+    /// [`MemMap::set_free`] / [`MemMap::set_heat`] desynchronises the
+    /// residency accounting; use it for flags, rmap and LRU links only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gfn` is out of range.
+    #[inline]
+    pub fn page_mut(&mut self, gfn: Gfn) -> &mut Page {
+        &mut self.pages[gfn.index()]
+    }
+
+    /// Marks a free page as allocated with the given type and heat,
+    /// updating residency accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already present.
+    pub fn set_allocated(&mut self, gfn: Gfn, page_type: PageType, heat: u8) {
+        let kind = {
+            let p = &mut self.pages[gfn.index()];
+            assert!(!p.is_present(), "{gfn} is already allocated");
+            p.flags = PageFlags::PRESENT;
+            p.page_type = page_type;
+            p.heat = heat;
+            p.write_heat = 0;
+            p.lru_prev = None;
+            p.lru_next = None;
+            p.rmap = crate::page::RMap::None;
+            p.kind
+        };
+        let r = &mut self.residency[page_type.index()][kind];
+        r.pages += 1;
+        r.heat += heat as u64;
+    }
+
+    /// Marks an allocated page free, updating residency accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not present.
+    pub fn set_free(&mut self, gfn: Gfn) {
+        let (kind, page_type, heat, write_heat) = {
+            let p = &mut self.pages[gfn.index()];
+            assert!(p.is_present(), "{gfn} is not allocated");
+            let prev = (p.kind, p.page_type, p.heat, p.write_heat);
+            p.flags = PageFlags::empty();
+            p.heat = 0;
+            p.write_heat = 0;
+            p.lru_prev = None;
+            p.lru_next = None;
+            p.rmap = crate::page::RMap::None;
+            prev
+        };
+        let r = &mut self.residency[page_type.index()][kind];
+        r.pages -= 1;
+        r.heat -= heat as u64;
+        r.write_heat -= write_heat as u64;
+    }
+
+    /// Updates a present page's heat, keeping accounting in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not present.
+    pub fn set_heat(&mut self, gfn: Gfn, heat: u8) {
+        let (kind, page_type, old) = {
+            let p = &mut self.pages[gfn.index()];
+            assert!(p.is_present(), "{gfn} is not allocated");
+            let old = p.heat;
+            p.heat = heat;
+            (p.kind, p.page_type, old)
+        };
+        let r = &mut self.residency[page_type.index()][kind];
+        r.heat = r.heat - old as u64 + heat as u64;
+    }
+
+    /// Updates a present page's write heat, keeping accounting in sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not present.
+    pub fn set_write_heat(&mut self, gfn: Gfn, write_heat: u8) {
+        let (kind, page_type, old) = {
+            let p = &mut self.pages[gfn.index()];
+            assert!(p.is_present(), "{gfn} is not allocated");
+            let old = p.write_heat;
+            p.write_heat = write_heat;
+            (p.kind, p.page_type, old)
+        };
+        let r = &mut self.residency[page_type.index()][kind];
+        r.write_heat = r.write_heat - old as u64 + write_heat as u64;
+    }
+
+    /// Total write heat on a tier for one type.
+    pub fn write_heat_on(&self, page_type: PageType, kind: MemKind) -> u64 {
+        self.residency(page_type, kind).write_heat
+    }
+
+    /// Residency of one `(type, tier)` bucket.
+    pub fn residency(&self, page_type: PageType, kind: MemKind) -> Residency {
+        self.residency[page_type.index()][kind]
+    }
+
+    /// Total resident pages of a type across tiers.
+    pub fn resident_pages(&self, page_type: PageType) -> u64 {
+        MemKind::ALL
+            .iter()
+            .map(|&k| self.residency(page_type, k).pages)
+            .sum()
+    }
+
+    /// Total resident pages on a tier across types.
+    pub fn resident_on(&self, kind: MemKind) -> u64 {
+        PageType::ALL
+            .iter()
+            .map(|&t| self.residency(t, kind).pages)
+            .sum()
+    }
+
+    /// Total heat on a tier for one type.
+    pub fn heat_on(&self, page_type: PageType, kind: MemKind) -> u64 {
+        self.residency(page_type, kind).heat
+    }
+
+    /// Iterates the frames of one tier.
+    pub fn iter_kind(&self, kind: MemKind) -> impl Iterator<Item = Gfn> + '_ {
+        self.range(kind).map(Gfn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm() -> MemMap {
+        MemMap::new(&[(MemKind::Fast, 8), (MemKind::Slow, 16)])
+    }
+
+    #[test]
+    fn layout_is_fastest_first_and_contiguous() {
+        let m = MemMap::new(&[(MemKind::Slow, 16), (MemKind::Fast, 8)]);
+        assert_eq!(m.range(MemKind::Fast), 0..8);
+        assert_eq!(m.range(MemKind::Slow), 8..24);
+        assert_eq!(m.total_frames(), 24);
+        assert_eq!(m.range(MemKind::Medium), 0..0);
+    }
+
+    #[test]
+    fn kind_of_respects_ranges() {
+        let m = mm();
+        assert_eq!(m.kind_of(Gfn(0)), MemKind::Fast);
+        assert_eq!(m.kind_of(Gfn(7)), MemKind::Fast);
+        assert_eq!(m.kind_of(Gfn(8)), MemKind::Slow);
+    }
+
+    #[test]
+    fn allocate_free_roundtrip_keeps_accounting() {
+        let mut m = mm();
+        m.set_allocated(Gfn(1), PageType::Slab, 10);
+        m.set_allocated(Gfn(9), PageType::Slab, 20);
+        assert_eq!(m.residency(PageType::Slab, MemKind::Fast).pages, 1);
+        assert_eq!(m.residency(PageType::Slab, MemKind::Fast).heat, 10);
+        assert_eq!(m.residency(PageType::Slab, MemKind::Slow).heat, 20);
+        assert_eq!(m.resident_pages(PageType::Slab), 2);
+        assert_eq!(m.resident_on(MemKind::Fast), 1);
+        m.set_free(Gfn(1));
+        assert_eq!(m.residency(PageType::Slab, MemKind::Fast), Residency::default());
+        assert_eq!(m.resident_pages(PageType::Slab), 1);
+    }
+
+    #[test]
+    fn set_heat_rebalances_sums() {
+        let mut m = mm();
+        m.set_allocated(Gfn(0), PageType::HeapAnon, 100);
+        m.set_heat(Gfn(0), 30);
+        assert_eq!(m.heat_on(PageType::HeapAnon, MemKind::Fast), 30);
+        assert_eq!(m.page(Gfn(0)).heat, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn double_allocate_panics() {
+        let mut m = mm();
+        m.set_allocated(Gfn(0), PageType::HeapAnon, 1);
+        m.set_allocated(Gfn(0), PageType::HeapAnon, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn free_of_free_page_panics() {
+        let mut m = mm();
+        m.set_free(Gfn(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tier")]
+    fn duplicate_tier_rejected() {
+        MemMap::new(&[(MemKind::Fast, 4), (MemKind::Fast, 4)]);
+    }
+
+    #[test]
+    fn iter_kind_yields_tier_frames() {
+        let m = mm();
+        let fast: Vec<Gfn> = m.iter_kind(MemKind::Fast).collect();
+        assert_eq!(fast.len(), 8);
+        assert!(fast.iter().all(|&g| m.kind_of(g) == MemKind::Fast));
+    }
+}

@@ -1,0 +1,153 @@
+//! The filesystem page cache index.
+//!
+//! Storage-intensive applications (LevelDB, X-Stream) lean on the page cache
+//! for read-ahead and write buffering; HeteroOS found that placing these
+//! pages in FastMem "can significantly hide the bottlenecks of slower disks
+//! and network" (§3.2). The cache itself is a straightforward
+//! `(file, offset) → page` index — allocation, placement and eviction policy
+//! live in the kernel facade.
+
+use std::collections::HashMap;
+
+use crate::page::Gfn;
+
+/// Identifier of an open file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// The page-cache index.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_guest::pagecache::{FileId, PageCache};
+/// use hetero_guest::page::Gfn;
+///
+/// let mut cache = PageCache::new();
+/// cache.insert(FileId(1), 0, Gfn(7));
+/// assert_eq!(cache.lookup(FileId(1), 0), Some(Gfn(7)));
+/// assert_eq!(cache.remove(FileId(1), 0), Some(Gfn(7)));
+/// assert!(cache.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageCache {
+    index: HashMap<(FileId, u64), Gfn>,
+    /// Cache hits since creation.
+    pub hits: u64,
+    /// Cache misses since creation.
+    pub misses: u64,
+}
+
+impl PageCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PageCache::default()
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Looks up a page, recording hit/miss statistics.
+    pub fn lookup(&mut self, file: FileId, offset_page: u64) -> Option<Gfn> {
+        match self.index.get(&(file, offset_page)) {
+            Some(&g) => {
+                self.hits += 1;
+                Some(g)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a page, returning any page it displaced.
+    pub fn insert(&mut self, file: FileId, offset_page: u64, gfn: Gfn) -> Option<Gfn> {
+        self.index.insert((file, offset_page), gfn)
+    }
+
+    /// Removes one page from the index.
+    pub fn remove(&mut self, file: FileId, offset_page: u64) -> Option<Gfn> {
+        self.index.remove(&(file, offset_page))
+    }
+
+    /// Drops every page of a file (file close / truncate), returning them.
+    pub fn remove_file(&mut self, file: FileId) -> Vec<Gfn> {
+        let keys: Vec<(FileId, u64)> = self
+            .index
+            .keys()
+            .filter(|(f, _)| *f == file)
+            .copied()
+            .collect();
+        keys.iter()
+            .map(|k| self.index.remove(k).expect("key collected above"))
+            .collect()
+    }
+
+    /// Hit ratio since creation, `0.0` before any lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_tracks_hits_and_misses() {
+        let mut c = PageCache::new();
+        assert_eq!(c.lookup(FileId(1), 0), None);
+        c.insert(FileId(1), 0, Gfn(5));
+        assert_eq!(c.lookup(FileId(1), 0), Some(Gfn(5)));
+        assert_eq!((c.hits, c.misses), (1, 1));
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_returns_displaced_page() {
+        let mut c = PageCache::new();
+        assert_eq!(c.insert(FileId(1), 3, Gfn(10)), None);
+        assert_eq!(c.insert(FileId(1), 3, Gfn(11)), Some(Gfn(10)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_file_drops_only_that_file() {
+        let mut c = PageCache::new();
+        c.insert(FileId(1), 0, Gfn(1));
+        c.insert(FileId(1), 1, Gfn(2));
+        c.insert(FileId(2), 0, Gfn(3));
+        let mut dropped = c.remove_file(FileId(1));
+        dropped.sort();
+        assert_eq!(dropped, vec![Gfn(1), Gfn(2)]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(FileId(2), 0), Some(Gfn(3)));
+    }
+
+    #[test]
+    fn offsets_are_independent() {
+        let mut c = PageCache::new();
+        c.insert(FileId(1), 0, Gfn(1));
+        c.insert(FileId(1), 1, Gfn(2));
+        assert_eq!(c.remove(FileId(1), 0), Some(Gfn(1)));
+        assert_eq!(c.lookup(FileId(1), 1), Some(Gfn(2)));
+    }
+
+    #[test]
+    fn empty_cache_ratio_is_zero() {
+        assert_eq!(PageCache::new().hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,436 @@
+//! A four-level radix page table with accessed/dirty bits.
+//!
+//! Software hotness tracking works by harvesting and resetting PTE access
+//! bits during periodic page-table scans (§2.3). To charge that work
+//! honestly, the guest keeps a real 4-level (9 bits/level, x86-64-shaped)
+//! radix tree: scans walk actual tables, and the number of *page-table
+//! pages* backing the tree feeds the Fig 4 page-type accounting.
+
+use crate::page::Gfn;
+
+/// Bits translated per level.
+const LEVEL_BITS: u32 = 9;
+/// Entries per table.
+const FANOUT: usize = 1 << LEVEL_BITS;
+/// Number of levels.
+pub const LEVELS: u32 = 4;
+/// Maximum virtual page number (exclusive).
+pub const VPN_LIMIT: u64 = 1 << (LEVEL_BITS * LEVELS);
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Backing guest frame.
+    pub gfn: Gfn,
+    /// Hardware access bit (set by touches, cleared by scans).
+    pub accessed: bool,
+    /// Hardware dirty bit.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Empty,
+    Table(Box<Table>),
+    Leaf(Pte),
+}
+
+#[derive(Debug, Clone)]
+struct Table {
+    entries: Vec<Entry>,
+    used: usize,
+}
+
+impl Table {
+    fn new() -> Self {
+        Table {
+            entries: (0..FANOUT).map(|_| Entry::Empty).collect(),
+            used: 0,
+        }
+    }
+}
+
+/// A four-level page table.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_guest::pagetable::PageTable;
+/// use hetero_guest::page::Gfn;
+///
+/// let mut pt = PageTable::new();
+/// pt.map(0x1234, Gfn(42));
+/// assert_eq!(pt.translate(0x1234), Some(Gfn(42)));
+/// pt.touch(0x1234, true);
+/// assert!(pt.walk(0x1234).unwrap().dirty);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    root: Box<Table>,
+    mapped: u64,
+    table_pages: u64,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        PageTable::new()
+    }
+}
+
+impl PageTable {
+    /// Creates an empty page table (root table counts as one table page).
+    pub fn new() -> Self {
+        PageTable {
+            root: Box::new(Table::new()),
+            mapped: 0,
+            table_pages: 1,
+        }
+    }
+
+    /// Number of mapped leaf entries.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Number of page-table pages backing the tree (including the root).
+    pub fn table_pages(&self) -> u64 {
+        self.table_pages
+    }
+
+    fn index(vpn: u64, level: u32) -> usize {
+        ((vpn >> (LEVEL_BITS * level)) & (FANOUT as u64 - 1)) as usize
+    }
+
+    /// Maps `vpn → gfn`, replacing any existing mapping.
+    ///
+    /// Returns the previously mapped frame, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn >= VPN_LIMIT`.
+    pub fn map(&mut self, vpn: u64, gfn: Gfn) -> Option<Gfn> {
+        assert!(vpn < VPN_LIMIT, "vpn {vpn:#x} out of range");
+        let mut new_tables = 0;
+        let mut table = &mut *self.root;
+        for level in (1..LEVELS).rev() {
+            let idx = Self::index(vpn, level);
+            if matches!(table.entries[idx], Entry::Empty) {
+                table.entries[idx] = Entry::Table(Box::new(Table::new()));
+                table.used += 1;
+                new_tables += 1;
+            }
+            table = match &mut table.entries[idx] {
+                Entry::Table(t) => t,
+                _ => unreachable!("interior levels hold tables"),
+            };
+        }
+        let idx = Self::index(vpn, 0);
+        let prev = match std::mem::replace(
+            &mut table.entries[idx],
+            Entry::Leaf(Pte {
+                gfn,
+                accessed: false,
+                dirty: false,
+            }),
+        ) {
+            Entry::Empty => {
+                table.used += 1;
+                self.mapped += 1;
+                None
+            }
+            Entry::Leaf(old) => Some(old.gfn),
+            Entry::Table(_) => unreachable!("leaf level holds PTEs"),
+        };
+        self.table_pages += new_tables;
+        prev
+    }
+
+    /// Removes the mapping for `vpn`, returning its PTE.
+    ///
+    /// Empty intermediate tables are freed (the table-page count drops).
+    pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
+        if vpn >= VPN_LIMIT {
+            return None;
+        }
+        fn recurse(table: &mut Table, vpn: u64, level: u32, freed: &mut u64) -> Option<Pte> {
+            let idx = PageTable::index(vpn, level);
+            if level == 0 {
+                return match std::mem::replace(&mut table.entries[idx], Entry::Empty) {
+                    Entry::Leaf(pte) => {
+                        table.used -= 1;
+                        Some(pte)
+                    }
+                    other => {
+                        table.entries[idx] = other;
+                        None
+                    }
+                };
+            }
+            let (pte, now_empty) = match &mut table.entries[idx] {
+                Entry::Table(child) => {
+                    let pte = recurse(child, vpn, level - 1, freed)?;
+                    (pte, child.used == 0)
+                }
+                _ => return None,
+            };
+            if now_empty {
+                table.entries[idx] = Entry::Empty;
+                table.used -= 1;
+                *freed += 1;
+            }
+            Some(pte)
+        }
+        let mut freed = 0;
+        let pte = recurse(&mut self.root, vpn, LEVELS - 1, &mut freed)?;
+        self.mapped -= 1;
+        self.table_pages -= freed;
+        Some(pte)
+    }
+
+    fn leaf(&self, vpn: u64) -> Option<&Pte> {
+        if vpn >= VPN_LIMIT {
+            return None;
+        }
+        let mut table = &*self.root;
+        for level in (1..LEVELS).rev() {
+            match &table.entries[Self::index(vpn, level)] {
+                Entry::Table(t) => table = t,
+                _ => return None,
+            }
+        }
+        match &table.entries[Self::index(vpn, 0)] {
+            Entry::Leaf(pte) => Some(pte),
+            _ => None,
+        }
+    }
+
+    fn leaf_mut(&mut self, vpn: u64) -> Option<&mut Pte> {
+        if vpn >= VPN_LIMIT {
+            return None;
+        }
+        let mut table = &mut *self.root;
+        for level in (1..LEVELS).rev() {
+            match &mut table.entries[Self::index(vpn, level)] {
+                Entry::Table(t) => table = t,
+                _ => return None,
+            }
+        }
+        match &mut table.entries[Self::index(vpn, 0)] {
+            Entry::Leaf(pte) => Some(pte),
+            _ => None,
+        }
+    }
+
+    /// Full walk: the PTE for `vpn`, if mapped.
+    pub fn walk(&self, vpn: u64) -> Option<&Pte> {
+        self.leaf(vpn)
+    }
+
+    /// Translation only.
+    pub fn translate(&self, vpn: u64) -> Option<Gfn> {
+        self.leaf(vpn).map(|p| p.gfn)
+    }
+
+    /// Simulates a CPU touch: sets the access bit (and dirty for writes).
+    ///
+    /// Returns `false` when `vpn` is unmapped.
+    pub fn touch(&mut self, vpn: u64, write: bool) -> bool {
+        match self.leaf_mut(vpn) {
+            Some(pte) => {
+                pte.accessed = true;
+                pte.dirty |= write;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebinds a mapped `vpn` to a new frame (migration remap), preserving
+    /// bit state. Returns the old frame, or `None` if unmapped.
+    pub fn remap(&mut self, vpn: u64, gfn: Gfn) -> Option<Gfn> {
+        self.leaf_mut(vpn).map(|pte| {
+            let old = pte.gfn;
+            pte.gfn = gfn;
+            old
+        })
+    }
+
+    /// Scans `[start, end)`, invoking `f(vpn, accessed, dirty)` for each
+    /// mapped page and **clearing the access bit** (the harvest-and-reset
+    /// cycle of software hotness tracking). Returns the number of PTEs
+    /// visited.
+    pub fn scan_and_reset(
+        &mut self,
+        start: u64,
+        end: u64,
+        mut f: impl FnMut(u64, bool, bool),
+    ) -> u64 {
+        let mut visited = 0;
+        // Walk leaves in range. A faithful scanner walks tables, skipping
+        // empty subtrees — mirrored here via recursion.
+        fn recurse(
+            table: &mut Table,
+            level: u32,
+            base: u64,
+            start: u64,
+            end: u64,
+            visited: &mut u64,
+            f: &mut impl FnMut(u64, bool, bool),
+        ) {
+            let span = 1u64 << (LEVEL_BITS * level);
+            for (i, entry) in table.entries.iter_mut().enumerate() {
+                let lo = base + i as u64 * span;
+                let hi = lo + span;
+                if hi <= start || lo >= end {
+                    continue;
+                }
+                match entry {
+                    Entry::Empty => {}
+                    Entry::Table(child) => {
+                        recurse(child, level - 1, lo, start, end, visited, f)
+                    }
+                    Entry::Leaf(pte) => {
+                        *visited += 1;
+                        f(lo, pte.accessed, pte.dirty);
+                        pte.accessed = false;
+                    }
+                }
+            }
+        }
+        recurse(
+            &mut self.root,
+            LEVELS - 1,
+            0,
+            start,
+            end.min(VPN_LIMIT),
+            &mut visited,
+            &mut f,
+        );
+        visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.map(5, Gfn(50)), None);
+        assert_eq!(pt.translate(5), Some(Gfn(50)));
+        assert_eq!(pt.mapped_pages(), 1);
+        let pte = pt.unmap(5).unwrap();
+        assert_eq!(pte.gfn, Gfn(50));
+        assert_eq!(pt.translate(5), None);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn remap_replaces_frame_keeps_bits() {
+        let mut pt = PageTable::new();
+        pt.map(9, Gfn(1));
+        pt.touch(9, true);
+        assert_eq!(pt.remap(9, Gfn(2)), Some(Gfn(1)));
+        let pte = pt.walk(9).unwrap();
+        assert_eq!(pte.gfn, Gfn(2));
+        assert!(pte.accessed && pte.dirty);
+        assert_eq!(pt.remap(1234, Gfn(3)), None);
+    }
+
+    #[test]
+    fn map_returns_previous_mapping() {
+        let mut pt = PageTable::new();
+        pt.map(7, Gfn(70));
+        assert_eq!(pt.map(7, Gfn(71)), Some(Gfn(70)));
+        assert_eq!(pt.mapped_pages(), 1, "remapping must not double count");
+    }
+
+    #[test]
+    fn table_pages_grow_and_shrink() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.table_pages(), 1);
+        pt.map(0, Gfn(0));
+        assert_eq!(pt.table_pages(), 4, "root + 3 interior levels");
+        // A distant vpn shares the root only.
+        pt.map(VPN_LIMIT - 1, Gfn(1));
+        assert_eq!(pt.table_pages(), 7);
+        pt.unmap(VPN_LIMIT - 1);
+        assert_eq!(pt.table_pages(), 4, "empty interior tables are freed");
+        pt.unmap(0);
+        assert_eq!(pt.table_pages(), 1);
+    }
+
+    #[test]
+    fn touch_sets_bits() {
+        let mut pt = PageTable::new();
+        pt.map(3, Gfn(30));
+        assert!(pt.touch(3, false));
+        let pte = pt.walk(3).unwrap();
+        assert!(pte.accessed);
+        assert!(!pte.dirty);
+        assert!(pt.touch(3, true));
+        assert!(pt.walk(3).unwrap().dirty);
+        assert!(!pt.touch(999, false));
+    }
+
+    #[test]
+    fn scan_harvests_and_resets_access_bits() {
+        let mut pt = PageTable::new();
+        for vpn in 0..10 {
+            pt.map(vpn, Gfn(vpn));
+        }
+        pt.touch(2, false);
+        pt.touch(7, true);
+        let mut hot = Vec::new();
+        let visited = pt.scan_and_reset(0, 10, |vpn, accessed, _| {
+            if accessed {
+                hot.push(vpn);
+            }
+        });
+        assert_eq!(visited, 10);
+        assert_eq!(hot, vec![2, 7]);
+        // Second scan: bits were reset.
+        let mut hot2 = Vec::new();
+        pt.scan_and_reset(0, 10, |vpn, accessed, _| {
+            if accessed {
+                hot2.push(vpn);
+            }
+        });
+        assert!(hot2.is_empty());
+        // Dirty survives scans.
+        assert!(pt.walk(7).unwrap().dirty);
+    }
+
+    #[test]
+    fn scan_respects_range() {
+        let mut pt = PageTable::new();
+        for vpn in 0..20 {
+            pt.map(vpn, Gfn(vpn));
+        }
+        let visited = pt.scan_and_reset(5, 15, |_, _, _| {});
+        assert_eq!(visited, 10);
+    }
+
+    #[test]
+    fn unmap_of_unmapped_is_none() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.unmap(12345), None);
+        assert_eq!(pt.unmap(VPN_LIMIT + 5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn map_beyond_limit_panics() {
+        PageTable::new().map(VPN_LIMIT, Gfn(0));
+    }
+
+    #[test]
+    fn sparse_mappings_scan_quickly() {
+        let mut pt = PageTable::new();
+        pt.map(0, Gfn(0));
+        pt.map(VPN_LIMIT / 2, Gfn(1));
+        let visited = pt.scan_and_reset(0, VPN_LIMIT, |_, _, _| {});
+        assert_eq!(visited, 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! Virtual memory areas and the guest address space.
+//!
+//! HeteroOS extracts its VMM *tracking list* from "address ranges of
+//! contiguous memory regions … using the virtual memory area (VMA)
+//! structure" (§4.1), and its LRU eagerly demotes pages of regions being
+//! unmapped (§3.3). This module provides the VMA tree those mechanisms walk:
+//! an ordered map of non-overlapping regions with mmap/munmap (including
+//! partial unmaps with splitting).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hetero_mem::MemKind;
+
+/// What a VMA backs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmaKind {
+    /// Anonymous memory (heap, stacks).
+    Anon,
+    /// A file mapping (`mmap` of I/O data — X-Stream's input graph, LevelDB's
+    /// memory-mapped database).
+    FileMap,
+}
+
+/// One virtual memory area: `[start, start + pages)` in virtual page numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    /// First virtual page number.
+    pub start: u64,
+    /// Length in pages.
+    pub pages: u64,
+    /// Region kind.
+    pub kind: VmaKind,
+    /// Optional explicit tier placement from an extended `mmap()` flag
+    /// (§3.1 — supported, but "HeteroOS is not dependent on such
+    /// application-level changes").
+    pub mem_hint: Option<MemKind>,
+}
+
+impl Vma {
+    /// One-past-the-end virtual page number.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.start + self.pages
+    }
+
+    /// True if `vpn` falls inside this region.
+    #[inline]
+    pub fn contains(&self, vpn: u64) -> bool {
+        (self.start..self.end()).contains(&vpn)
+    }
+}
+
+impl fmt::Display for Vma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vma[{:#x}..{:#x}) {:?}",
+            self.start,
+            self.end(),
+            self.kind
+        )
+    }
+}
+
+/// Error returned by [`AddressSpace::mmap`] when no gap is large enough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoVirtualSpace {
+    /// Pages requested.
+    pub pages: u64,
+}
+
+impl fmt::Display for NoVirtualSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no virtual address gap of {} pages", self.pages)
+    }
+}
+
+impl std::error::Error for NoVirtualSpace {}
+
+/// A process address space: ordered, non-overlapping VMAs.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_guest::vma::{AddressSpace, VmaKind};
+///
+/// let mut space = AddressSpace::new(1 << 20);
+/// let vma = space.mmap(16, VmaKind::Anon, None)?;
+/// assert_eq!(space.mapped_pages(), 16);
+/// let removed = space.munmap(vma.start + 4, 4);
+/// assert_eq!(removed, 4);
+/// assert_eq!(space.mapped_pages(), 12);
+/// # Ok::<(), hetero_guest::vma::NoVirtualSpace>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    vmas: BTreeMap<u64, Vma>,
+    limit: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space of `limit` virtual pages.
+    pub fn new(limit: u64) -> Self {
+        AddressSpace {
+            vmas: BTreeMap::new(),
+            limit,
+        }
+    }
+
+    /// Number of mapped pages across all VMAs.
+    pub fn mapped_pages(&self) -> u64 {
+        self.vmas.values().map(|v| v.pages).sum()
+    }
+
+    /// Number of VMAs.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Iterates VMAs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// The VMA containing `vpn`, if any.
+    pub fn find(&self, vpn: u64) -> Option<&Vma> {
+        self.vmas
+            .range(..=vpn)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(vpn))
+    }
+
+    /// Maps a new region of `pages` pages in the first sufficient gap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoVirtualSpace`] when no gap fits (or `pages` is zero).
+    pub fn mmap(
+        &mut self,
+        pages: u64,
+        kind: VmaKind,
+        mem_hint: Option<MemKind>,
+    ) -> Result<Vma, NoVirtualSpace> {
+        if pages == 0 || pages > self.limit {
+            return Err(NoVirtualSpace { pages });
+        }
+        let mut cursor = 0u64;
+        for v in self.vmas.values() {
+            if v.start >= cursor && v.start - cursor >= pages {
+                break;
+            }
+            cursor = cursor.max(v.end());
+        }
+        if self.limit - cursor < pages {
+            return Err(NoVirtualSpace { pages });
+        }
+        let vma = Vma {
+            start: cursor,
+            pages,
+            kind,
+            mem_hint,
+        };
+        self.vmas.insert(vma.start, vma);
+        Ok(vma)
+    }
+
+    /// Unmaps `[vpn, vpn + pages)`, splitting partially covered VMAs.
+    ///
+    /// Returns the number of previously mapped pages removed (pages in the
+    /// range that were not mapped are skipped, like POSIX `munmap`).
+    pub fn munmap(&mut self, vpn: u64, pages: u64) -> u64 {
+        if pages == 0 {
+            return 0;
+        }
+        let end = vpn + pages;
+        // Collect affected VMAs (any overlapping [vpn, end)).
+        let affected: Vec<Vma> = self
+            .vmas
+            .values()
+            .filter(|v| v.start < end && v.end() > vpn)
+            .copied()
+            .collect();
+        let mut removed = 0;
+        for v in affected {
+            self.vmas.remove(&v.start);
+            let cut_start = v.start.max(vpn);
+            let cut_end = v.end().min(end);
+            removed += cut_end - cut_start;
+            if v.start < cut_start {
+                let left = Vma {
+                    start: v.start,
+                    pages: cut_start - v.start,
+                    ..v
+                };
+                self.vmas.insert(left.start, left);
+            }
+            if v.end() > cut_end {
+                let right = Vma {
+                    start: cut_end,
+                    pages: v.end() - cut_end,
+                    ..v
+                };
+                self.vmas.insert(right.start, right);
+            }
+        }
+        removed
+    }
+
+    /// The tracking list HeteroOS exports to the VMM (§4.1): address ranges
+    /// of regions worth hotness-tracking. File mappings of I/O data are
+    /// excluded only by the caller's exception-list logic; this returns all
+    /// regions of the requested kind.
+    pub fn ranges_of(&self, kind: VmaKind) -> Vec<(u64, u64)> {
+        self.vmas
+            .values()
+            .filter(|v| v.kind == kind)
+            .map(|v| (v.start, v.end()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_finds_first_gap() {
+        let mut s = AddressSpace::new(100);
+        let a = s.mmap(10, VmaKind::Anon, None).unwrap();
+        let b = s.mmap(10, VmaKind::Anon, None).unwrap();
+        assert_eq!(a.start, 0);
+        assert_eq!(b.start, 10);
+        s.munmap(a.start, a.pages);
+        let c = s.mmap(5, VmaKind::Anon, None).unwrap();
+        assert_eq!(c.start, 0, "gap from unmapped region should be reused");
+    }
+
+    #[test]
+    fn mmap_rejects_overflow_and_zero() {
+        let mut s = AddressSpace::new(16);
+        assert!(s.mmap(0, VmaKind::Anon, None).is_err());
+        assert!(s.mmap(17, VmaKind::Anon, None).is_err());
+        s.mmap(16, VmaKind::Anon, None).unwrap();
+        let err = s.mmap(1, VmaKind::Anon, None).unwrap_err();
+        assert!(err.to_string().contains("no virtual address gap"));
+    }
+
+    #[test]
+    fn find_locates_containing_vma() {
+        let mut s = AddressSpace::new(100);
+        let v = s.mmap(10, VmaKind::FileMap, Some(MemKind::Fast)).unwrap();
+        assert_eq!(s.find(v.start + 5).copied(), Some(v));
+        assert!(s.find(v.end()).is_none());
+    }
+
+    #[test]
+    fn munmap_middle_splits_vma() {
+        let mut s = AddressSpace::new(100);
+        let v = s.mmap(10, VmaKind::Anon, None).unwrap();
+        let removed = s.munmap(v.start + 3, 4);
+        assert_eq!(removed, 4);
+        assert_eq!(s.vma_count(), 2);
+        assert_eq!(s.mapped_pages(), 6);
+        assert!(s.find(v.start + 2).is_some());
+        assert!(s.find(v.start + 4).is_none());
+        assert!(s.find(v.start + 8).is_some());
+    }
+
+    #[test]
+    fn munmap_spanning_multiple_vmas() {
+        let mut s = AddressSpace::new(100);
+        let a = s.mmap(10, VmaKind::Anon, None).unwrap();
+        let b = s.mmap(10, VmaKind::Anon, None).unwrap();
+        // Unmap the last 5 of a and the first 5 of b.
+        let removed = s.munmap(a.start + 5, 10);
+        assert_eq!(removed, 10);
+        assert_eq!(s.mapped_pages(), 10);
+        assert!(s.find(a.start + 4).is_some());
+        assert!(s.find(b.start + 4).is_none());
+        assert!(s.find(b.start + 6).is_some());
+    }
+
+    #[test]
+    fn munmap_of_unmapped_range_is_noop() {
+        let mut s = AddressSpace::new(100);
+        s.mmap(10, VmaKind::Anon, None).unwrap();
+        assert_eq!(s.munmap(50, 10), 0);
+        assert_eq!(s.mapped_pages(), 10);
+    }
+
+    #[test]
+    fn ranges_of_filters_by_kind() {
+        let mut s = AddressSpace::new(100);
+        let a = s.mmap(4, VmaKind::Anon, None).unwrap();
+        let f = s.mmap(8, VmaKind::FileMap, None).unwrap();
+        assert_eq!(s.ranges_of(VmaKind::Anon), vec![(a.start, a.end())]);
+        assert_eq!(s.ranges_of(VmaKind::FileMap), vec![(f.start, f.end())]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Vma {
+            start: 0x10,
+            pages: 0x10,
+            kind: VmaKind::Anon,
+            mem_hint: None,
+        };
+        assert_eq!(v.to_string(), "vma[0x10..0x20) Anon");
+    }
+}

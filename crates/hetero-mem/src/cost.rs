@@ -1,0 +1,205 @@
+//! Software cost model for tiering management.
+//!
+//! §2.3 (Observation 4) and §5.2 of the paper quantify why reactive
+//! hotness-tracking is expensive: page tables must be scanned, TLB entries
+//! flushed to force re-set access bits, pages walked for validity checks,
+//! and finally copied. Table 6 reports the measured per-page walk and move
+//! costs at three migration batch sizes; Fig 8 reports the end-to-end
+//! overhead of VMM-exclusive tracking. This module encodes those
+//! measurements as an interpolated cost model that every policy pays
+//! through.
+
+use hetero_sim::Nanos;
+
+/// Table 6 anchors: `(batch_pages, per-page move ns, per-page walk ns)`.
+const TABLE6: [(u64, u64, u64); 3] = [
+    (8 * 1024, 25_500, 43_210),
+    (64 * 1024, 15_700, 26_320),
+    (128 * 1024, 11_120, 10_250),
+];
+
+/// A batch of pages being migrated together.
+///
+/// Batching amortises the page-tree traversal and the TLB shoot-down, which
+/// is why Table 6's per-page costs fall as the batch grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationBatch {
+    /// Number of pages in the batch.
+    pub pages: u64,
+}
+
+impl MigrationBatch {
+    /// Creates a batch descriptor.
+    pub fn new(pages: u64) -> Self {
+        MigrationBatch { pages }
+    }
+}
+
+/// The management cost model (Table 6 + Fig 8 calibration).
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::{CostModel, MigrationBatch};
+///
+/// let costs = CostModel::default();
+/// // Table 6: per-page costs fall with batch size.
+/// let small = costs.page_move_per_page(8 * 1024);
+/// let large = costs.page_move_per_page(128 * 1024);
+/// assert!(small > large);
+/// // A full batch migration charges walk + move + one TLB shoot-down.
+/// let total = costs.migration_cost(MigrationBatch::new(8 * 1024));
+/// assert!(total > small.saturating_mul(8 * 1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-page access-bit harvest cost during a hotness scan (PTE read,
+    /// record, reset). Calibrated so a 32 K-page scan costs ≈ 40 ms,
+    /// matching Fig 8's hot-page bars.
+    pub scan_per_page: Nanos,
+    /// Cost of one TLB shoot-down (stall of all cores on the VM's vCPUs).
+    pub tlb_flush: Nanos,
+    /// Fixed validity-check cost per page examined at migration time in the
+    /// guest (page mapped? marked for deletion? dirty I/O page?).
+    pub validity_check_per_page: Nanos,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            scan_per_page: Nanos::from_nanos(1_250),
+            tlb_flush: Nanos::from_micros(30),
+            validity_check_per_page: Nanos::from_nanos(180),
+        }
+    }
+}
+
+fn interp_table6(batch_pages: u64, select: impl Fn(&(u64, u64, u64)) -> u64) -> Nanos {
+    let b = batch_pages.max(1);
+    let first = &TABLE6[0];
+    let last = &TABLE6[TABLE6.len() - 1];
+    if b <= first.0 {
+        return Nanos::from_nanos(select(first));
+    }
+    if b >= last.0 {
+        return Nanos::from_nanos(select(last));
+    }
+    let lx = (b as f64).log2();
+    for w in TABLE6.windows(2) {
+        let (b0, b1) = (w[0].0, w[1].0);
+        if b <= b1 {
+            let (x0, x1) = ((b0 as f64).log2(), (b1 as f64).log2());
+            let (y0, y1) = (select(&w[0]) as f64, select(&w[1]) as f64);
+            let y = y0 + (y1 - y0) * (lx - x0) / (x1 - x0);
+            return Nanos::from_nanos(y.round() as u64);
+        }
+    }
+    unreachable!("bounds handled above")
+}
+
+impl CostModel {
+    /// Per-page data-copy cost (`Tpage_move`, Table 6) for a batch of the
+    /// given size, log-interpolated between the measured anchors.
+    pub fn page_move_per_page(&self, batch_pages: u64) -> Nanos {
+        interp_table6(batch_pages, |&(_, mv, _)| mv)
+    }
+
+    /// Per-page page-table-walk cost (`Tpage_walk`, Table 6).
+    pub fn page_walk_per_page(&self, batch_pages: u64) -> Nanos {
+        interp_table6(batch_pages, |&(_, _, walk)| walk)
+    }
+
+    /// Total cost of migrating one batch: per-page walk + copy, plus one TLB
+    /// shoot-down for the remap.
+    pub fn migration_cost(&self, batch: MigrationBatch) -> Nanos {
+        if batch.pages == 0 {
+            return Nanos::ZERO;
+        }
+        let per_page = self.page_move_per_page(batch.pages) + self.page_walk_per_page(batch.pages);
+        per_page.saturating_mul(batch.pages) + self.tlb_flush
+    }
+
+    /// Cost of a hotness scan over `pages` page-table entries, including the
+    /// TLB shoot-down required to force access-bit re-set on next touch.
+    pub fn scan_cost(&self, pages: u64) -> Nanos {
+        if pages == 0 {
+            return Nanos::ZERO;
+        }
+        self.scan_per_page.saturating_mul(pages) + self.tlb_flush
+    }
+
+    /// Cost of guest-side validity checks over `pages` migration candidates.
+    pub fn validity_cost(&self, pages: u64) -> Nanos {
+        self.validity_check_per_page.saturating_mul(pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_anchors_are_exact() {
+        let m = CostModel::default();
+        assert_eq!(m.page_move_per_page(8 * 1024), Nanos::from_nanos(25_500));
+        assert_eq!(m.page_walk_per_page(8 * 1024), Nanos::from_nanos(43_210));
+        assert_eq!(m.page_move_per_page(64 * 1024), Nanos::from_nanos(15_700));
+        assert_eq!(m.page_walk_per_page(64 * 1024), Nanos::from_nanos(26_320));
+        assert_eq!(m.page_move_per_page(128 * 1024), Nanos::from_nanos(11_120));
+        assert_eq!(m.page_walk_per_page(128 * 1024), Nanos::from_nanos(10_250));
+    }
+
+    #[test]
+    fn costs_clamp_outside_anchor_range() {
+        let m = CostModel::default();
+        assert_eq!(m.page_move_per_page(1), m.page_move_per_page(8 * 1024));
+        assert_eq!(
+            m.page_move_per_page(1 << 30),
+            m.page_move_per_page(128 * 1024)
+        );
+    }
+
+    #[test]
+    fn per_page_cost_decreases_with_batch() {
+        let m = CostModel::default();
+        let batches = [8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024];
+        for w in batches.windows(2) {
+            assert!(m.page_move_per_page(w[0]) > m.page_move_per_page(w[1]));
+            assert!(m.page_walk_per_page(w[0]) > m.page_walk_per_page(w[1]));
+        }
+    }
+
+    #[test]
+    fn walk_costs_more_than_move_at_small_batches() {
+        // §5.2: "cost of page walk is even more expensive than actual
+        // migration" — true at the 8K and 64K anchors.
+        let m = CostModel::default();
+        assert!(m.page_walk_per_page(8 * 1024) > m.page_move_per_page(8 * 1024));
+        assert!(m.page_walk_per_page(64 * 1024) > m.page_move_per_page(64 * 1024));
+    }
+
+    #[test]
+    fn zero_sized_work_is_free() {
+        let m = CostModel::default();
+        assert_eq!(m.migration_cost(MigrationBatch::new(0)), Nanos::ZERO);
+        assert_eq!(m.scan_cost(0), Nanos::ZERO);
+        assert_eq!(m.validity_cost(0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn scan_of_32k_pages_is_about_40ms() {
+        // Fig 8 calibration: 32K-page scans at 100ms intervals cost ~40%.
+        let m = CostModel::default();
+        let t = m.scan_cost(32 * 1024);
+        let ms = t.as_millis_f64();
+        assert!((35.0..50.0).contains(&ms), "scan cost {ms} ms");
+    }
+
+    #[test]
+    fn migration_includes_flush() {
+        let m = CostModel::default();
+        let one = m.migration_cost(MigrationBatch::new(1));
+        let per_page = m.page_move_per_page(1) + m.page_walk_per_page(1);
+        assert_eq!(one, per_page + m.tlb_flush);
+    }
+}

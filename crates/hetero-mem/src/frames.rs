@@ -1,0 +1,240 @@
+//! Machine-frame pools.
+//!
+//! The VMM hands out *machine frames* (MFNs) to guests; each memory node owns
+//! one [`FramePool`]. Frames have no contiguity requirement at this level —
+//! the guest's buddy allocator manages guest-physical contiguity — so the
+//! pool is a simple O(1) bump-plus-free-stack allocator.
+
+use std::fmt;
+
+/// A machine frame number, unique within one [`FramePool`]'s node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mfn(pub u64);
+
+impl fmt::Display for Mfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mfn:{:#x}", self.0)
+    }
+}
+
+/// Error returned when a pool cannot satisfy an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfFrames {
+    /// Frames requested.
+    pub requested: u64,
+    /// Frames available at the time of the request.
+    pub available: u64,
+}
+
+impl fmt::Display for OutOfFrames {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of frames: requested {} but only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfFrames {}
+
+/// Allocator for the machine frames of one memory node.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::FramePool;
+///
+/// let mut pool = FramePool::new(0x1000, 8);
+/// let a = pool.alloc()?;
+/// assert_eq!(pool.free_frames(), 7);
+/// pool.free(a);
+/// assert_eq!(pool.free_frames(), 8);
+/// # Ok::<(), hetero_mem::frames::OutOfFrames>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FramePool {
+    base: u64,
+    total: u64,
+    next_fresh: u64,
+    recycled: Vec<Mfn>,
+    allocated: u64,
+}
+
+impl FramePool {
+    /// Creates a pool of `total` frames starting at machine frame `base`.
+    pub fn new(base: u64, total: u64) -> Self {
+        FramePool {
+            base,
+            total,
+            next_fresh: 0,
+            recycled: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Total frames managed by the pool.
+    pub fn total_frames(&self) -> u64 {
+        self.total
+    }
+
+    /// Frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.total - self.allocated
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated
+    }
+
+    /// True if `mfn` lies within this pool's range.
+    pub fn contains(&self, mfn: Mfn) -> bool {
+        mfn.0 >= self.base && mfn.0 < self.base + self.total
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] when the pool is exhausted.
+    pub fn alloc(&mut self) -> Result<Mfn, OutOfFrames> {
+        if let Some(mfn) = self.recycled.pop() {
+            self.allocated += 1;
+            return Ok(mfn);
+        }
+        if self.next_fresh < self.total {
+            let mfn = Mfn(self.base + self.next_fresh);
+            self.next_fresh += 1;
+            self.allocated += 1;
+            Ok(mfn)
+        } else {
+            Err(OutOfFrames {
+                requested: 1,
+                available: 0,
+            })
+        }
+    }
+
+    /// Allocates `n` frames, all or nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfFrames`] (and allocates nothing) if fewer than `n`
+    /// frames are free.
+    pub fn alloc_many(&mut self, n: u64) -> Result<Vec<Mfn>, OutOfFrames> {
+        if self.free_frames() < n {
+            return Err(OutOfFrames {
+                requested: n,
+                available: self.free_frames(),
+            });
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(self.alloc().expect("free count checked above"));
+        }
+        Ok(out)
+    }
+
+    /// Returns a frame to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfn` does not belong to this pool or is already free (a
+    /// double free). Frame lifetimes are an internal invariant of the VMM, so
+    /// violations are bugs rather than recoverable conditions.
+    pub fn free(&mut self, mfn: Mfn) {
+        assert!(self.contains(mfn), "{mfn} does not belong to this pool");
+        debug_assert!(
+            !self.recycled.contains(&mfn),
+            "double free of {mfn} detected"
+        );
+        assert!(self.allocated > 0, "free with no outstanding allocations");
+        self.allocated -= 1;
+        self.recycled.push(mfn);
+    }
+
+    /// Returns many frames to the pool.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FramePool::free`].
+    pub fn free_many(&mut self, mfns: impl IntoIterator<Item = Mfn>) {
+        for m in mfns {
+            self.free(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut p = FramePool::new(100, 4);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_ne!(a, b);
+        assert!(p.contains(a) && p.contains(b));
+        assert_eq!(p.free_frames(), 2);
+        p.free(a);
+        p.free(b);
+        assert_eq!(p.free_frames(), 4);
+    }
+
+    #[test]
+    fn exhaustion_reports_error() {
+        let mut p = FramePool::new(0, 2);
+        p.alloc().unwrap();
+        p.alloc().unwrap();
+        let err = p.alloc().unwrap_err();
+        assert_eq!(err.available, 0);
+        assert!(err.to_string().contains("out of frames"));
+    }
+
+    #[test]
+    fn recycled_frames_are_reused() {
+        let mut p = FramePool::new(0, 1);
+        let a = p.alloc().unwrap();
+        p.free(a);
+        let b = p.alloc().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn alloc_many_is_all_or_nothing() {
+        let mut p = FramePool::new(0, 3);
+        assert!(p.alloc_many(4).is_err());
+        assert_eq!(p.free_frames(), 3, "failed alloc_many must not leak");
+        let v = p.alloc_many(3).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(p.free_frames(), 0);
+        p.free_many(v);
+        assert_eq!(p.free_frames(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_frame_free_panics() {
+        let mut p = FramePool::new(0, 2);
+        p.alloc().unwrap();
+        p.free(Mfn(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)] // detection is a debug_assert
+    fn double_free_panics_in_debug() {
+        let mut p = FramePool::new(0, 2);
+        let a = p.alloc().unwrap();
+        p.alloc().unwrap();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    fn mfn_display() {
+        assert_eq!(Mfn(0x10).to_string(), "mfn:0x10");
+    }
+}

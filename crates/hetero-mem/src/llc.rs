@@ -1,0 +1,134 @@
+//! Last-level-cache model.
+//!
+//! The paper evaluates on two platforms: the throttling testbed with a 16 MB
+//! LLC (Fig 1) and Intel's NVM emulator with a 48 MB LLC (Fig 2), observing
+//! that the larger cache lowers every application's slowdown. The engine
+//! needs only one thing from the cache: *how many of an application's
+//! accesses reach memory*. [`LlcModel`] answers that with a standard
+//! working-set coverage argument.
+//!
+//! Applications publish a baseline MPKI (Table 4) measured on the 16 MB
+//! testbed; [`LlcModel::mpki_scale`] rescales it for a different cache size
+//! by comparing the *uncovered* fraction of the application's hot working
+//! set under both caches.
+
+/// Cache size of the paper's throttling testbed (Intel X5560, §2.2 Fig 1).
+pub const TESTBED_LLC_BYTES: u64 = 16 << 20;
+/// Cache size of Intel's NVM emulator platform (E5-4620 v2, §2.2 Fig 2).
+pub const EMULATOR_LLC_BYTES: u64 = 48 << 20;
+
+/// Fraction of misses that no cache can remove (cold/coherence misses).
+const COMPULSORY_FLOOR: f64 = 0.05;
+
+/// A last-level cache of a given size.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::LlcModel;
+///
+/// let small = LlcModel::testbed();
+/// let large = LlcModel::intel_emulator();
+/// let hot = 256 << 20; // 256 MB hot working set
+/// // The bigger cache absorbs more of the hot set, so MPKI shrinks.
+/// assert!(large.mpki_scale(hot) < small.mpki_scale(hot));
+/// // Both scales are 1.0 relative to themselves at calibration size.
+/// assert!((small.mpki_scale(hot) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlcModel {
+    size_bytes: u64,
+}
+
+impl LlcModel {
+    /// Creates a cache model of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn new(size_bytes: u64) -> Self {
+        assert!(size_bytes > 0, "cache size must be non-zero");
+        LlcModel { size_bytes }
+    }
+
+    /// The 16 MB testbed cache (Fig 1 platform). MPKI values in Table 4 are
+    /// calibrated against this configuration.
+    pub fn testbed() -> Self {
+        LlcModel::new(TESTBED_LLC_BYTES)
+    }
+
+    /// The 48 MB Intel NVM emulator cache (Fig 2 platform).
+    pub fn intel_emulator() -> Self {
+        LlcModel::new(EMULATOR_LLC_BYTES)
+    }
+
+    /// Cache size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Fraction of accesses to a hot working set of `hot_bytes` that miss
+    /// this cache, in `[COMPULSORY_FLOOR, 1.0]`.
+    pub fn miss_fraction(&self, hot_bytes: u64) -> f64 {
+        if hot_bytes == 0 {
+            return COMPULSORY_FLOOR;
+        }
+        let uncovered = 1.0 - (self.size_bytes as f64 / hot_bytes as f64).min(1.0);
+        uncovered.max(COMPULSORY_FLOOR)
+    }
+
+    /// Multiplier converting a Table 4 (testbed-calibrated) MPKI into this
+    /// cache's effective MPKI, given the application's hot working set.
+    pub fn mpki_scale(&self, hot_bytes: u64) -> f64 {
+        let calib = LlcModel::testbed().miss_fraction(hot_bytes);
+        self.miss_fraction(hot_bytes) / calib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_set_inside_cache_hits_floor() {
+        let llc = LlcModel::testbed();
+        assert_eq!(llc.miss_fraction(1 << 20), COMPULSORY_FLOOR);
+        assert_eq!(llc.miss_fraction(0), COMPULSORY_FLOOR);
+    }
+
+    #[test]
+    fn miss_fraction_grows_with_hot_set() {
+        let llc = LlcModel::testbed();
+        let f1 = llc.miss_fraction(32 << 20);
+        let f2 = llc.miss_fraction(64 << 20);
+        let f3 = llc.miss_fraction(1 << 30);
+        assert!(f1 < f2 && f2 < f3);
+        assert!(f3 <= 1.0);
+    }
+
+    #[test]
+    fn mpki_scale_is_one_at_calibration() {
+        let llc = LlcModel::testbed();
+        for hot in [1u64 << 20, 64 << 20, 4 << 30] {
+            assert!((llc.mpki_scale(hot) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bigger_cache_helps_small_hot_sets_most() {
+        let large = LlcModel::intel_emulator();
+        // 64 MB hot set: 48 MB cache covers most of it.
+        let small_ws = large.mpki_scale(64 << 20);
+        // 4 GB hot set: cache coverage is negligible either way.
+        let big_ws = large.mpki_scale(4 << 30);
+        assert!(small_ws < big_ws);
+        assert!(big_ws <= 1.0 + 1e-12);
+        assert!(big_ws > 0.95, "huge working sets barely notice the LLC");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        LlcModel::new(0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Technology characteristics (paper Table 1).
+//!
+//! These are the published projections the paper's generic FastMem/SlowMem
+//! abstraction is derived from. They are reported by `repro table1` and used
+//! as sanity anchors for [`crate::ThrottleConfig`].
+
+use hetero_sim::Nanos;
+
+/// Characteristics of one memory technology (one column of Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechProfile {
+    /// Human-readable technology name.
+    pub name: &'static str,
+    /// Density relative to DRAM (min, max), e.g. `(4.0, 16.0)` for NVM.
+    pub density_rel_dram: (f64, f64),
+    /// Load latency range.
+    pub load_latency: (Nanos, Nanos),
+    /// Store latency range.
+    pub store_latency: (Nanos, Nanos),
+    /// Bandwidth range in GB/s.
+    pub bandwidth_gbps: (f64, f64),
+}
+
+impl TechProfile {
+    /// On-chip stacked 3D-DRAM (Table 1, column "Stacked-3D").
+    pub fn stacked_3d() -> Self {
+        TechProfile {
+            name: "Stacked-3D",
+            density_rel_dram: (0.25, 0.5), // 2x-4x lower capacity than DRAM
+            load_latency: (Nanos::from_nanos(30), Nanos::from_nanos(50)),
+            store_latency: (Nanos::from_nanos(30), Nanos::from_nanos(50)),
+            bandwidth_gbps: (120.0, 200.0),
+        }
+    }
+
+    /// Conventional DRAM (Table 1, column "DRAM").
+    pub fn dram() -> Self {
+        TechProfile {
+            name: "DRAM",
+            density_rel_dram: (1.0, 1.0),
+            load_latency: (Nanos::from_nanos(60), Nanos::from_nanos(60)),
+            store_latency: (Nanos::from_nanos(60), Nanos::from_nanos(60)),
+            bandwidth_gbps: (15.0, 25.0),
+        }
+    }
+
+    /// Phase-change-memory-like NVM (Table 1, column "NVM (PCM)").
+    pub fn nvm_pcm() -> Self {
+        TechProfile {
+            name: "NVM (PCM)",
+            density_rel_dram: (16.0, 64.0),
+            load_latency: (Nanos::from_nanos(150), Nanos::from_nanos(150)),
+            store_latency: (Nanos::from_nanos(300), Nanos::from_nanos(600)),
+            bandwidth_gbps: (2.0, 2.0),
+        }
+    }
+
+    /// All Table 1 columns in presentation order.
+    pub fn table1() -> [TechProfile; 3] {
+        [Self::stacked_3d(), Self::dram(), Self::nvm_pcm()]
+    }
+
+    /// Midpoint of the load-latency range.
+    pub fn load_latency_mid(&self) -> Nanos {
+        Nanos::from_nanos((self.load_latency.0.as_nanos() + self.load_latency.1.as_nanos()) / 2)
+    }
+
+    /// Midpoint of the bandwidth range in GB/s.
+    pub fn bandwidth_mid(&self) -> f64 {
+        (self.bandwidth_gbps.0 + self.bandwidth_gbps.1) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_ordering() {
+        let [s3d, dram, pcm] = TechProfile::table1();
+        // 3D-stacked is fastest and highest-bandwidth; PCM slowest.
+        assert!(s3d.load_latency_mid() < dram.load_latency_mid());
+        assert!(dram.load_latency_mid() < pcm.load_latency_mid());
+        assert!(s3d.bandwidth_mid() > dram.bandwidth_mid());
+        assert!(dram.bandwidth_mid() > pcm.bandwidth_mid());
+    }
+
+    #[test]
+    fn pcm_write_read_asymmetry() {
+        let pcm = TechProfile::nvm_pcm();
+        // Table 1: PCM stores are 2x-4x more expensive than loads.
+        assert!(pcm.store_latency.0 >= pcm.load_latency.1);
+    }
+
+    #[test]
+    fn dram_is_density_baseline() {
+        assert_eq!(TechProfile::dram().density_rel_dram, (1.0, 1.0));
+    }
+
+    #[test]
+    fn pcm_density_exceeds_dram() {
+        let pcm = TechProfile::nvm_pcm();
+        assert!(pcm.density_rel_dram.0 >= 16.0);
+    }
+}

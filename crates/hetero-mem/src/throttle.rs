@@ -1,0 +1,238 @@
+//! Throttle configurations (paper Table 3).
+//!
+//! The paper emulates SlowMem by throttling a DRAM socket: a configuration
+//! `(L:x, B:y)` increases latency by factor `x` and cuts bandwidth by factor
+//! `y` relative to unthrottled DRAM. Table 3 reports the *measured* outcome
+//! for four anchor configurations; intermediate configurations used by
+//! Figures 1–2 (`L:5,B:7`, `L:5,B:9`) are interpolated the same way the
+//! throttling hardware behaves: bandwidth scales as `24/y` and latency picks
+//! up a surcharge as bandwidth throttling deepens past the latency factor.
+
+use hetero_sim::Nanos;
+
+/// Unthrottled DRAM load latency in ns (Table 3, `L:1,B:1`).
+pub const BASE_LATENCY_NS: u64 = 60;
+/// Unthrottled DRAM bandwidth in GB/s (Table 3, `L:1,B:1`).
+pub const BASE_BANDWIDTH_GBPS: f64 = 24.0;
+
+/// Measured Table 3 anchors: `(l, b, latency_ns, bandwidth_gbps)`.
+const ANCHORS: [(f64, f64, u64, f64); 4] = [
+    (1.0, 1.0, 60, 24.0),
+    (2.0, 2.0, 128, 12.4),
+    (5.0, 5.0, 354, 5.1),
+    (5.0, 12.0, 960, 1.38),
+];
+
+/// Latency surcharge (ns) per unit of bandwidth factor beyond the latency
+/// factor, fitted from the `(5,5) → (5,12)` anchors: `(960-354)/7`.
+const BW_LATENCY_SURCHARGE_NS: f64 = (960.0 - 354.0) / 7.0;
+
+/// A `(L:x, B:y)` throttle configuration resolved to concrete node timing.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::ThrottleConfig;
+///
+/// let t = ThrottleConfig::from_factors(5.0, 12.0);
+/// assert_eq!(t.latency.as_nanos(), 960);       // Table 3 anchor
+/// assert!((t.bandwidth_gbps - 1.38).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleConfig {
+    /// Latency increase factor `x` in `(L:x, B:y)`.
+    pub latency_factor: f64,
+    /// Bandwidth reduction factor `y` in `(L:x, B:y)`.
+    pub bandwidth_factor: f64,
+    /// Resolved load latency.
+    pub latency: Nanos,
+    /// Resolved bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl ThrottleConfig {
+    /// The unthrottled FastMem baseline `(L:1, B:1)`.
+    pub fn fast_mem() -> Self {
+        Self::from_factors(1.0, 1.0)
+    }
+
+    /// The paper's main SlowMem evaluation point `(L:5, B:9)` (§5.1).
+    pub fn slow_mem_default() -> Self {
+        Self::from_factors(5.0, 9.0)
+    }
+
+    /// A remote-NUMA-socket FastMem (Fig 1's "Remote NUMA" bar): roughly a
+    /// 1.3× latency penalty and mildly reduced cross-socket bandwidth.
+    pub fn remote_numa() -> Self {
+        ThrottleConfig {
+            latency_factor: 1.3,
+            bandwidth_factor: 1.5,
+            latency: Nanos::from_nanos(78),
+            bandwidth_gbps: 16.0,
+        }
+    }
+
+    /// Resolves a `(L:x, B:y)` configuration.
+    ///
+    /// Exact Table 3 anchors are returned verbatim; everything else uses the
+    /// fitted model. Factors below 1 are clamped to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is NaN.
+    pub fn from_factors(latency_factor: f64, bandwidth_factor: f64) -> Self {
+        assert!(
+            !latency_factor.is_nan() && !bandwidth_factor.is_nan(),
+            "throttle factors must not be NaN"
+        );
+        let l = latency_factor.max(1.0);
+        let b = bandwidth_factor.max(1.0);
+        for &(al, ab, lat, bw) in &ANCHORS {
+            if (al - l).abs() < 1e-9 && (ab - b).abs() < 1e-9 {
+                return ThrottleConfig {
+                    latency_factor: l,
+                    bandwidth_factor: b,
+                    latency: Nanos::from_nanos(lat),
+                    bandwidth_gbps: bw,
+                };
+            }
+        }
+        let base = Self::base_latency_for(l);
+        let surcharge = (b - l).max(0.0) * BW_LATENCY_SURCHARGE_NS;
+        ThrottleConfig {
+            latency_factor: l,
+            bandwidth_factor: b,
+            latency: Nanos::from_nanos((base + surcharge).round() as u64),
+            bandwidth_gbps: BASE_BANDWIDTH_GBPS / b,
+        }
+    }
+
+    /// Measured base latency for a pure latency factor, interpolating the
+    /// `(1,1)`, `(2,2)`, `(5,5)` anchors.
+    fn base_latency_for(l: f64) -> f64 {
+        let pts = [(1.0, 60.0), (2.0, 128.0), (5.0, 354.0)];
+        if l <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if l <= x1 {
+                return y0 + (y1 - y0) * (l - x0) / (x1 - x0);
+            }
+        }
+        // Extrapolate past L:5 along the last segment's slope.
+        let (x0, y0) = pts[1];
+        let (x1, y1) = pts[2];
+        y1 + (y1 - y0) / (x1 - x0) * (l - x1)
+    }
+
+    /// The Table 3 columns in presentation order.
+    pub fn table3() -> [ThrottleConfig; 4] {
+        [
+            Self::from_factors(1.0, 1.0),
+            Self::from_factors(2.0, 2.0),
+            Self::from_factors(5.0, 5.0),
+            Self::from_factors(5.0, 12.0),
+        ]
+    }
+
+    /// The Figures 1–2 x-axis sweep.
+    pub fn figure1_sweep() -> [ThrottleConfig; 5] {
+        [
+            Self::from_factors(2.0, 2.0),
+            Self::from_factors(5.0, 5.0),
+            Self::from_factors(5.0, 7.0),
+            Self::from_factors(5.0, 9.0),
+            Self::from_factors(5.0, 12.0),
+        ]
+    }
+
+    /// Short label like `"L:5,B:9"`.
+    pub fn label(&self) -> String {
+        format!(
+            "L:{},B:{}",
+            format_factor(self.latency_factor),
+            format_factor(self.bandwidth_factor)
+        )
+    }
+}
+
+fn format_factor(f: f64) -> String {
+    if (f - f.round()).abs() < 1e-9 {
+        format!("{}", f.round() as i64)
+    } else {
+        format!("{f:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_anchors_are_exact() {
+        let configs = ThrottleConfig::table3();
+        let expect = [(60, 24.0), (128, 12.4), (354, 5.1), (960, 1.38)];
+        for (cfg, (lat, bw)) in configs.iter().zip(expect) {
+            assert_eq!(cfg.latency.as_nanos(), lat, "{}", cfg.label());
+            assert!((cfg.bandwidth_gbps - bw).abs() < 1e-9, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn intermediate_configs_are_monotonic() {
+        let sweep = ThrottleConfig::figure1_sweep();
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].latency >= w[0].latency,
+                "{} vs {}",
+                w[0].label(),
+                w[1].label()
+            );
+            assert!(w[1].bandwidth_gbps <= w[0].bandwidth_gbps);
+        }
+    }
+
+    #[test]
+    fn l5_b7_and_b9_sit_between_anchors() {
+        let b7 = ThrottleConfig::from_factors(5.0, 7.0);
+        let b9 = ThrottleConfig::from_factors(5.0, 9.0);
+        assert!(b7.latency.as_nanos() > 354 && b7.latency.as_nanos() < 960);
+        assert!(b9.latency.as_nanos() > b7.latency.as_nanos());
+        assert!(b7.bandwidth_gbps < 5.1 && b7.bandwidth_gbps > 1.38);
+    }
+
+    #[test]
+    fn factors_below_one_clamp() {
+        let t = ThrottleConfig::from_factors(0.1, 0.1);
+        assert_eq!(t.latency.as_nanos(), 60);
+        assert!((t.bandwidth_gbps - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_factor_panics() {
+        ThrottleConfig::from_factors(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn remote_numa_is_mild() {
+        let r = ThrottleConfig::remote_numa();
+        let slow = ThrottleConfig::slow_mem_default();
+        assert!(r.latency < slow.latency);
+        assert!(r.latency > ThrottleConfig::fast_mem().latency);
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(ThrottleConfig::from_factors(5.0, 12.0).label(), "L:5,B:12");
+        assert_eq!(ThrottleConfig::remote_numa().label(), "L:1.3,B:1.5");
+    }
+
+    #[test]
+    fn latency_extrapolates_past_l5() {
+        let t = ThrottleConfig::from_factors(8.0, 8.0);
+        assert!(t.latency.as_nanos() > 354);
+    }
+}

@@ -1,0 +1,233 @@
+//! The simulation clock and cost accounting.
+//!
+//! The engine advances one [`Clock`] per virtual machine. Besides the current
+//! instant, the clock keeps a breakdown of *where* simulated time went
+//! ([`CostCategory`]): useful compute, memory stalls, hotness tracking, page
+//! walks, page copies, TLB flushes. The overhead figures of the paper (Fig 8,
+//! Table 6) are regenerated directly from this breakdown.
+
+use std::fmt;
+
+use crate::time::Nanos;
+
+/// Where a slice of simulated time was spent.
+///
+/// The categories mirror the cost sources the paper discusses in §2.3 and
+/// §5.2: beyond raw compute and memory stalls, software tiering pays for page
+/// table scans (hotness tracking), TLB flushes forced by the scanner, page
+/// table walks during migration validity checks, and the page copies
+/// themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostCategory {
+    /// Instruction execution not stalled on memory.
+    Compute,
+    /// LLC-miss stalls against FastMem/SlowMem.
+    MemoryStall,
+    /// Page-table scans for access-bit harvesting.
+    HotnessScan,
+    /// TLB shoot-downs forced to re-arm access bits or after remaps.
+    TlbFlush,
+    /// Page-table walks (migration validity checks, reverse-map lookups).
+    PageWalk,
+    /// Data copy during page migration.
+    PageCopy,
+    /// Allocator/balloon bookkeeping.
+    Management,
+    /// I/O device wait (disk/network service time).
+    IoWait,
+}
+
+impl CostCategory {
+    /// All categories, in display order.
+    pub const ALL: [CostCategory; 8] = [
+        CostCategory::Compute,
+        CostCategory::MemoryStall,
+        CostCategory::HotnessScan,
+        CostCategory::TlbFlush,
+        CostCategory::PageWalk,
+        CostCategory::PageCopy,
+        CostCategory::Management,
+        CostCategory::IoWait,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CostCategory::Compute => 0,
+            CostCategory::MemoryStall => 1,
+            CostCategory::HotnessScan => 2,
+            CostCategory::TlbFlush => 3,
+            CostCategory::PageWalk => 4,
+            CostCategory::PageCopy => 5,
+            CostCategory::Management => 6,
+            CostCategory::IoWait => 7,
+        }
+    }
+
+    /// True for categories that are tiering-management overhead rather than
+    /// application work (Fig 8's "hotpage" + "migration" bars).
+    pub fn is_overhead(self) -> bool {
+        matches!(
+            self,
+            CostCategory::HotnessScan
+                | CostCategory::TlbFlush
+                | CostCategory::PageWalk
+                | CostCategory::PageCopy
+                | CostCategory::Management
+        )
+    }
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CostCategory::Compute => "compute",
+            CostCategory::MemoryStall => "memory-stall",
+            CostCategory::HotnessScan => "hotness-scan",
+            CostCategory::TlbFlush => "tlb-flush",
+            CostCategory::PageWalk => "page-walk",
+            CostCategory::PageCopy => "page-copy",
+            CostCategory::Management => "management",
+            CostCategory::IoWait => "io-wait",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Simulated clock with per-category time accounting.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::{Clock, CostCategory, Nanos};
+///
+/// let mut clock = Clock::new();
+/// clock.charge(CostCategory::Compute, Nanos::from_millis(8));
+/// clock.charge(CostCategory::MemoryStall, Nanos::from_millis(2));
+/// assert_eq!(clock.now(), Nanos::from_millis(10));
+/// assert_eq!(clock.spent(CostCategory::MemoryStall), Nanos::from_millis(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Nanos,
+    spent: [Nanos; 8],
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances time without attributing it to a category.
+    ///
+    /// Prefer [`Clock::charge`] in engine code; `advance` exists for tests
+    /// and idle-time modelling.
+    #[inline]
+    pub fn advance(&mut self, dt: Nanos) {
+        self.now += dt;
+    }
+
+    /// Advances time and attributes it to `category`.
+    #[inline]
+    pub fn charge(&mut self, category: CostCategory, dt: Nanos) {
+        self.now += dt;
+        self.spent[category.index()] += dt;
+    }
+
+    /// Total time attributed to `category`.
+    #[inline]
+    pub fn spent(&self, category: CostCategory) -> Nanos {
+        self.spent[category.index()]
+    }
+
+    /// Sum of all overhead categories (see [`CostCategory::is_overhead`]).
+    pub fn overhead(&self) -> Nanos {
+        CostCategory::ALL
+            .iter()
+            .filter(|c| c.is_overhead())
+            .map(|c| self.spent(*c))
+            .sum()
+    }
+
+    /// Sum of every attributed category.
+    ///
+    /// May be less than [`Clock::now`] if `advance` was used.
+    pub fn attributed(&self) -> Nanos {
+        self.spent.iter().copied().sum()
+    }
+
+    /// Returns the `(category, time)` breakdown in display order.
+    pub fn breakdown(&self) -> impl Iterator<Item = (CostCategory, Nanos)> + '_ {
+        CostCategory::ALL.iter().map(|c| (*c, self.spent(*c)))
+    }
+
+    /// Resets time and all accounting to zero.
+    pub fn reset(&mut self) {
+        *self = Clock::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_advances_and_attributes() {
+        let mut c = Clock::new();
+        c.charge(CostCategory::Compute, Nanos::from_nanos(5));
+        c.charge(CostCategory::PageCopy, Nanos::from_nanos(3));
+        assert_eq!(c.now(), Nanos::from_nanos(8));
+        assert_eq!(c.spent(CostCategory::Compute), Nanos::from_nanos(5));
+        assert_eq!(c.spent(CostCategory::PageCopy), Nanos::from_nanos(3));
+        assert_eq!(c.attributed(), Nanos::from_nanos(8));
+    }
+
+    #[test]
+    fn advance_does_not_attribute() {
+        let mut c = Clock::new();
+        c.advance(Nanos::from_nanos(10));
+        assert_eq!(c.now(), Nanos::from_nanos(10));
+        assert_eq!(c.attributed(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn overhead_excludes_compute_memory_io() {
+        let mut c = Clock::new();
+        c.charge(CostCategory::Compute, Nanos::from_nanos(100));
+        c.charge(CostCategory::MemoryStall, Nanos::from_nanos(100));
+        c.charge(CostCategory::IoWait, Nanos::from_nanos(100));
+        c.charge(CostCategory::HotnessScan, Nanos::from_nanos(7));
+        c.charge(CostCategory::TlbFlush, Nanos::from_nanos(2));
+        c.charge(CostCategory::PageWalk, Nanos::from_nanos(1));
+        c.charge(CostCategory::PageCopy, Nanos::from_nanos(4));
+        c.charge(CostCategory::Management, Nanos::from_nanos(6));
+        assert_eq!(c.overhead(), Nanos::from_nanos(20));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Clock::new();
+        c.charge(CostCategory::Compute, Nanos::from_secs(1));
+        c.reset();
+        assert_eq!(c.now(), Nanos::ZERO);
+        assert_eq!(c.attributed(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn breakdown_covers_all_categories() {
+        let c = Clock::new();
+        assert_eq!(c.breakdown().count(), CostCategory::ALL.len());
+    }
+
+    #[test]
+    fn category_display_is_stable() {
+        assert_eq!(CostCategory::HotnessScan.to_string(), "hotness-scan");
+        assert_eq!(CostCategory::Compute.to_string(), "compute");
+    }
+}

@@ -1,0 +1,178 @@
+//! A bounded event log for simulator introspection.
+//!
+//! Engines emit [`Event`]s (scans, migrations, balloon operations, phase
+//! boundaries) into an [`EventLog`] — a fixed-capacity ring that keeps the
+//! most recent entries, so tracing a multi-minute run costs O(capacity)
+//! memory. Intended for debugging policies and for examples that want to
+//! show *why* a run behaved as it did.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::Nanos;
+
+/// What kind of thing happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// An epoch completed.
+    Epoch,
+    /// A hotness scan ran.
+    Scan,
+    /// Pages were migrated (promotions or demotions).
+    Migration,
+    /// Balloon inflation/deflation.
+    Balloon,
+    /// Pages were swapped in or out.
+    Swap,
+    /// Anything else worth noting.
+    Note,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::Epoch => "epoch",
+            EventKind::Scan => "scan",
+            EventKind::Migration => "migration",
+            EventKind::Balloon => "balloon",
+            EventKind::Swap => "swap",
+            EventKind::Note => "note",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated instant the event occurred.
+    pub at: Nanos,
+    /// Event category.
+    pub kind: EventKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// Fixed-capacity ring of the most recent events.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::events::{EventKind, EventLog};
+/// use hetero_sim::Nanos;
+///
+/// let mut log = EventLog::new(2);
+/// log.emit(Nanos::from_millis(1), EventKind::Scan, "scanned 256 pages");
+/// log.emit(Nanos::from_millis(2), EventKind::Migration, "promoted 4");
+/// log.emit(Nanos::from_millis(3), EventKind::Note, "third");
+/// assert_eq!(log.len(), 2); // oldest evicted
+/// assert_eq!(log.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be non-zero");
+        EventLog {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn emit(&mut self, at: Nanos, kind: EventKind, detail: impl Into<String>) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Event {
+            at,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events of one kind, oldest first.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.ring.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_in_order_and_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.emit(Nanos::from_nanos(i), EventKind::Note, format!("e{i}"));
+        }
+        let details: Vec<&str> = log.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["e2", "e3", "e4"]);
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut log = EventLog::new(10);
+        log.emit(Nanos::ZERO, EventKind::Scan, "s");
+        log.emit(Nanos::ZERO, EventKind::Migration, "m");
+        log.emit(Nanos::ZERO, EventKind::Scan, "s2");
+        assert_eq!(log.of_kind(EventKind::Scan).count(), 2);
+        assert_eq!(log.of_kind(EventKind::Balloon).count(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Event {
+            at: Nanos::from_millis(5),
+            kind: EventKind::Migration,
+            detail: "promoted 4 pages".into(),
+        };
+        assert_eq!(e.to_string(), "[5.000ms] migration: promoted 4 pages");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        EventLog::new(0);
+    }
+}

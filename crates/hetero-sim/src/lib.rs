@@ -1,0 +1,46 @@
+//! Simulation substrate for the HeteroOS reproduction.
+//!
+//! This crate provides the deterministic building blocks every other crate in
+//! the workspace rests on:
+//!
+//! * [`time`] — a nanosecond-precision simulated time base ([`Nanos`]) and the
+//!   epoch constants used by the discrete-time engine,
+//! * [`clock`] — the simulation [`Clock`] that owns the current time and
+//!   accumulates cost categories,
+//! * [`rng`] — a small, fully deterministic random number generator
+//!   ([`SimRng`]) so that every experiment is reproducible bit-for-bit,
+//! * [`stats`] — counters, histograms and running statistics used by the
+//!   engine and the benchmark harness,
+//! * [`events`] — a bounded event log for simulator introspection,
+//! * [`series`] — per-epoch metric recording for figure regeneration.
+//!
+//! # Examples
+//!
+//! ```
+//! use hetero_sim::{Clock, Nanos, SimRng};
+//!
+//! let mut clock = Clock::new();
+//! clock.advance(Nanos::from_millis(10));
+//! assert_eq!(clock.now(), Nanos::from_millis(10));
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let x = rng.next_range(0, 100);
+//! assert!(x < 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use clock::{Clock, CostCategory};
+pub use events::{Event, EventKind, EventLog};
+pub use rng::SimRng;
+pub use series::{Series, SeriesSet};
+pub use stats::{Counter, Histogram, RunningStats};
+pub use time::Nanos;

@@ -1,0 +1,242 @@
+//! Per-epoch metric series, used to regenerate the paper's figures.
+//!
+//! A [`Series`] is a named list of `(x, y)` samples; a [`SeriesSet`] groups
+//! the series of one experiment and renders them as the aligned text tables
+//! the `repro` binary prints.
+
+use std::fmt;
+
+/// A named sequence of `(x, y)` samples.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::Series;
+///
+/// let mut s = Series::new("slowdown");
+/// s.push(1.0, 2.5);
+/// s.push(2.0, 3.5);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.last_y(), Some(3.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All samples in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The most recent y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// Largest y value, `None` when empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
+    }
+
+    /// Mean of y values, `None` when empty.
+    pub fn mean_y(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+}
+
+/// A set of series sharing an x axis — one figure's worth of data.
+///
+/// Rendering with `Display` yields a text table: one row per distinct x,
+/// one column per series.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::SeriesSet;
+///
+/// let mut set = SeriesSet::new("fig", "ratio");
+/// set.record("a", 0.5, 1.0);
+/// set.record("b", 0.5, 2.0);
+/// let table = set.to_string();
+/// assert!(table.contains("ratio"));
+/// assert!(table.contains("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeriesSet {
+    title: String,
+    x_label: String,
+    series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        SeriesSet {
+            title: title.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Figure title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends a sample to the named series, creating it if needed.
+    pub fn record(&mut self, series: &str, x: f64, y: f64) {
+        match self.series.iter_mut().find(|s| s.name() == series) {
+            Some(s) => s.push(x, y),
+            None => {
+                let mut s = Series::new(series);
+                s.push(x, y);
+                self.series.push(s);
+            }
+        }
+    }
+
+    /// Looks up a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// All series in creation order.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in s.points() {
+                if !xs.iter().any(|&e| (e - x).abs() < 1e-12) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values must not be NaN"));
+        xs
+    }
+}
+
+impl fmt::Display for SeriesSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        let xs = self.x_values();
+        write!(f, "{:>12}", self.x_label)?;
+        for s in &self.series {
+            write!(f, " {:>18}", s.name())?;
+        }
+        writeln!(f)?;
+        for &x in &xs {
+            write!(f, "{x:>12.4}")?;
+            for s in &self.series {
+                let y = s
+                    .points()
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-12)
+                    .map(|&(_, y)| y);
+                match y {
+                    Some(y) => write!(f, " {y:>18.4}")?,
+                    None => write!(f, " {:>18}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_tracks_points() {
+        let mut s = Series::new("x");
+        assert!(s.is_empty());
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[1], (2.0, 20.0));
+        assert_eq!(s.max_y(), Some(20.0));
+        assert_eq!(s.mean_y(), Some(15.0));
+        assert_eq!(s.last_y(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_series_aggregate_is_none() {
+        let s = Series::new("e");
+        assert_eq!(s.max_y(), None);
+        assert_eq!(s.mean_y(), None);
+        assert_eq!(s.last_y(), None);
+    }
+
+    #[test]
+    fn record_creates_series_on_demand() {
+        let mut set = SeriesSet::new("t", "x");
+        set.record("a", 1.0, 2.0);
+        set.record("a", 2.0, 3.0);
+        set.record("b", 1.0, 4.0);
+        assert_eq!(set.series().len(), 2);
+        assert_eq!(set.get("a").map(Series::len), Some(2));
+        assert_eq!(set.get("missing"), None.as_ref().copied());
+    }
+
+    #[test]
+    fn display_renders_missing_cells_as_dash() {
+        let mut set = SeriesSet::new("t", "x");
+        set.record("a", 1.0, 2.0);
+        set.record("b", 2.0, 3.0);
+        let out = set.to_string();
+        assert!(out.contains('-'), "{out}");
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn x_values_are_sorted_and_deduped() {
+        let mut set = SeriesSet::new("t", "x");
+        set.record("a", 3.0, 1.0);
+        set.record("a", 1.0, 1.0);
+        set.record("b", 3.0, 1.0);
+        assert_eq!(set.x_values(), vec![1.0, 3.0]);
+    }
+}

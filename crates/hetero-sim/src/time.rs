@@ -1,0 +1,299 @@
+//! Simulated time base.
+//!
+//! All simulated durations and instants in the workspace are expressed as
+//! [`Nanos`], a saturating newtype over `u64` nanoseconds. Saturation (rather
+//! than wrapping or panicking) is the right behaviour for a simulator: an
+//! experiment that manages to accumulate 580+ years of simulated time is
+//! already meaningless, and silently wrapping would corrupt slowdown ratios.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A simulated duration or instant, in nanoseconds.
+///
+/// Arithmetic saturates at the representable bounds.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::Nanos;
+///
+/// let t = Nanos::from_micros(3) + Nanos::from_nanos(500);
+/// assert_eq!(t.as_nanos(), 3_500);
+/// assert_eq!(format!("{t}"), "3.500us");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable duration.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us.saturating_mul(1_000))
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms.saturating_mul(1_000_000))
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s.saturating_mul(1_000_000_000))
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// Negative or non-finite input is treated as zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return Nanos::ZERO;
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            Nanos::MAX
+        } else {
+            Nanos(ns as u64)
+        }
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Duration as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating scalar multiplication.
+    #[inline]
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        Nanos(self.0.saturating_mul(k))
+    }
+
+    /// Multiplies by a non-negative float factor, saturating.
+    ///
+    /// Negative or NaN factors yield zero.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Self {
+        if !k.is_finite() || k <= 0.0 {
+            return Nanos::ZERO;
+        }
+        let v = self.0 as f64 * k;
+        if v >= u64::MAX as f64 {
+            Nanos::MAX
+        } else {
+            Nanos(v as u64)
+        }
+    }
+
+    /// Ratio of `self` to `other` as `f64`, or `0.0` when `other` is zero.
+    #[inline]
+    pub fn ratio(self, other: Nanos) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+
+    /// Checked subtraction, `None` on underflow.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(ns: u64) -> Self {
+        Nanos(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Nanos::from_nanos(7).as_nanos(), 7);
+        assert_eq!(Nanos::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Nanos::from_millis(7).as_nanos(), 7_000_000);
+        assert_eq!(Nanos::from_secs(7).as_nanos(), 7_000_000_000);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        assert_eq!(Nanos::MAX + Nanos::from_nanos(1), Nanos::MAX);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        assert_eq!(Nanos::from_nanos(1) - Nanos::from_nanos(2), Nanos::ZERO);
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        assert_eq!(Nanos::from_nanos(1).checked_sub(Nanos::from_nanos(2)), None);
+        assert_eq!(
+            Nanos::from_nanos(5).checked_sub(Nanos::from_nanos(2)),
+            Some(Nanos::from_nanos(3))
+        );
+    }
+
+    #[test]
+    fn mul_f64_handles_edge_cases() {
+        let t = Nanos::from_secs(1);
+        assert_eq!(t.mul_f64(0.5), Nanos::from_millis(500));
+        assert_eq!(t.mul_f64(-1.0), Nanos::ZERO);
+        assert_eq!(t.mul_f64(f64::NAN), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.mul_f64(2.0), Nanos::MAX);
+    }
+
+    #[test]
+    fn from_secs_f64_handles_edge_cases() {
+        assert_eq!(Nanos::from_secs_f64(1.5), Nanos::from_millis(1500));
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(f64::INFINITY), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(1e30), Nanos::MAX);
+    }
+
+    #[test]
+    fn ratio_of_zero_denominator_is_zero() {
+        assert_eq!(Nanos::from_secs(1).ratio(Nanos::ZERO), 0.0);
+        assert!((Nanos::from_secs(3).ratio(Nanos::from_secs(2)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_readable_unit() {
+        assert_eq!(format!("{}", Nanos::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Nanos::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Nanos = (1..=4).map(Nanos::from_nanos).sum();
+        assert_eq!(total, Nanos::from_nanos(10));
+    }
+
+    #[test]
+    fn min_max_order() {
+        let a = Nanos::from_nanos(1);
+        let b = Nanos::from_nanos(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,202 @@
+//! The split-driver shared-memory channel between a guest front-end and the
+//! VMM back-end (Fig 5).
+//!
+//! HeteroOS's on-demand allocation driver and coordinated management both
+//! run over a front-end/back-end pair connected by shared rings: the guest
+//! posts requests (page grants, tracking/exception lists), the VMM posts
+//! responses (grants, hot-page notifications, balloon requests). The ring
+//! is bounded, as a real grant-table ring would be.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use hetero_guest::page::{Gfn, PageType};
+use hetero_mem::MemKind;
+
+/// Messages the guest front-end sends to the VMM back-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontMsg {
+    /// On-demand allocation request: `pages` of `kind` (steps 1–2, Fig 5).
+    OnDemand {
+        /// Requested tier.
+        kind: MemKind,
+        /// Pages requested.
+        pages: u64,
+        /// Tier to fall back to when `kind` cannot be granted (§3.1: "the
+        /// front-end can also specify a fallback strategy").
+        fallback: Option<MemKind>,
+    },
+    /// Replace the VMM's tracking list with these virtual ranges (§4.1).
+    TrackingList(Vec<(u64, u64)>),
+    /// Replace the exception list with these page types (§4.1).
+    ExceptionList(Vec<PageType>),
+    /// Guest finished migrating these many pages (step 9 feedback).
+    MigrationDone(u64),
+    /// Balloon inflation completed: `pages` of `kind` returned to the VMM.
+    BalloonAck {
+        /// Tier released.
+        kind: MemKind,
+        /// Pages released.
+        pages: u64,
+    },
+}
+
+/// Messages the VMM back-end sends to the guest front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackMsg {
+    /// Grant of `pages` of `kind` (step 2 response).
+    Grant {
+        /// Granted tier.
+        kind: MemKind,
+        /// Pages granted (may be less than requested).
+        pages: u64,
+    },
+    /// Hot pages found by VMM tracking, for guest-side migration (step 6).
+    HotPages(Vec<Gfn>),
+    /// Ask the guest to balloon out `pages` of `kind`.
+    BalloonRequest {
+        /// Tier to release from.
+        kind: MemKind,
+        /// Pages wanted.
+        pages: u64,
+    },
+}
+
+/// Error posting to a full ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull;
+
+impl fmt::Display for RingFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("shared ring is full")
+    }
+}
+
+impl std::error::Error for RingFull {}
+
+/// A bounded bidirectional ring.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_vmm::channel::{FrontMsg, SharedRing};
+/// use hetero_mem::MemKind;
+///
+/// let mut ring = SharedRing::new(8);
+/// ring.post_front(FrontMsg::OnDemand {
+///     kind: MemKind::Fast, pages: 16, fallback: Some(MemKind::Slow),
+/// })?;
+/// assert!(ring.poll_front().is_some());
+/// # Ok::<(), hetero_vmm::channel::RingFull>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedRing {
+    front_to_back: VecDeque<FrontMsg>,
+    back_to_front: VecDeque<BackMsg>,
+    capacity: usize,
+}
+
+impl SharedRing {
+    /// Creates a ring with `capacity` slots per direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        SharedRing {
+            front_to_back: VecDeque::with_capacity(capacity),
+            back_to_front: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Guest → VMM post.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingFull`] when the direction is at capacity.
+    pub fn post_front(&mut self, msg: FrontMsg) -> Result<(), RingFull> {
+        if self.front_to_back.len() >= self.capacity {
+            return Err(RingFull);
+        }
+        self.front_to_back.push_back(msg);
+        Ok(())
+    }
+
+    /// VMM side: next guest request.
+    pub fn poll_front(&mut self) -> Option<FrontMsg> {
+        self.front_to_back.pop_front()
+    }
+
+    /// VMM → guest post.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingFull`] when the direction is at capacity.
+    pub fn post_back(&mut self, msg: BackMsg) -> Result<(), RingFull> {
+        if self.back_to_front.len() >= self.capacity {
+            return Err(RingFull);
+        }
+        self.back_to_front.push_back(msg);
+        Ok(())
+    }
+
+    /// Guest side: next VMM response.
+    pub fn poll_back(&mut self) -> Option<BackMsg> {
+        self.back_to_front.pop_front()
+    }
+
+    /// Pending guest requests.
+    pub fn front_pending(&self) -> usize {
+        self.front_to_back.len()
+    }
+
+    /// Pending VMM responses.
+    pub fn back_pending(&self) -> usize {
+        self.back_to_front.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_per_direction() {
+        let mut r = SharedRing::new(4);
+        r.post_front(FrontMsg::MigrationDone(1)).unwrap();
+        r.post_front(FrontMsg::MigrationDone(2)).unwrap();
+        assert_eq!(r.poll_front(), Some(FrontMsg::MigrationDone(1)));
+        assert_eq!(r.poll_front(), Some(FrontMsg::MigrationDone(2)));
+        assert_eq!(r.poll_front(), None);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut r = SharedRing::new(1);
+        r.post_front(FrontMsg::MigrationDone(0)).unwrap();
+        r.post_back(BackMsg::Grant {
+            kind: MemKind::Fast,
+            pages: 1,
+        })
+        .unwrap();
+        assert_eq!(r.front_pending(), 1);
+        assert_eq!(r.back_pending(), 1);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let mut r = SharedRing::new(1);
+        r.post_front(FrontMsg::MigrationDone(0)).unwrap();
+        assert_eq!(r.post_front(FrontMsg::MigrationDone(1)), Err(RingFull));
+        r.poll_front();
+        assert!(r.post_front(FrontMsg::MigrationDone(1)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        SharedRing::new(0);
+    }
+}

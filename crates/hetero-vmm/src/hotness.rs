@@ -1,0 +1,360 @@
+//! VMM-level page hotness tracking.
+//!
+//! Software hotness tracking (§2.3) periodically scans page-table access
+//! bits into a per-page history, then promotes pages whose history shows
+//! sustained use and demotes pages that went cold. Two scan disciplines are
+//! provided:
+//!
+//! * [`HotnessTracker::scan_full`] — the **VMM-exclusive** (HeteroVisor)
+//!   discipline: walk the *entire* guest's resident memory in batches,
+//!   blind to what the pages are used for;
+//! * [`HotnessTracker::scan_tracked`] — the **coordinated** discipline
+//!   (§4.1): walk only the VMA ranges on the guest-supplied tracking list,
+//!   skipping page types on the exception list.
+//!
+//! The tracker does not know wall-clock time or workload internals; whether
+//! a page "was touched since the last scan" is answered by a
+//! [`TouchOracle`], which the simulation engine implements from the
+//! workload's access model (and tests implement deterministically).
+
+use std::collections::HashMap;
+
+use hetero_guest::page::{Gfn, Page, PageType};
+use hetero_guest::GuestKernel;
+use hetero_mem::MemKind;
+
+/// Answers "was this page referenced since the last scan?".
+pub trait TouchOracle {
+    /// True when the page's access bit would be found set.
+    fn touched(&mut self, page: &Page) -> bool;
+}
+
+impl<F: FnMut(&Page) -> bool> TouchOracle for F {
+    fn touched(&mut self, page: &Page) -> bool {
+        self(page)
+    }
+}
+
+/// Result of one scan pass.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOutcome {
+    /// Page-table entries / reverse-map slots visited (drives scan cost).
+    pub scanned: u64,
+    /// Pages on slower tiers whose history crossed the hot threshold.
+    pub hot_candidates: Vec<Gfn>,
+    /// FastMem pages whose history shows no recent use.
+    pub cold_candidates: Vec<Gfn>,
+}
+
+/// Batched access-bit history tracker for one guest.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_guest::kernel::{GuestConfig, GuestKernel};
+/// use hetero_mem::MemKind;
+/// use hetero_vmm::hotness::HotnessTracker;
+///
+/// let mut kernel = GuestKernel::new(GuestConfig::default());
+/// kernel.mmap_heap(32, std::iter::repeat(200), &[MemKind::Slow]).unwrap();
+/// let mut tracker = HotnessTracker::new(2);
+/// // Every page reads as touched: after two scans they are promotion-hot.
+/// let mut always = |_: &hetero_guest::page::Page| true;
+/// tracker.scan_full(&kernel, &mut always, 1 << 20);
+/// let out = tracker.scan_full(&kernel, &mut always, 1 << 20);
+/// assert!(!out.hot_candidates.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotnessTracker {
+    /// 8-bit shift-register history per page (bit 0 = most recent scan).
+    history: HashMap<Gfn, u8>,
+    /// Number of set history bits required to call a page hot.
+    hot_threshold: u32,
+    /// Resume cursor for batched full-VM scans.
+    cursor: u64,
+    /// Resume cursor (virtual page) for batched tracked scans.
+    tracked_cursor: u64,
+}
+
+impl HotnessTracker {
+    /// Creates a tracker; a page is *hot* once `hot_threshold` of its last
+    /// 8 scan intervals saw a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_threshold` is 0 or greater than 8.
+    pub fn new(hot_threshold: u32) -> Self {
+        assert!(
+            (1..=8).contains(&hot_threshold),
+            "hot threshold must be in 1..=8"
+        );
+        HotnessTracker {
+            history: HashMap::new(),
+            hot_threshold,
+            cursor: 0,
+            tracked_cursor: 0,
+        }
+    }
+
+    /// Pages with recorded history (diagnostic).
+    pub fn tracked_pages(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Clears history (e.g. after a phase change).
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.cursor = 0;
+        self.tracked_cursor = 0;
+    }
+
+    fn record(&mut self, gfn: Gfn, touched: bool) -> u8 {
+        let h = self.history.entry(gfn).or_insert(0);
+        *h = (*h << 1) | u8::from(touched);
+        *h
+    }
+
+    fn classify(&self, kernel: &GuestKernel, gfn: Gfn, history: u8, out: &mut ScanOutcome) {
+        // Even a guest-blind VMM knows which frames are page tables or DMA
+        // regions (they are registered with it); those never migrate (§4.1).
+        if !kernel.memmap().page(gfn).page_type.is_migratable() {
+            return;
+        }
+        let kind = kernel.memmap().kind_of(gfn);
+        let hot = history.count_ones() >= self.hot_threshold;
+        if kind != MemKind::Fast && hot {
+            out.hot_candidates.push(gfn);
+        } else if kind == MemKind::Fast && history == 0 {
+            out.cold_candidates.push(gfn);
+        }
+    }
+
+    /// VMM-exclusive full scan: visits up to `batch` guest frames starting
+    /// from the saved cursor (wrapping), recording history for every
+    /// resident page regardless of type or state.
+    pub fn scan_full(
+        &mut self,
+        kernel: &GuestKernel,
+        oracle: &mut dyn TouchOracle,
+        batch: u64,
+    ) -> ScanOutcome {
+        let (resident, next) = kernel.scan_resident(self.cursor, batch);
+        self.cursor = next;
+        let mut out = ScanOutcome {
+            scanned: batch.min(kernel.memmap().total_frames()),
+            ..Default::default()
+        };
+        for gfn in resident {
+            let touched = oracle.touched(kernel.memmap().page(gfn));
+            let h = self.record(gfn, touched);
+            self.classify(kernel, gfn, h, &mut out);
+        }
+        out
+    }
+
+    /// Coordinated scan: visits only the virtual ranges on `tracking` (the
+    /// guest's tracking list), skipping page types in `exceptions` (the
+    /// exception list), up to `batch` PTEs.
+    pub fn scan_tracked(
+        &mut self,
+        kernel: &GuestKernel,
+        tracking: &[(u64, u64)],
+        exceptions: &[PageType],
+        oracle: &mut dyn TouchOracle,
+        batch: u64,
+    ) -> ScanOutcome {
+        let mut out = ScanOutcome::default();
+        if tracking.is_empty() {
+            return out;
+        }
+        // Resume where the previous batch stopped, wrapping over the list.
+        let total_vpns: u64 = tracking.iter().map(|&(s, e)| e.saturating_sub(s)).sum();
+        let mut visited_vpns = 0u64;
+        let start_at = self.tracked_cursor;
+        let mut started = false;
+        'outer: loop {
+            for &(start, end) in tracking {
+                let from = if !started && start_at >= start && start_at < end {
+                    started = true;
+                    start_at
+                } else if started || start_at < start {
+                    started = true;
+                    start
+                } else {
+                    continue; // still seeking the resume point
+                };
+                for vpn in from..end {
+                    if out.scanned >= batch || visited_vpns >= total_vpns {
+                        self.tracked_cursor = vpn;
+                        break 'outer;
+                    }
+                    visited_vpns += 1;
+                    let Some(gfn) = kernel.page_table().translate(vpn) else {
+                        continue;
+                    };
+                    out.scanned += 1;
+                    let page = kernel.memmap().page(gfn);
+                    if exceptions.contains(&page.page_type) {
+                        continue;
+                    }
+                    let touched = oracle.touched(page);
+                    let h = self.record(gfn, touched);
+                    self.classify(kernel, gfn, h, &mut out);
+                }
+            }
+            if !started {
+                // Cursor beyond every range (regions unmapped): restart.
+                self.tracked_cursor = tracking[0].0;
+                started = true;
+                continue;
+            }
+            // Wrapped past the last range: continue from the first.
+            self.tracked_cursor = tracking[0].0;
+            if out.scanned >= batch || visited_vpns >= total_vpns {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Forgets pages that are no longer resident (called opportunistically
+    /// to bound history size).
+    pub fn prune(&mut self, kernel: &GuestKernel) {
+        self.history
+            .retain(|gfn, _| kernel.memmap().page(*gfn).is_present());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_guest::kernel::GuestConfig;
+    use hetero_guest::pagecache::FileId;
+
+    fn kernel_with_slow_heap(pages: u64) -> GuestKernel {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 256)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        k.mmap_heap(pages, std::iter::repeat(200), &[MemKind::Slow])
+            .unwrap();
+        k
+    }
+
+    #[test]
+    fn hot_pages_need_threshold_scans() {
+        let k = kernel_with_slow_heap(8);
+        let mut t = HotnessTracker::new(3);
+        let mut always = |_: &Page| true;
+        let o1 = t.scan_full(&k, &mut always, 1 << 20);
+        assert!(o1.hot_candidates.is_empty(), "one touch is not hot yet");
+        t.scan_full(&k, &mut always, 1 << 20);
+        let o3 = t.scan_full(&k, &mut always, 1 << 20);
+        assert_eq!(o3.hot_candidates.len(), 8, "heap pages are hot after 3");
+    }
+
+    #[test]
+    fn untouched_fast_pages_become_cold_candidates() {
+        let mut k = GuestKernel::new(GuestConfig::default());
+        k.mmap_heap(4, std::iter::repeat(10), &[MemKind::Fast])
+            .unwrap();
+        let mut t = HotnessTracker::new(2);
+        let mut never = |_: &Page| false;
+        let out = t.scan_full(&k, &mut never, 1 << 20);
+        // Heap pages + page-table backing pages on Fast all read cold.
+        assert!(out.cold_candidates.len() >= 4);
+        assert!(out.hot_candidates.is_empty());
+    }
+
+    #[test]
+    fn full_scan_is_batched_with_cursor() {
+        let k = kernel_with_slow_heap(16);
+        let total = k.memmap().total_frames();
+        let mut t = HotnessTracker::new(1);
+        let mut always = |_: &Page| true;
+        let resident = k.memmap().resident_pages(PageType::HeapAnon) as usize;
+        let half = t.scan_full(&k, &mut always, total / 2);
+        assert_eq!(half.scanned, total / 2);
+        let rest = t.scan_full(&k, &mut always, total / 2);
+        // Between the two halves every resident (slow) page was seen once;
+        // with threshold 1 each becomes a hot candidate exactly once.
+        assert_eq!(
+            half.hot_candidates.len() + rest.hot_candidates.len(),
+            resident,
+        );
+    }
+
+    #[test]
+    fn tracked_scan_respects_lists() {
+        let mut k = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 256)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        let (vma, _) = k
+            .mmap_heap(8, std::iter::repeat(200), &[MemKind::Slow])
+            .unwrap();
+        // A page-cache page inside no tracked range.
+        k.page_in(FileId(1), 0, 200, &[MemKind::Slow]).unwrap();
+        let mut t = HotnessTracker::new(1);
+        let mut always = |_: &Page| true;
+        let tracking = vec![(vma.start, vma.end())];
+        let out = t.scan_tracked(&k, &tracking, &[PageType::PageCache], &mut always, 1 << 20);
+        assert_eq!(out.scanned, 8, "only tracked VPNs are visited");
+        assert_eq!(out.hot_candidates.len(), 8);
+    }
+
+    #[test]
+    fn tracked_scan_exception_list_skips_types() {
+        let mut k = GuestKernel::new(GuestConfig::default());
+        let (vma, _) = k
+            .mmap_heap(4, std::iter::repeat(200), &[MemKind::Slow])
+            .unwrap();
+        let mut t = HotnessTracker::new(1);
+        let mut always = |_: &Page| true;
+        let out = t.scan_tracked(
+            &k,
+            &[(vma.start, vma.end())],
+            &[PageType::HeapAnon],
+            &mut always,
+            1 << 20,
+        );
+        assert_eq!(out.scanned, 4, "PTEs are still walked");
+        assert!(out.hot_candidates.is_empty(), "excepted types not tracked");
+        assert_eq!(t.tracked_pages(), 0);
+    }
+
+    #[test]
+    fn tracked_scan_honors_batch_limit() {
+        let mut k = GuestKernel::new(GuestConfig::default());
+        let (vma, _) = k
+            .mmap_heap(32, std::iter::repeat(200), &[MemKind::Slow])
+            .unwrap();
+        let mut t = HotnessTracker::new(1);
+        let mut always = |_: &Page| true;
+        let out = t.scan_tracked(&k, &[(vma.start, vma.end())], &[], &mut always, 10);
+        assert_eq!(out.scanned, 10);
+    }
+
+    #[test]
+    fn prune_drops_freed_pages() {
+        let mut k = kernel_with_slow_heap(8);
+        let mut t = HotnessTracker::new(1);
+        let mut always = |_: &Page| true;
+        t.scan_full(&k, &mut always, 1 << 20);
+        let before = t.tracked_pages();
+        assert!(before > 0);
+        // Free everything.
+        let vma = *k.address_space().iter().next().unwrap();
+        k.munmap(vma.start, vma.pages);
+        t.prune(&k);
+        assert!(t.tracked_pages() < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot threshold")]
+    fn zero_threshold_rejected() {
+        HotnessTracker::new(0);
+    }
+}

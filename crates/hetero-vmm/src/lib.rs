@@ -1,0 +1,44 @@
+//! Hypervisor (VMM) substrate for the HeteroOS reproduction.
+//!
+//! Stand-in for the paper's modified Xen: it owns the machine's
+//! heterogeneous memory, backs guest reservations, and provides the
+//! privileged services HeteroOS delegates to the VMM (§4):
+//!
+//! * [`drf`] — weighted Dominant Resource Fairness across memory types
+//!   (Algorithm 1) and the max-min baseline,
+//! * [`hotness`] — batched access-bit hotness tracking, in both the
+//!   VMM-exclusive (full-VM) and coordinated (guest-guided) disciplines,
+//! * [`channel`] — the split-driver shared ring between guest front-ends
+//!   and VMM back-ends (Fig 5),
+//! * [`vmm`] — the [`Vmm`] facade: registration, on-demand grants with
+//!   per-type ballooning limits, reclaim plans, and the message pump.
+//!
+//! # Examples
+//!
+//! ```
+//! use hetero_mem::{MachineMemory, MemKind, ThrottleConfig};
+//! use hetero_vmm::drf::{GuestId, SharePolicy};
+//! use hetero_vmm::vmm::{GuestSpec, Vmm};
+//!
+//! let machine = MachineMemory::builder()
+//!     .fast_mem(64 << 20, ThrottleConfig::fast_mem())
+//!     .slow_mem(256 << 20, ThrottleConfig::slow_mem_default())
+//!     .build();
+//! let mut vmm = Vmm::new(machine, SharePolicy::paper_drf());
+//! let mut spec = GuestSpec::default();
+//! spec.max[MemKind::Fast] = 4096;
+//! vmm.register_guest(GuestId(0), spec)?;
+//! # Ok::<(), hetero_vmm::vmm::VmmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod drf;
+pub mod hotness;
+pub mod vmm;
+
+pub use drf::{FairShare, Grant, GuestId, SharePolicy};
+pub use hotness::{HotnessTracker, ScanOutcome, TouchOracle};
+pub use vmm::{GuestSpec, MemoryGrant, Vmm, VmmError};

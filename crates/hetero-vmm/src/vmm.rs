@@ -1,0 +1,615 @@
+//! The VMM facade: machine-frame ownership, per-guest reservations with
+//! type-specific ballooning, on-demand back-end, and fair sharing.
+//!
+//! Matches Fig 5's back-end boxes: the on-demand back-end "handles the
+//! node-specific requests and also maintains the per-node machine page
+//! number (MFN) mapping for each of the guests" (§3.1); the fair-share
+//! manager implements weighted DRF (§4.2); the hot-page component lives in
+//! [`crate::hotness`] and is driven per guest through this facade.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hetero_guest::page::PageType;
+use hetero_guest::GuestKernel;
+use hetero_mem::kind::KindMap;
+use hetero_mem::{MachineMemory, MemKind, Mfn};
+
+use crate::channel::{BackMsg, FrontMsg, SharedRing};
+use crate::drf::{FairShare, Grant, GuestId, SharePolicy};
+use crate::hotness::{HotnessTracker, ScanOutcome, TouchOracle};
+
+/// Per-guest memory contract: a reserved minimum and a balloonable maximum
+/// per memory type (§4.2 "Extending ballooning").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuestSpec {
+    /// Reserved at boot; never reclaimed.
+    pub min: KindMap<u64>,
+    /// Hard cap; requests beyond it are clamped.
+    pub max: KindMap<u64>,
+}
+
+/// Error registering or addressing a guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmmError {
+    /// The guest id is not registered.
+    UnknownGuest(GuestId),
+    /// The guest id is already registered.
+    DuplicateGuest(GuestId),
+    /// The machine lacks frames for the guest's reserved minimum.
+    InsufficientMachineMemory(MemKind),
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::UnknownGuest(id) => write!(f, "unknown guest {id}"),
+            VmmError::DuplicateGuest(id) => write!(f, "guest {id} already registered"),
+            VmmError::InsufficientMachineMemory(k) => {
+                write!(f, "machine cannot back the reserved minimum on {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}
+
+/// Result of an on-demand memory request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryGrant {
+    /// Pages granted per tier (the fallback tier may appear here).
+    pub granted: KindMap<u64>,
+    /// Balloon reclaims the engine must drive before re-requesting, when
+    /// the grant was partial due to contention.
+    pub reclaim_plan: Vec<(GuestId, MemKind, u64)>,
+}
+
+struct GuestEntry {
+    spec: GuestSpec,
+    ring: SharedRing,
+    tracker: HotnessTracker,
+    tracking: Vec<(u64, u64)>,
+    exceptions: Vec<PageType>,
+    frames: KindMap<Vec<Mfn>>,
+}
+
+/// The hypervisor.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::kind::KindMap;
+/// use hetero_mem::{MachineMemory, MemKind, ThrottleConfig};
+/// use hetero_vmm::drf::{GuestId, SharePolicy};
+/// use hetero_vmm::vmm::{GuestSpec, Vmm};
+///
+/// let machine = MachineMemory::builder()
+///     .fast_mem(1 << 24, ThrottleConfig::fast_mem())
+///     .slow_mem(1 << 26, ThrottleConfig::slow_mem_default())
+///     .build();
+/// let mut vmm = Vmm::new(machine, SharePolicy::paper_drf());
+/// let mut spec = GuestSpec::default();
+/// spec.max[MemKind::Fast] = 1024;
+/// spec.max[MemKind::Slow] = 8192;
+/// vmm.register_guest(GuestId(0), spec)?;
+/// let grant = vmm.request_memory(GuestId(0), MemKind::Fast, 256, None)?;
+/// assert_eq!(grant.granted[MemKind::Fast], 256);
+/// # Ok::<(), hetero_vmm::vmm::VmmError>(())
+/// ```
+pub struct Vmm {
+    machine: MachineMemory,
+    fair: FairShare,
+    guests: HashMap<GuestId, GuestEntry>,
+    /// Hot threshold handed to per-guest trackers.
+    hot_threshold: u32,
+}
+
+impl fmt::Debug for Vmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vmm")
+            .field("guests", &self.guests.len())
+            .field("free_fast", &self.machine.free_frames(MemKind::Fast))
+            .field("free_slow", &self.machine.free_frames(MemKind::Slow))
+            .finish()
+    }
+}
+
+impl Vmm {
+    /// Creates a VMM owning `machine`, sharing it under `policy`.
+    pub fn new(machine: MachineMemory, policy: SharePolicy) -> Self {
+        let totals = KindMap::from_fn(|k| machine.total_frames(k));
+        Vmm {
+            fair: FairShare::new(policy, totals),
+            machine,
+            guests: HashMap::new(),
+            hot_threshold: 2,
+        }
+    }
+
+    /// Overrides the hot-page threshold used by newly registered guests'
+    /// trackers.
+    pub fn set_hot_threshold(&mut self, threshold: u32) {
+        self.hot_threshold = threshold;
+    }
+
+    /// Machine view (read-only).
+    pub fn machine(&self) -> &MachineMemory {
+        &self.machine
+    }
+
+    /// Registers a guest and backs its reserved minimum with machine frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::DuplicateGuest`] or
+    /// [`VmmError::InsufficientMachineMemory`].
+    pub fn register_guest(&mut self, id: GuestId, spec: GuestSpec) -> Result<(), VmmError> {
+        if self.guests.contains_key(&id) {
+            return Err(VmmError::DuplicateGuest(id));
+        }
+        let mut frames: KindMap<Vec<Mfn>> = KindMap::default();
+        for (k, &m) in spec.min.iter() {
+            if m == 0 {
+                continue;
+            }
+            match self.machine.alloc_frames(k, m) {
+                Ok(v) => frames[k] = v,
+                Err(_) => {
+                    // Roll back tiers already taken.
+                    for (kk, taken) in frames.iter() {
+                        if !taken.is_empty() {
+                            self.machine.free_frames_bulk(kk, taken.iter().copied());
+                        }
+                    }
+                    return Err(VmmError::InsufficientMachineMemory(k));
+                }
+            }
+        }
+        self.fair.register(id, spec.min);
+        self.guests.insert(
+            id,
+            GuestEntry {
+                spec,
+                ring: SharedRing::new(64),
+                tracker: HotnessTracker::new(self.hot_threshold),
+                tracking: Vec::new(),
+                exceptions: Vec::new(),
+                frames,
+            },
+        );
+        Ok(())
+    }
+
+    /// Pages currently granted to a guest per tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn granted(&self, id: GuestId) -> Result<KindMap<u64>, VmmError> {
+        if !self.guests.contains_key(&id) {
+            return Err(VmmError::UnknownGuest(id));
+        }
+        Ok(self.fair.allocated(id))
+    }
+
+    fn clamp_to_max(&self, id: GuestId, kind: MemKind, pages: u64) -> u64 {
+        let entry = &self.guests[&id];
+        let held = self.fair.allocated(id)[kind];
+        pages.min(entry.spec.max[kind].saturating_sub(held))
+    }
+
+    /// On-demand back-end: requests `pages` of `kind` for a guest. The
+    /// request is clamped to the guest's per-type maximum; under contention
+    /// a reclaim plan is returned instead of pages; if `fallback` is given,
+    /// unmet demand is retried on the fallback tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn request_memory(
+        &mut self,
+        id: GuestId,
+        kind: MemKind,
+        pages: u64,
+        fallback: Option<MemKind>,
+    ) -> Result<MemoryGrant, VmmError> {
+        if !self.guests.contains_key(&id) {
+            return Err(VmmError::UnknownGuest(id));
+        }
+        let mut grant = MemoryGrant {
+            granted: KindMap::default(),
+            reclaim_plan: Vec::new(),
+        };
+        let want = self.clamp_to_max(id, kind, pages);
+        let got = self.try_grant(id, kind, want, &mut grant.reclaim_plan);
+        grant.granted[kind] = got;
+        let unmet = pages - got.min(pages);
+        if unmet > 0 {
+            if let Some(fb) = fallback.filter(|&fb| fb != kind) {
+                let want_fb = self.clamp_to_max(id, fb, unmet);
+                let got_fb = self.try_grant(id, fb, want_fb, &mut grant.reclaim_plan);
+                grant.granted[fb] = got_fb;
+            }
+        }
+        Ok(grant)
+    }
+
+    fn try_grant(
+        &mut self,
+        id: GuestId,
+        kind: MemKind,
+        pages: u64,
+        plan: &mut Vec<(GuestId, MemKind, u64)>,
+    ) -> u64 {
+        if pages == 0 {
+            return 0;
+        }
+        // Grant as much as fits immediately (partial grants are fine).
+        let immediate = pages.min(self.fair.free(kind));
+        if immediate > 0 {
+            let mut d = KindMap::default();
+            d[kind] = immediate;
+            match self.fair.request(id, d) {
+                Grant::Granted => {
+                    let mfns = self
+                        .machine
+                        .alloc_frames(kind, immediate)
+                        .expect("fair-share ledger matches machine frames");
+                    self.guests
+                        .get_mut(&id)
+                        .expect("registered")
+                        .frames[kind]
+                        .extend(mfns);
+                }
+                other => unreachable!("free() said it fits: {other:?}"),
+            }
+        }
+        let remaining = pages - immediate;
+        if remaining > 0 {
+            let mut d = KindMap::default();
+            d[kind] = remaining;
+            match self.fair.request(id, d) {
+                Grant::Granted => unreachable!("capacity was exhausted"),
+                Grant::NeedsReclaim(p) => plan.extend(p),
+                Grant::Denied => {}
+            }
+        }
+        immediate
+    }
+
+    /// Confirms a balloon reclaim: `pages` of `kind` returned by `donor`
+    /// (after its kernel actually inflated). Frees the machine frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the donor does not hold that many overcommitted pages.
+    pub fn confirm_reclaim(
+        &mut self,
+        donor: GuestId,
+        kind: MemKind,
+        pages: u64,
+    ) -> Result<(), VmmError> {
+        let entry = self
+            .guests
+            .get_mut(&donor)
+            .ok_or(VmmError::UnknownGuest(donor))?;
+        self.fair.reclaim(donor, kind, pages);
+        for _ in 0..pages {
+            let mfn = entry.frames[kind].pop().expect("ledger matches frames");
+            self.machine.free_frame(kind, mfn);
+        }
+        Ok(())
+    }
+
+    /// A guest voluntarily returns pages (balloon-driver release of
+    /// on-demand pages under pressure, §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn release_memory(
+        &mut self,
+        id: GuestId,
+        kind: MemKind,
+        pages: u64,
+    ) -> Result<(), VmmError> {
+        let entry = self.guests.get_mut(&id).ok_or(VmmError::UnknownGuest(id))?;
+        self.fair.release(id, kind, pages);
+        for _ in 0..pages {
+            let mfn = entry.frames[kind].pop().expect("ledger matches frames");
+            self.machine.free_frame(kind, mfn);
+        }
+        Ok(())
+    }
+
+    /// The guest-side ring of a guest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn ring_mut(&mut self, id: GuestId) -> Result<&mut SharedRing, VmmError> {
+        self.guests
+            .get_mut(&id)
+            .map(|e| &mut e.ring)
+            .ok_or(VmmError::UnknownGuest(id))
+    }
+
+    /// Back-end message pump: drains a guest's pending requests, updating
+    /// tracking/exception lists and answering on-demand requests with
+    /// grants. Returns the number of messages processed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn process_guest_requests(&mut self, id: GuestId) -> Result<usize, VmmError> {
+        if !self.guests.contains_key(&id) {
+            return Err(VmmError::UnknownGuest(id));
+        }
+        let mut handled = 0;
+        while let Some(msg) = self
+            .guests
+            .get_mut(&id)
+            .expect("checked")
+            .ring
+            .poll_front()
+        {
+            handled += 1;
+            match msg {
+                FrontMsg::OnDemand {
+                    kind,
+                    pages,
+                    fallback,
+                } => {
+                    let grant = self.request_memory(id, kind, pages, fallback)?;
+                    let entry = self.guests.get_mut(&id).expect("checked");
+                    for (k, &n) in grant.granted.iter() {
+                        if n > 0 {
+                            let _ = entry.ring.post_back(BackMsg::Grant { kind: k, pages: n });
+                        }
+                    }
+                    for (donor, k, n) in grant.reclaim_plan {
+                        if let Some(d) = self.guests.get_mut(&donor) {
+                            let _ = d
+                                .ring
+                                .post_back(BackMsg::BalloonRequest { kind: k, pages: n });
+                        }
+                    }
+                }
+                FrontMsg::TrackingList(ranges) => {
+                    self.guests.get_mut(&id).expect("checked").tracking = ranges;
+                }
+                FrontMsg::ExceptionList(types) => {
+                    self.guests.get_mut(&id).expect("checked").exceptions = types;
+                }
+                FrontMsg::MigrationDone(_) => {}
+                FrontMsg::BalloonAck { kind, pages } => {
+                    self.confirm_reclaim(id, kind, pages)?;
+                }
+            }
+        }
+        Ok(handled)
+    }
+
+    /// Runs one hotness scan for a guest. `coordinated` selects the
+    /// guest-guided tracked scan (tracking + exception lists) versus the
+    /// VMM-exclusive full scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn scan_guest(
+        &mut self,
+        id: GuestId,
+        kernel: &GuestKernel,
+        oracle: &mut dyn TouchOracle,
+        batch: u64,
+        coordinated: bool,
+    ) -> Result<ScanOutcome, VmmError> {
+        let entry = self.guests.get_mut(&id).ok_or(VmmError::UnknownGuest(id))?;
+        let outcome = if coordinated {
+            entry
+                .tracker
+                .scan_tracked(kernel, &entry.tracking, &entry.exceptions, oracle, batch)
+        } else {
+            entry.tracker.scan_full(kernel, oracle, batch)
+        };
+        Ok(outcome)
+    }
+
+    /// Clears a guest's hotness history (phase change).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn reset_tracker(&mut self, id: GuestId) -> Result<(), VmmError> {
+        self.guests
+            .get_mut(&id)
+            .map(|e| e.tracker.reset())
+            .ok_or(VmmError::UnknownGuest(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_mem::ThrottleConfig;
+
+    fn machine(fast_pages: u64, slow_pages: u64) -> MachineMemory {
+        MachineMemory::builder()
+            .fast_mem(fast_pages * 4096, ThrottleConfig::fast_mem())
+            .slow_mem(slow_pages * 4096, ThrottleConfig::slow_mem_default())
+            .build()
+    }
+
+    fn spec(min_f: u64, max_f: u64, min_s: u64, max_s: u64) -> GuestSpec {
+        let mut s = GuestSpec::default();
+        s.min[MemKind::Fast] = min_f;
+        s.max[MemKind::Fast] = max_f;
+        s.min[MemKind::Slow] = min_s;
+        s.max[MemKind::Slow] = max_s;
+        s
+    }
+
+    #[test]
+    fn register_backs_minimum_with_frames() {
+        let mut vmm = Vmm::new(machine(100, 100), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(30, 60, 0, 100)).unwrap();
+        assert_eq!(vmm.machine().free_frames(MemKind::Fast), 70);
+        assert_eq!(vmm.granted(GuestId(0)).unwrap()[MemKind::Fast], 30);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_guests_error() {
+        let mut vmm = Vmm::new(machine(10, 10), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(1), GuestSpec::default()).unwrap();
+        assert_eq!(
+            vmm.register_guest(GuestId(1), GuestSpec::default()),
+            Err(VmmError::DuplicateGuest(GuestId(1)))
+        );
+        assert_eq!(
+            vmm.granted(GuestId(9)),
+            Err(VmmError::UnknownGuest(GuestId(9)))
+        );
+    }
+
+    #[test]
+    fn insufficient_machine_memory_rolls_back() {
+        let mut vmm = Vmm::new(machine(10, 10), SharePolicy::paper_drf());
+        let err = vmm.register_guest(GuestId(0), spec(5, 5, 20, 20));
+        assert_eq!(err, Err(VmmError::InsufficientMachineMemory(MemKind::Slow)));
+        // The Fast frames taken before the failure came back.
+        assert_eq!(vmm.machine().free_frames(MemKind::Fast), 10);
+    }
+
+    #[test]
+    fn request_clamps_to_guest_max() {
+        let mut vmm = Vmm::new(machine(100, 100), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 20, 0, 100)).unwrap();
+        let g = vmm
+            .request_memory(GuestId(0), MemKind::Fast, 50, None)
+            .unwrap();
+        assert_eq!(g.granted[MemKind::Fast], 20);
+        assert!(g.reclaim_plan.is_empty());
+    }
+
+    #[test]
+    fn fallback_tier_covers_unmet_demand() {
+        let mut vmm = Vmm::new(machine(10, 100), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 100, 0, 100)).unwrap();
+        let g = vmm
+            .request_memory(GuestId(0), MemKind::Fast, 30, Some(MemKind::Slow))
+            .unwrap();
+        assert_eq!(g.granted[MemKind::Fast], 10);
+        assert_eq!(g.granted[MemKind::Slow], 20);
+    }
+
+    #[test]
+    fn contention_produces_reclaim_plan_and_confirm_executes_it() {
+        let mut vmm = Vmm::new(machine(100, 100), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(10, 100, 0, 100)).unwrap();
+        vmm.register_guest(GuestId(1), spec(10, 100, 0, 100)).unwrap();
+        // Guest 1 hoards FastMem.
+        let g = vmm
+            .request_memory(GuestId(1), MemKind::Fast, 80, None)
+            .unwrap();
+        assert_eq!(g.granted[MemKind::Fast], 80);
+        // Guest 0 wants 30: none free → reclaim plan against guest 1.
+        let g = vmm
+            .request_memory(GuestId(0), MemKind::Fast, 30, None)
+            .unwrap();
+        assert_eq!(g.granted[MemKind::Fast], 0);
+        assert_eq!(g.reclaim_plan, vec![(GuestId(1), MemKind::Fast, 30)]);
+        vmm.confirm_reclaim(GuestId(1), MemKind::Fast, 30).unwrap();
+        assert_eq!(vmm.granted(GuestId(1)).unwrap()[MemKind::Fast], 60);
+        let g = vmm
+            .request_memory(GuestId(0), MemKind::Fast, 30, None)
+            .unwrap();
+        assert_eq!(g.granted[MemKind::Fast], 30);
+    }
+
+    #[test]
+    fn release_returns_frames_to_machine() {
+        let mut vmm = Vmm::new(machine(50, 50), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 50, 0, 50)).unwrap();
+        vmm.request_memory(GuestId(0), MemKind::Fast, 25, None)
+            .unwrap();
+        assert_eq!(vmm.machine().free_frames(MemKind::Fast), 25);
+        vmm.release_memory(GuestId(0), MemKind::Fast, 25).unwrap();
+        assert_eq!(vmm.machine().free_frames(MemKind::Fast), 50);
+    }
+
+    #[test]
+    fn ring_pump_answers_on_demand_requests() {
+        let mut vmm = Vmm::new(machine(40, 40), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 40, 0, 40)).unwrap();
+        vmm.ring_mut(GuestId(0))
+            .unwrap()
+            .post_front(FrontMsg::OnDemand {
+                kind: MemKind::Fast,
+                pages: 8,
+                fallback: None,
+            })
+            .unwrap();
+        let handled = vmm.process_guest_requests(GuestId(0)).unwrap();
+        assert_eq!(handled, 1);
+        let resp = vmm.ring_mut(GuestId(0)).unwrap().poll_back();
+        assert_eq!(
+            resp,
+            Some(BackMsg::Grant {
+                kind: MemKind::Fast,
+                pages: 8
+            })
+        );
+    }
+
+    #[test]
+    fn ring_pump_updates_tracking_lists_and_scans_coordinated() {
+        let mut vmm = Vmm::new(machine(64, 256), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), GuestSpec::default()).unwrap();
+        let mut kernel = GuestKernel::new(hetero_guest::GuestConfig {
+            frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 256)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        let (vma, _) = kernel
+            .mmap_heap(8, std::iter::repeat(200), &[MemKind::Slow])
+            .unwrap();
+        let ring = vmm.ring_mut(GuestId(0)).unwrap();
+        ring.post_front(FrontMsg::TrackingList(vec![(vma.start, vma.end())]))
+            .unwrap();
+        ring.post_front(FrontMsg::ExceptionList(vec![PageType::PageCache]))
+            .unwrap();
+        vmm.process_guest_requests(GuestId(0)).unwrap();
+        let mut always = |_: &hetero_guest::page::Page| true;
+        // Threshold 2 (default): two scans to become hot.
+        vmm.scan_guest(GuestId(0), &kernel, &mut always, 1 << 20, true)
+            .unwrap();
+        let out = vmm
+            .scan_guest(GuestId(0), &kernel, &mut always, 1 << 20, true)
+            .unwrap();
+        assert_eq!(out.scanned, 8);
+        assert_eq!(out.hot_candidates.len(), 8);
+    }
+
+    #[test]
+    fn balloon_ack_message_confirms_reclaim() {
+        let mut vmm = Vmm::new(machine(40, 40), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 40, 0, 40)).unwrap();
+        vmm.request_memory(GuestId(0), MemKind::Fast, 20, None)
+            .unwrap();
+        vmm.ring_mut(GuestId(0))
+            .unwrap()
+            .post_front(FrontMsg::BalloonAck {
+                kind: MemKind::Fast,
+                pages: 20,
+            })
+            .unwrap();
+        vmm.process_guest_requests(GuestId(0)).unwrap();
+        assert_eq!(vmm.granted(GuestId(0)).unwrap()[MemKind::Fast], 0);
+        assert_eq!(vmm.machine().free_frames(MemKind::Fast), 40);
+    }
+}

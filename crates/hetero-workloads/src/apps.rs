@@ -1,0 +1,365 @@
+//! The six datacenter applications of Table 2, as calibrated models.
+//!
+//! Measured anchors come straight from the paper: MPKI from Table 4, the
+//! page-type mix from Fig 4, and qualitative behaviour from §2.2 (Graphchi
+//! churns memory, Metis seldom releases, X-Stream streams its input through
+//! the page cache, LevelDB lives in page+buffer cache, Redis cycles network
+//! skbuffs, Nginx's active set is under 60 MB). `cpi_base` and `mlp` are
+//! free calibration constants chosen so the all-SlowMem (L:5,B:12) slowdown
+//! lands near Fig 1; see DESIGN.md §3 and EXPERIMENTS.md.
+
+use crate::spec::{AccessMix, Footprint, WorkloadSpec};
+
+const GB: u64 = 1 << 30;
+const MB: u64 = 1 << 20;
+/// Testbed core clock (16-core Xeon X5560, §5.1).
+const CLOCK_GHZ: f64 = 2.67;
+/// Instructions per run at paper scale — sized for ~1200 epochs and a few
+/// hundred simulated seconds, matching the paper's multi-minute runs so
+/// migration investments amortise at Table 6 prices.
+const RUN_INSTRUCTIONS: u64 = 600_000_000_000;
+/// Instructions per epoch quantum at paper scale.
+const EPOCH_INSTRUCTIONS: u64 = 500_000_000;
+
+fn base(name: &'static str) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        mpki: 1.0,
+        cpi_base: 1.0,
+        mlp: 1.0,
+        threads: 1.0,
+        clock_ghz: CLOCK_GHZ,
+        total_instructions: RUN_INSTRUCTIONS,
+        instructions_per_epoch: EPOCH_INSTRUCTIONS,
+        footprint: Footprint::default(),
+        access_mix: AccessMix {
+            heap: 1.0,
+            page_cache: 0.0,
+            buffer_cache: 0.0,
+            slab: 0.0,
+            net_buf: 0.0,
+        },
+        hot_wss_bytes: GB,
+        hot_access_fraction: 0.8,
+        hot_page_fraction: 0.25,
+        fresh_hot_fraction: 0.5,
+        write_fraction: 0.3,
+        heap_churn_per_sec: 0.0,
+        io_churn_per_sec: 0.0,
+        kernel_buf_churn_per_sec: 0.0,
+        ramp_fraction: 0.15,
+    }
+}
+
+/// GraphChi: PageRank over the Orkut social graph (Table 2). Memory- and
+/// page-cache-intensive; frequently allocates and releases (§2.2 Obs. 3).
+pub fn graphchi() -> WorkloadSpec {
+    WorkloadSpec {
+        mpki: 27.4,
+        cpi_base: 1.88,
+        mlp: 6.0,
+        threads: 4.0,
+        footprint: Footprint {
+            heap: 5 * GB + GB / 2,
+            page_cache: GB + GB / 2,
+            buffer_cache: 64 * MB,
+            slab: 96 * MB,
+            net_buf: 0,
+        },
+        access_mix: AccessMix {
+            heap: 0.72,
+            page_cache: 0.22,
+            buffer_cache: 0.01,
+            slab: 0.05,
+            net_buf: 0.0,
+        },
+        hot_wss_bytes: GB + GB / 2,
+        hot_access_fraction: 0.8,
+        hot_page_fraction: 0.22,
+        fresh_hot_fraction: 0.85,
+        write_fraction: 0.35,
+        // Fig 4: Graphchi allocates 5.04 M pages (~20 GB) over a run with a
+        // ~7 GB resident footprint — about four heap turnovers.
+        heap_churn_per_sec: 0.02,
+        io_churn_per_sec: 0.02,
+        kernel_buf_churn_per_sec: 0.01,
+        ..base("Graphchi")
+    }
+}
+
+/// X-Stream: edge-centric graph processing over the same input (Table 2).
+/// Streams the memory-mapped input through the page cache.
+pub fn x_stream() -> WorkloadSpec {
+    WorkloadSpec {
+        mpki: 24.8,
+        cpi_base: 2.10,
+        mlp: 6.0,
+        threads: 4.0,
+        footprint: Footprint {
+            heap: 3 * GB,
+            page_cache: 4 * GB,
+            buffer_cache: 96 * MB,
+            slab: 128 * MB,
+            net_buf: 0,
+        },
+        access_mix: AccessMix {
+            heap: 0.40,
+            page_cache: 0.54,
+            buffer_cache: 0.01,
+            slab: 0.05,
+            net_buf: 0.0,
+        },
+        hot_wss_bytes: GB + GB / 2,
+        hot_access_fraction: 0.75,
+        hot_page_fraction: 0.25,
+        fresh_hot_fraction: 0.75,
+        write_fraction: 0.3,
+        // Fig 4: 3.34 M pages (~13 GB) cumulative vs ~7 GB resident; most
+        // of the excess streams through the page cache.
+        heap_churn_per_sec: 0.008,
+        io_churn_per_sec: 0.015,
+        kernel_buf_churn_per_sec: 0.008,
+        ..base("X-Stream")
+    }
+}
+
+/// Metis: shared-memory map-reduce, 4 GB crime dataset, 8 mapper/reducer
+/// threads (Table 2). Large working set, seldom releases memory (§5.3).
+pub fn metis() -> WorkloadSpec {
+    WorkloadSpec {
+        mpki: 14.9,
+        cpi_base: 3.0,
+        mlp: 4.0,
+        threads: 4.0,
+        footprint: Footprint {
+            heap: 5 * GB,
+            page_cache: 256 * MB,
+            buffer_cache: 32 * MB,
+            slab: 64 * MB,
+            net_buf: 0,
+        },
+        access_mix: AccessMix {
+            heap: 0.92,
+            page_cache: 0.05,
+            buffer_cache: 0.0,
+            slab: 0.03,
+            net_buf: 0.0,
+        },
+        hot_wss_bytes: 4 * GB + GB / 2,
+        hot_access_fraction: 0.85,
+        hot_page_fraction: 0.6,
+        fresh_hot_fraction: 0.7,
+        write_fraction: 0.35,
+        // §5.3: Metis "seldom releases memory".
+        heap_churn_per_sec: 0.002,
+        io_churn_per_sec: 0.01,
+        kernel_buf_churn_per_sec: 0.005,
+        ..base("Metis")
+    }
+}
+
+/// LevelDB: SQLite-bench over Google's LevelDB, 1 M keys (Table 2).
+/// Storage-intensive: page cache, memory-mapped database, journal buffers.
+pub fn leveldb() -> WorkloadSpec {
+    WorkloadSpec {
+        mpki: 4.7,
+        cpi_base: 4.33,
+        mlp: 2.0,
+        threads: 2.0,
+        footprint: Footprint {
+            heap: GB / 2,
+            page_cache: GB,
+            buffer_cache: 384 * MB,
+            slab: 128 * MB,
+            net_buf: 0,
+        },
+        access_mix: AccessMix {
+            heap: 0.30,
+            page_cache: 0.45,
+            buffer_cache: 0.15,
+            slab: 0.10,
+            net_buf: 0.0,
+        },
+        hot_wss_bytes: 128 * MB,
+        hot_access_fraction: 0.7,
+        hot_page_fraction: 0.3,
+        fresh_hot_fraction: 0.6,
+        write_fraction: 0.4,
+        // Fig 4: 0.53 M pages cumulative ≈ the resident footprint — page-
+        // level churn is low (cache blocks are reused in place).
+        heap_churn_per_sec: 0.002,
+        io_churn_per_sec: 0.01,
+        kernel_buf_churn_per_sec: 0.01,
+        ..base("LevelDB")
+    }
+}
+
+/// Redis: key-value store, 4 M ops at 80 % GETs (Table 2).
+/// Network-intensive: cycles skbuff slab pages at request rate.
+pub fn redis() -> WorkloadSpec {
+    WorkloadSpec {
+        mpki: 11.1,
+        cpi_base: 3.26,
+        mlp: 4.0,
+        threads: 1.0,
+        footprint: Footprint {
+            heap: 3 * GB,
+            page_cache: 64 * MB,
+            buffer_cache: 32 * MB,
+            slab: 160 * MB,
+            net_buf: 256 * MB,
+        },
+        access_mix: AccessMix {
+            heap: 0.50,
+            page_cache: 0.0,
+            buffer_cache: 0.0,
+            slab: 0.12,
+            net_buf: 0.38,
+        },
+        hot_wss_bytes: 384 * MB,
+        hot_access_fraction: 0.75,
+        hot_page_fraction: 0.15,
+        fresh_hot_fraction: 0.5,
+        write_fraction: 0.3,
+        // Fig 4: 0.94 M pages ≈ resident + modest skbuff page cycling
+        // (objects churn at request rate, backing pages are reused).
+        heap_churn_per_sec: 0.001,
+        io_churn_per_sec: 0.002,
+        kernel_buf_churn_per_sec: 0.01,
+        ..base("Redis")
+    }
+}
+
+/// Nginx: static/dynamic web serving over 1 M pages (Table 2). Storage- and
+/// network-intensive with an active working set under 60 MB (§2.2) — the
+/// paper measures <10 % heterogeneity impact and drops it from §5.3 on.
+pub fn nginx() -> WorkloadSpec {
+    WorkloadSpec {
+        // CPI includes kernel network-stack and event-loop work — Nginx is
+        // request-processing-bound, which is why heterogeneity barely
+        // touches it (§2.2: <10% impact).
+        mpki: 2.1,
+        cpi_base: 22.2,
+        mlp: 1.5,
+        threads: 4.0,
+        footprint: Footprint {
+            heap: 48 * MB,
+            page_cache: 128 * MB,
+            buffer_cache: 16 * MB,
+            slab: 32 * MB,
+            net_buf: 48 * MB,
+        },
+        access_mix: AccessMix {
+            heap: 0.30,
+            page_cache: 0.40,
+            buffer_cache: 0.0,
+            slab: 0.05,
+            net_buf: 0.25,
+        },
+        hot_wss_bytes: 56 * MB,
+        hot_access_fraction: 0.9,
+        hot_page_fraction: 0.5,
+        fresh_hot_fraction: 0.6,
+        write_fraction: 0.2,
+        heap_churn_per_sec: 0.002,
+        io_churn_per_sec: 0.05,
+        kernel_buf_churn_per_sec: 0.05,
+        ..base("Nginx")
+    }
+}
+
+/// All Table 2 applications, in the paper's presentation order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        graphchi(),
+        x_stream(),
+        metis(),
+        leveldb(),
+        redis(),
+        nginx(),
+    ]
+}
+
+/// The five applications of Figs 9–12 (Nginx dropped per §5.3).
+pub fn fig9_apps() -> Vec<WorkloadSpec> {
+    vec![graphchi(), x_stream(), metis(), leveldb(), redis()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_matches_table4() {
+        let expect = [
+            ("Graphchi", 27.4),
+            ("X-Stream", 24.8),
+            ("Metis", 14.9),
+            ("LevelDB", 4.7),
+            ("Redis", 11.1),
+            ("Nginx", 2.1),
+        ];
+        for (name, mpki) in expect {
+            let spec = all().into_iter().find(|s| s.name == name).unwrap();
+            assert!((spec.mpki - mpki).abs() < 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn access_mixes_sum_to_one() {
+        for spec in all() {
+            assert!(
+                (spec.access_mix.total() - 1.0).abs() < 1e-9,
+                "{} mix sums to {}",
+                spec.name,
+                spec.access_mix.total()
+            );
+        }
+    }
+
+    #[test]
+    fn footprints_fit_guest_memory() {
+        // §5.1: guests have 8 GB SlowMem (+ up to 4 GB FastMem).
+        for spec in all() {
+            assert!(
+                spec.footprint.total() <= 8 * GB,
+                "{} resident footprint {} exceeds guest memory",
+                spec.name,
+                spec.footprint.total()
+            );
+        }
+    }
+
+    #[test]
+    fn nginx_active_set_is_tiny() {
+        assert!(nginx().hot_wss_bytes < 60 * MB);
+    }
+
+    #[test]
+    fn io_apps_have_io_heavy_access_mix() {
+        // §3.2: X-Stream and LevelDB are page-cache-bound; Redis netbuf-bound.
+        assert!(x_stream().access_mix.page_cache > x_stream().access_mix.heap);
+        assert!(leveldb().access_mix.page_cache > leveldb().access_mix.heap);
+        assert!(redis().access_mix.net_buf > 0.3);
+        // Metis is overwhelmingly heap.
+        assert!(metis().access_mix.heap > 0.9);
+    }
+
+    #[test]
+    fn hot_sets_are_smaller_than_footprints() {
+        for spec in all() {
+            assert!(
+                spec.hot_wss_bytes <= spec.footprint.total(),
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_set_drops_nginx() {
+        let names: Vec<_> = fig9_apps().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 5);
+        assert!(!names.contains(&"Nginx"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Application models for the HeteroOS reproduction.
+//!
+//! The paper evaluates six real datacenter applications (Table 2). This
+//! crate models each one from the paper's own measurements — MPKI (Table 4),
+//! page-type mix (Fig 4), working-set and churn behaviour (§2.2) — plus the
+//! `memlat` and Stream microbenchmarks of §5.2:
+//!
+//! * [`spec`] — [`WorkloadSpec`], [`EpochDemand`] and the [`Workload`]
+//!   trait,
+//! * [`app_model`] — the generic ramp/steady/churn epoch generator,
+//! * [`apps`] — GraphChi, X-Stream, Metis, LevelDB, Redis, Nginx,
+//! * [`micro`] — `memlat` (Fig 6) and Stream (Fig 7),
+//! * [`trace`] — record/replay of epoch-demand streams (bring your own
+//!   traces).
+//!
+//! # Examples
+//!
+//! ```
+//! use hetero_sim::SimRng;
+//! use hetero_workloads::{apps, AppWorkload, Workload};
+//!
+//! let mut wl = AppWorkload::new(apps::redis(), 256 << 10, 64);
+//! let mut rng = SimRng::seed_from(7);
+//! let first = wl.next_epoch(&mut rng).expect("run just started");
+//! assert!(first.instructions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app_model;
+pub mod apps;
+pub mod micro;
+pub mod spec;
+pub mod trace;
+
+pub use app_model::AppWorkload;
+pub use spec::{AccessMix, EpochDemand, Footprint, Workload, WorkloadSpec};
+pub use trace::{TraceWorkload, WorkloadTrace};

@@ -1,0 +1,66 @@
+//! Compare every management policy on a chosen application across FastMem
+//! capacity ratios — a miniature Fig 9/11 for one workload.
+//!
+//! ```text
+//! cargo run --release --example tiering_policy_comparison -- leveldb
+//! ```
+//!
+//! Accepted apps: graphchi, xstream, metis, leveldb, redis, nginx.
+
+use heteroos::core::{run_app, Policy, SimConfig};
+use heteroos::workloads::{apps, WorkloadSpec};
+
+fn pick(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "graphchi" => Some(apps::graphchi()),
+        "xstream" | "x-stream" => Some(apps::x_stream()),
+        "metis" => Some(apps::metis()),
+        "leveldb" => Some(apps::leveldb()),
+        "redis" => Some(apps::redis()),
+        "nginx" => Some(apps::nginx()),
+        _ => None,
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "leveldb".into());
+    let Some(mut spec) = pick(&name) else {
+        eprintln!("unknown app '{name}' (try graphchi/xstream/metis/leveldb/redis/nginx)");
+        std::process::exit(1);
+    };
+    spec.total_instructions /= 8;
+
+    println!("== {} — gains (%) over SlowMem-only ==", spec.name);
+    print!("{:<22}", "policy");
+    for den in [2u64, 4, 8] {
+        print!(" {:>8}", format!("1/{den}"));
+    }
+    println!();
+
+    let policies = [
+        Policy::NumaPreferred,
+        Policy::HeapOd,
+        Policy::HeapIoSlabOd,
+        Policy::HeteroLru,
+        Policy::VmmExclusive,
+        Policy::HeteroCoordinated,
+        Policy::FastMemOnly,
+    ];
+    // Baselines per ratio.
+    let mut rows: Vec<(Policy, Vec<f64>)> = policies.iter().map(|&p| (p, Vec::new())).collect();
+    for den in [2u64, 4, 8] {
+        let cfg = SimConfig::paper_default().with_capacity_ratio(1, den);
+        let slow = run_app(&cfg, Policy::SlowMemOnly, spec.clone());
+        for (p, gains) in &mut rows {
+            let r = run_app(&cfg, *p, spec.clone());
+            gains.push(r.gain_percent_vs(&slow));
+        }
+    }
+    for (p, gains) in rows {
+        print!("{:<22}", p.name());
+        for g in gains {
+            print!(" {:>7.1}%", g);
+        }
+        println!();
+    }
+}

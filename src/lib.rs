@@ -1,0 +1,19 @@
+//! HeteroOS reproduction — facade crate.
+//!
+//! Re-exports the public API of the workspace so downstream users can depend
+//! on a single crate. See the individual crates for details:
+//!
+//! * [`hetero_core`] — the HeteroOS policies and simulators (start here),
+//! * [`hetero_workloads`] — the datacenter application models,
+//! * [`hetero_guest`] / [`hetero_vmm`] — the guest-OS and hypervisor substrates,
+//! * [`hetero_mem`] — the heterogeneous-memory hardware model,
+//! * [`hetero_sim`] — clock, RNG and statistics plumbing.
+
+#![forbid(unsafe_code)]
+
+pub use hetero_core as core;
+pub use hetero_guest as guest;
+pub use hetero_mem as mem;
+pub use hetero_sim as sim;
+pub use hetero_vmm as vmm;
+pub use hetero_workloads as workloads;

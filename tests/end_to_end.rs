@@ -1,0 +1,137 @@
+//! End-to-end integration tests across the whole stack: workloads → guest
+//! kernel → VMM machinery → policies → reports.
+
+use heteroos::core::{run_app, Policy, SimConfig};
+use heteroos::mem::ThrottleConfig;
+use heteroos::sim::CostCategory;
+use heteroos::workloads::{apps, WorkloadSpec};
+
+fn quick(mut spec: WorkloadSpec) -> WorkloadSpec {
+    spec.total_instructions /= 16;
+    spec
+}
+
+fn cfg() -> SimConfig {
+    SimConfig::paper_default().with_capacity_ratio(1, 4)
+}
+
+#[test]
+fn baseline_sandwich_holds_for_every_app_and_policy() {
+    // FastMem-only ≤ policy ≤ SlowMem-only (in runtime) for every managed
+    // policy — the fundamental sanity envelope of the whole system.
+    for spec in apps::all() {
+        let spec = quick(spec);
+        let cfg = cfg();
+        let fast = run_app(&cfg, Policy::FastMemOnly, spec.clone());
+        let slow = run_app(&cfg, Policy::SlowMemOnly, spec.clone());
+        assert!(
+            fast.runtime <= slow.runtime,
+            "{}: ideal must not lose to naive",
+            spec.name
+        );
+        for policy in [
+            Policy::NumaPreferred,
+            Policy::HeapOd,
+            Policy::HeapIoSlabOd,
+            Policy::HeteroLru,
+        ] {
+            let r = run_app(&cfg, policy, spec.clone());
+            // Small tolerance: for memory-insensitive apps (Nginx) the
+            // stochastic churn makes runs jitter by well under a percent.
+            assert!(
+                r.runtime.saturating_mul(100) >= fast.runtime.saturating_mul(99),
+                "{}/{}: beat the ideal?",
+                spec.name,
+                policy
+            );
+            assert!(
+                r.runtime <= slow.runtime.saturating_mul(2),
+                "{}/{}: catastrophically slow",
+                spec.name,
+                policy
+            );
+        }
+    }
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let r = run_app(&cfg(), Policy::HeteroCoordinated, quick(apps::graphchi()));
+    // The breakdown covers the runtime (everything the engine charges is
+    // attributed).
+    let attributed: heteroos::sim::Nanos = r.breakdown.iter().map(|&(_, t)| t).sum();
+    assert_eq!(attributed, r.runtime);
+    // Overhead never exceeds runtime; misses and epochs are populated.
+    assert!(r.overhead() <= r.runtime);
+    assert!(r.misses > 0.0);
+    assert!(r.epochs > 0);
+    assert!(r.scans > 0);
+    // Compute + stall dominate a sane run.
+    let core_time = r.spent(CostCategory::Compute) + r.spent(CostCategory::MemoryStall);
+    assert!(core_time.ratio(r.runtime) > 0.5);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_reports() {
+    let spec = quick(apps::redis());
+    let a = run_app(&cfg().with_seed(99), Policy::HeteroLru, spec.clone());
+    let b = run_app(&cfg().with_seed(99), Policy::HeteroLru, spec.clone());
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.scanned_pages, b.scanned_pages);
+    assert_eq!(a.fast_alloc_miss_ratio, b.fast_alloc_miss_ratio);
+    // A different seed perturbs the run (stochastic churn).
+    let c = run_app(&cfg().with_seed(100), Policy::HeteroLru, spec);
+    assert_ne!(a.runtime, c.runtime);
+}
+
+#[test]
+fn deeper_throttling_slows_the_naive_baseline_monotonically() {
+    let spec = quick(apps::metis());
+    let mut last = heteroos::sim::Nanos::ZERO;
+    for (l, b) in [(1.0, 1.0), (2.0, 2.0), (5.0, 5.0), (5.0, 12.0)] {
+        let cfg = cfg().with_slow_throttle(ThrottleConfig::from_factors(l, b));
+        let r = run_app(&cfg, Policy::SlowMemOnly, spec.clone());
+        assert!(
+            r.runtime >= last,
+            "L:{l},B:{b} should not be faster than the previous point"
+        );
+        last = r.runtime;
+    }
+}
+
+#[test]
+fn more_fastmem_never_hurts_managed_policies() {
+    let spec = quick(apps::x_stream());
+    for policy in [Policy::HeapIoSlabOd, Policy::HeteroLru] {
+        let small = run_app(
+            &SimConfig::paper_default().with_capacity_ratio(1, 16),
+            policy,
+            spec.clone(),
+        );
+        let big = run_app(
+            &SimConfig::paper_default().with_capacity_ratio(1, 2),
+            policy,
+            spec.clone(),
+        );
+        assert!(
+            big.runtime <= small.runtime.saturating_mul(2),
+            "{policy}: grossly non-monotonic in capacity"
+        );
+        assert!(
+            big.runtime < small.runtime,
+            "{policy}: 8x more FastMem must help X-Stream"
+        );
+    }
+}
+
+#[test]
+fn guest_transparent_policies_do_not_touch_application_code() {
+    // The same workload spec (no policy-specific fields) drives every
+    // policy — application transparency by construction. This test pins
+    // that the spec is identical before/after runs.
+    let spec = quick(apps::leveldb());
+    let snapshot = spec.clone();
+    let _ = run_app(&cfg(), Policy::HeteroCoordinated, spec.clone());
+    assert_eq!(spec, snapshot);
+}
