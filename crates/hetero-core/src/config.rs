@@ -104,6 +104,11 @@ pub struct SimConfig {
     /// not depend on this; the `ext-hints` experiment quantifies how much
     /// transparency leaves on the table.
     pub app_hints: bool,
+    /// Run the cross-layer invariant auditor after every engine step,
+    /// collecting typed violation reports (`SingleVmSim::violations`).
+    /// Costs a full memmap walk per step — meant for chaos/fault runs and
+    /// debugging, not performance experiments.
+    pub audit_invariants: bool,
 }
 
 impl SimConfig {
@@ -147,6 +152,7 @@ impl SimConfig {
             bare_metal: false,
             trace_events: 0,
             app_hints: false,
+            audit_invariants: false,
         }
     }
 
@@ -189,6 +195,12 @@ impl SimConfig {
     /// Sets the hotness-scan interval.
     pub fn with_scan_interval(mut self, interval: Nanos) -> Self {
         self.scan_interval = interval;
+        self
+    }
+
+    /// Enables the per-step invariant auditor.
+    pub fn with_audit_invariants(mut self, on: bool) -> Self {
+        self.audit_invariants = on;
         self
     }
 

@@ -15,6 +15,7 @@
 //! The result is a [`RunReport`]; slowdowns and gains come from comparing
 //! reports across policies, exactly as the paper compares runs.
 
+use hetero_faults::{audit_kernel, FaultInjector, Violation};
 use hetero_guest::kernel::{AllocFailed, GuestConfig, MigrateError};
 use hetero_guest::page::{Gfn, Page, PageType};
 use hetero_guest::pagecache::FileId;
@@ -129,6 +130,16 @@ pub struct SingleVmSim<W: Workload = AppWorkload> {
     done: bool,
     /// Optional trace of what the run did (see `SimConfig::trace_events`).
     events: Option<EventLog>,
+    /// Optional deterministic fault injector (see `set_fault_injector`).
+    injector: Option<FaultInjector>,
+    /// FastMem is treated as unavailable this epoch (injected allocation
+    /// failure): placement degrades to the slower tiers instead of failing.
+    degraded: bool,
+    /// Throttle multiplier from an active injected latency storm.
+    storm_factor: f64,
+    /// Invariant violations found by the per-step auditor
+    /// (`SimConfig::audit_invariants`).
+    violations: Vec<Violation>,
 }
 
 impl<W: Workload> SingleVmSim<W> {
@@ -218,6 +229,10 @@ impl<W: Workload> SingleVmSim<W> {
             epochs: 0,
             done: false,
             events: (cfg.trace_events > 0).then(|| EventLog::new(cfg.trace_events)),
+            injector: None,
+            degraded: false,
+            storm_factor: 1.0,
+            violations: Vec::new(),
             kernel,
             workload,
             cfg,
@@ -256,6 +271,25 @@ impl<W: Workload> SingleVmSim<W> {
     /// (`SimConfig::trace_events > 0`).
     pub fn events(&self) -> Option<&EventLog> {
         self.events.as_ref()
+    }
+
+    /// Arms deterministic fault injection for this run. The injector's
+    /// decisions perturb allocation, throttling and migration; the engine
+    /// responds by degrading placement rather than failing the step.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The armed injector (its trace records everything that fired).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Violations found by the per-step invariant auditor. Empty unless
+    /// `SimConfig::audit_invariants` is set — and, if the kernel is
+    /// healthy, empty even then.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
     }
 
     fn trace(&mut self, kind: EventKind, detail: impl FnOnce() -> String) {
@@ -322,8 +356,24 @@ impl<W: Workload> SingleVmSim<W> {
 
     // ------------------------------------------------------------ placement
 
+    /// The chain with FastMem struck out — degraded-placement mode while an
+    /// injected allocation failure is active.
+    fn without_fast(chain: TierChain) -> TierChain {
+        let kinds: Vec<MemKind> = chain
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&k| k != MemKind::Fast)
+            .collect();
+        if kinds.is_empty() {
+            TierChain::new(&[MemKind::Slow])
+        } else {
+            TierChain::new(&kinds)
+        }
+    }
+
     fn preference(&mut self, page_type: PageType) -> TierChain {
-        match self.policy {
+        let chain = match self.policy {
             Policy::SlowMemOnly => self.chain_slow_only,
             Policy::FastMemOnly => self.chain_fast_first,
             Policy::Random => {
@@ -374,16 +424,50 @@ impl<W: Workload> SingleVmSim<W> {
             // blind; pages land wherever the VMM backs them first (SlowMem
             // until pressure), and only migration moves them up (§5.2).
             Policy::VmmExclusive => self.chain_slow_first,
+        };
+        if self.degraded {
+            Self::without_fast(chain)
+        } else {
+            chain
         }
     }
 
     // --------------------------------------------------------------- epochs
+
+    /// Consults the armed injector at the top of an epoch: advances its
+    /// step, refreshes the storm multiplier, and decides whether FastMem
+    /// placement is degraded this epoch. Defenses are traced as
+    /// [`EventKind::Fault`] events.
+    fn begin_fault_step(&mut self) {
+        let prev_storm = self.storm_factor;
+        self.degraded = false;
+        self.storm_factor = 1.0;
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        inj.begin_step();
+        let storm = inj.storm_factor();
+        let degraded = inj.fail_alloc(MemKind::Fast);
+        self.storm_factor = storm;
+        self.degraded = degraded;
+        if degraded {
+            self.trace(EventKind::Fault, || {
+                "FastMem allocation failed; placement degraded to slower tiers".to_string()
+            });
+        }
+        if storm > 1.0 && (prev_storm - storm).abs() > f64::EPSILON {
+            self.trace(EventKind::Fault, || {
+                format!("latency storm x{storm:.2} began")
+            });
+        }
+    }
 
     /// Runs one epoch. Returns `false` when the workload completed.
     pub fn step(&mut self) -> bool {
         if self.done {
             return false;
         }
+        self.begin_fault_step();
         let Some(demand) = self.workload.next_epoch(&mut self.rng) else {
             self.done = true;
             return false;
@@ -395,6 +479,9 @@ impl<W: Workload> SingleVmSim<W> {
         self.roll_stats_window();
         self.run_management();
         self.epochs += 1;
+        if self.cfg.audit_invariants {
+            self.violations.extend(audit_kernel(&self.kernel));
+        }
         true
     }
 
@@ -417,6 +504,7 @@ impl<W: Workload> SingleVmSim<W> {
             self.kernel.stats().overall_miss_ratio(),
             self.slow_writes,
             self.epochs,
+            self.events.as_ref().map_or(0, EventLog::dropped),
         )
     }
 
@@ -535,8 +623,13 @@ impl<W: Workload> SingleVmSim<W> {
                 // with a SlowMem hint — two separate regions.
                 let hot: Vec<u8> = heats.iter().copied().filter(|&h| h > 50).collect();
                 let cold: Vec<u8> = heats.iter().copied().filter(|&h| h <= 50).collect();
+                let hot_chain = if self.degraded {
+                    Self::without_fast(self.chain_fast_first)
+                } else {
+                    self.chain_fast_first
+                };
                 let groups = [
-                    (hot, self.chain_fast_first),
+                    (hot, hot_chain),
                     (cold, self.chain_slow_only),
                 ];
                 for (group, chain) in groups {
@@ -773,13 +866,19 @@ impl<W: Workload> SingleVmSim<W> {
         ];
         let mut lat_bound = compute_ns;
         let mut bw_bound: f64 = 0.0;
+        // An injected latency storm dilates every node's latency and cuts
+        // its usable bandwidth by the same factor for the storm's duration.
+        let storm = self.storm_factor.max(1.0);
         for i in 0..3 {
             let Some(p) = params[i] else { continue };
             lat_bound += (reads[i] * p.load_latency.as_nanos() as f64
                 + writes[i] * p.store_latency.as_nanos() as f64)
+                * storm
                 / keff;
-            bw_bound = bw_bound
-                .max((reads[i] + writes[i]) * line_bytes / (p.bandwidth_gbps * self.bw_share));
+            bw_bound = bw_bound.max(
+                (reads[i] + writes[i]) * line_bytes * storm
+                    / (p.bandwidth_gbps * self.bw_share),
+            );
         }
         let total_ns = lat_bound.max(bw_bound);
         let compute = Nanos::from_nanos(compute_ns.round() as u64);
@@ -1118,14 +1217,21 @@ impl<W: Workload> SingleVmSim<W> {
                     break;
                 }
             }
-            match self.kernel.migrate_page(gfn, MemKind::Fast) {
+            let res = match self.injector.as_mut() {
+                Some(inj) => inj.migrate_page(&mut self.kernel, gfn, MemKind::Fast),
+                None => self.kernel.migrate_page(gfn, MemKind::Fast),
+            };
+            match res {
                 Ok(_) => migrated += 1,
                 Err(
                     MigrateError::MarkedForReclaim
                     | MigrateError::DirtyIo
                     | MigrateError::NotPresent
                     | MigrateError::AlreadyThere
-                    | MigrateError::NotMigratable,
+                    | MigrateError::NotMigratable
+                    // Transient (injected) failures resolve by themselves;
+                    // the page stays a candidate for the next scan.
+                    | MigrateError::Transient,
                 ) => {}
                 Err(MigrateError::TargetFull) => break,
             }

@@ -32,6 +32,10 @@ pub struct RunReport {
     pub slow_writes: f64,
     /// Epochs executed.
     pub epochs: u64,
+    /// Trace events evicted from the bounded event log (0 when tracing was
+    /// off or the log never overflowed) — a non-zero value warns that the
+    /// retained trace is a suffix, not the whole story.
+    pub events_dropped: u64,
 }
 
 impl RunReport {
@@ -48,6 +52,7 @@ impl RunReport {
         fast_alloc_miss_ratio: f64,
         slow_writes: f64,
         epochs: u64,
+        events_dropped: u64,
     ) -> Self {
         let runtime = clock.now();
         let stall = clock.spent(CostCategory::MemoryStall);
@@ -75,6 +80,7 @@ impl RunReport {
             achieved_bandwidth_gbps,
             slow_writes,
             epochs,
+            events_dropped,
         }
     }
 
@@ -130,7 +136,7 @@ mod tests {
             Nanos::from_millis(runtime_ms - stall_ms),
         );
         clock.charge(CostCategory::MemoryStall, Nanos::from_millis(stall_ms));
-        RunReport::from_parts("p", "a", &clock, misses, 0, 0, 0, 0.0, 0.0, 10)
+        RunReport::from_parts("p", "a", &clock, misses, 0, 0, 0, 0.0, 0.0, 10, 0)
     }
 
     #[test]
@@ -163,7 +169,7 @@ mod tests {
         clock.charge(CostCategory::Compute, Nanos::from_millis(80));
         clock.charge(CostCategory::HotnessScan, Nanos::from_millis(15));
         clock.charge(CostCategory::PageCopy, Nanos::from_millis(5));
-        let r = RunReport::from_parts("p", "a", &clock, 0.0, 0, 0, 0, 0.0, 0.0, 1);
+        let r = RunReport::from_parts("p", "a", &clock, 0.0, 0, 0, 0, 0.0, 0.0, 1, 0);
         assert!((r.overhead_percent() - 20.0).abs() < 1e-9);
         assert_eq!(r.spent(CostCategory::HotnessScan), Nanos::from_millis(15));
         assert_eq!(r.avg_miss_latency_ns, 0.0, "no misses, no latency");

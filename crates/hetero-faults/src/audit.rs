@@ -1,0 +1,389 @@
+//! The invariant auditor: cross-checks global frame accounting.
+//!
+//! Fault injection is only useful if broken bookkeeping is *detected*, so
+//! after every audited step the engine (or the chaos harness) runs these
+//! checks and collects typed [`Violation`]s instead of relying on scattered
+//! `debug_assert!`s:
+//!
+//! * **guest-local** ([`audit_kernel`]): per-tier frame conservation
+//!   (resident + free = total), exact LRU membership (flag ↔ list, walk ↔
+//!   count, class ↔ page type), balloon pinning, and page-cache index
+//!   consistency,
+//! * **cross-layer** ([`audit_vmm`]): the VMM's fair-share ledger vs. its
+//!   per-guest machine-frame backing vs. the machine's free counts, and the
+//!   guest kernels' own view of how many frames they hold.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use hetero_guest::lru::LruClass;
+use hetero_guest::page::{Gfn, PageFlags, PageType};
+use hetero_guest::GuestKernel;
+use hetero_mem::MemKind;
+use hetero_vmm::drf::GuestId;
+use hetero_vmm::Vmm;
+
+/// One detected accounting violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `resident + free != total` on a tier.
+    FrameAccounting {
+        /// Tier checked.
+        kind: MemKind,
+        /// Pages the memmap says are present.
+        resident: u64,
+        /// Pages the allocator says are free (buddy + per-CPU).
+        free: u64,
+        /// Configured tier size.
+        total: u64,
+    },
+    /// LRU flag count disagrees with list membership count on a tier.
+    LruMembership {
+        /// Tier checked.
+        kind: MemKind,
+        /// Pages the registry says are listed.
+        listed: u64,
+        /// Pages whose memmap flags say they are listed.
+        flagged: u64,
+    },
+    /// Walking the LRU lists did not visit exactly the listed pages.
+    LruWalk {
+        /// Tier checked.
+        kind: MemKind,
+        /// Pages reached by walking every list.
+        walked: u64,
+        /// Pages the registry says are listed.
+        listed: u64,
+    },
+    /// A walked LRU page sits on the wrong list for its type/tier.
+    LruClassMismatch {
+        /// The offending page.
+        gfn: Gfn,
+        /// Its recorded type.
+        page_type: PageType,
+    },
+    /// BALLOONED flags disagree with the balloon ledger on a tier.
+    BalloonAccounting {
+        /// Tier checked.
+        kind: MemKind,
+        /// Pages flagged BALLOONED in the memmap.
+        flagged: u64,
+        /// Pages the balloon ledger tracks.
+        tracked: u64,
+    },
+    /// A page-cache index entry points at a non-resident or non-file page.
+    PageCacheEntry {
+        /// The indexed frame.
+        gfn: Gfn,
+        /// Its recorded type (`None` when not present at all).
+        page_type: Option<PageType>,
+    },
+    /// Two page-cache keys point at the same frame.
+    PageCacheDuplicate {
+        /// The doubly-indexed frame.
+        gfn: Gfn,
+    },
+    /// The VMM's share ledger and its machine-frame backing disagree.
+    GrantMismatch {
+        /// Guest checked.
+        guest: GuestId,
+        /// Pages the fair-share ledger says are granted.
+        granted: u64,
+        /// Machine frames actually backing the guest.
+        backed: u64,
+        /// Tier checked.
+        kind: MemKind,
+    },
+    /// A guest kernel's view of its holding disagrees with the VMM's.
+    GuestViewMismatch {
+        /// Guest checked.
+        guest: GuestId,
+        /// Tier checked.
+        kind: MemKind,
+        /// Pages the VMM says the guest holds.
+        granted: u64,
+        /// Pages the kernel thinks it owns (total − ballooned-out).
+        kernel_owned: u64,
+    },
+    /// Machine frames are neither free nor backing any guest (or are
+    /// double-counted).
+    MachineAccounting {
+        /// Tier checked.
+        kind: MemKind,
+        /// Machine free frames.
+        free: u64,
+        /// Frames backing registered guests.
+        backed: u64,
+        /// Machine tier size.
+        total: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::FrameAccounting {
+                kind,
+                resident,
+                free,
+                total,
+            } => write!(
+                f,
+                "{kind}: resident {resident} + free {free} != total {total}"
+            ),
+            Violation::LruMembership {
+                kind,
+                listed,
+                flagged,
+            } => write!(f, "{kind}: {listed} LRU-listed but {flagged} LRU-flagged"),
+            Violation::LruWalk {
+                kind,
+                walked,
+                listed,
+            } => write!(f, "{kind}: LRU walk reached {walked} of {listed} listed"),
+            Violation::LruClassMismatch { gfn, page_type } => {
+                write!(f, "gfn {gfn:?} ({page_type:?}) on the wrong LRU list")
+            }
+            Violation::BalloonAccounting {
+                kind,
+                flagged,
+                tracked,
+            } => write!(
+                f,
+                "{kind}: {flagged} BALLOONED-flagged but {tracked} in the balloon ledger"
+            ),
+            Violation::PageCacheEntry { gfn, page_type } => write!(
+                f,
+                "page-cache entry {gfn:?} is {page_type:?}, not a resident file page"
+            ),
+            Violation::PageCacheDuplicate { gfn } => {
+                write!(f, "page-cache indexes {gfn:?} twice")
+            }
+            Violation::GrantMismatch {
+                guest,
+                granted,
+                backed,
+                kind,
+            } => write!(
+                f,
+                "{guest} on {kind}: ledger grants {granted} but {backed} frames backed"
+            ),
+            Violation::GuestViewMismatch {
+                guest,
+                kind,
+                granted,
+                kernel_owned,
+            } => write!(
+                f,
+                "{guest} on {kind}: VMM grants {granted} but kernel owns {kernel_owned}"
+            ),
+            Violation::MachineAccounting {
+                kind,
+                free,
+                backed,
+                total,
+            } => write!(
+                f,
+                "{kind}: machine free {free} + backed {backed} != total {total}"
+            ),
+        }
+    }
+}
+
+/// Audits one guest kernel's internal frame accounting. Returns every
+/// violation found (empty = healthy).
+pub fn audit_kernel(kernel: &GuestKernel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mm = kernel.memmap();
+    let lru = kernel.lru();
+    for &kind in MemKind::ALL.iter() {
+        let total = kernel.total_frames(kind);
+        if total == 0 {
+            continue;
+        }
+        // Frame conservation: every frame is exactly one of resident/free.
+        let resident = mm.resident_on(kind);
+        let free = kernel.free_frames(kind);
+        if resident + free != total {
+            out.push(Violation::FrameAccounting {
+                kind,
+                resident,
+                free,
+                total,
+            });
+        }
+        // LRU flag exactness.
+        let range = mm.range(kind);
+        let mut flagged = 0u64;
+        let mut ballooned_flagged = 0u64;
+        for gfn in range.clone().map(Gfn) {
+            let page = mm.page(gfn);
+            if page.flags.contains(PageFlags::LRU) {
+                flagged += 1;
+            }
+            if page.flags.contains(PageFlags::BALLOONED) {
+                ballooned_flagged += 1;
+            }
+        }
+        let listed = lru.listed_on(kind);
+        if listed != flagged {
+            out.push(Violation::LruMembership {
+                kind,
+                listed,
+                flagged,
+            });
+        }
+        // Walking every list reaches every member exactly once, and each
+        // walked page sits on the list its type and tier dictate.
+        let mut walked = 0u64;
+        for class in [LruClass::Anon, LruClass::File] {
+            let split = lru.split(kind, class);
+            for gfn in split.active.iter(mm).chain(split.inactive.iter(mm)) {
+                walked += 1;
+                let page = mm.page(gfn);
+                if LruClass::of(page.page_type) != Some(class) || page.kind != kind {
+                    out.push(Violation::LruClassMismatch {
+                        gfn,
+                        page_type: page.page_type,
+                    });
+                }
+            }
+        }
+        if walked != listed {
+            out.push(Violation::LruWalk {
+                kind,
+                walked,
+                listed,
+            });
+        }
+        // Balloon pinning: flags and ledger agree.
+        let tracked = kernel.ballooned_pages(kind);
+        if ballooned_flagged != tracked {
+            out.push(Violation::BalloonAccounting {
+                kind,
+                flagged: ballooned_flagged,
+                tracked,
+            });
+        }
+    }
+    // Page-cache index: every entry names a distinct resident file page.
+    let mut seen = HashSet::new();
+    for (_file, _offset, gfn) in kernel.page_cache().iter() {
+        if !seen.insert(gfn) {
+            out.push(Violation::PageCacheDuplicate { gfn });
+            continue;
+        }
+        let page = mm.page(gfn);
+        let file_backed = page.is_present()
+            && matches!(
+                page.page_type,
+                PageType::PageCache | PageType::BufferCache
+            );
+        if !file_backed {
+            out.push(Violation::PageCacheEntry {
+                gfn,
+                page_type: page.is_present().then_some(page.page_type),
+            });
+        }
+    }
+    out
+}
+
+/// Audits the VMM's ledgers against the machine and (when provided) the
+/// guests' own kernels. `guests` pairs each registered guest with its
+/// kernel; guests without a kernel at hand may be omitted — the
+/// ledger-vs-backing and machine conservation checks still cover them.
+pub fn audit_vmm(vmm: &Vmm, guests: &[(GuestId, &GuestKernel)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &kind in MemKind::ALL.iter() {
+        let total = vmm.machine().total_frames(kind);
+        if total == 0 {
+            continue;
+        }
+        let mut backed_sum = 0u64;
+        for id in vmm.guest_ids() {
+            let backed = vmm.backing_frames(id, kind).unwrap_or(0);
+            backed_sum += backed;
+            let granted = vmm.granted(id).map(|g| g[kind]).unwrap_or(0);
+            if granted != backed {
+                out.push(Violation::GrantMismatch {
+                    guest: id,
+                    granted,
+                    backed,
+                    kind,
+                });
+            }
+        }
+        let free = vmm.machine().free_frames(kind);
+        if free + backed_sum != total {
+            out.push(Violation::MachineAccounting {
+                kind,
+                free,
+                backed: backed_sum,
+                total,
+            });
+        }
+        for &(id, kernel) in guests {
+            let Ok(g) = vmm.granted(id) else { continue };
+            let kernel_owned =
+                kernel.total_frames(kind).saturating_sub(kernel.ballooned_pages(kind));
+            if g[kind] != kernel_owned {
+                out.push(Violation::GuestViewMismatch {
+                    guest: id,
+                    kind,
+                    granted: g[kind],
+                    kernel_owned,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_guest::kernel::GuestConfig;
+    use hetero_guest::pagecache::FileId;
+
+    fn kernel() -> GuestKernel {
+        GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 256)],
+            cpus: 2,
+            page_size: 4096,
+        })
+    }
+
+    #[test]
+    fn fresh_kernel_is_clean() {
+        assert_eq!(audit_kernel(&kernel()), Vec::new());
+    }
+
+    #[test]
+    fn busy_kernel_stays_clean() {
+        let mut k = kernel();
+        k.mmap_heap(40, std::iter::repeat(150), &[MemKind::Fast, MemKind::Slow])
+            .unwrap();
+        for off in 0..30 {
+            let (g, _) = k
+                .page_in(FileId(1), off, 120, &[MemKind::Fast, MemKind::Slow])
+                .unwrap();
+            k.io_complete(g);
+        }
+        k.balloon_inflate(MemKind::Slow, 16);
+        assert_eq!(audit_kernel(&k), Vec::new());
+        k.balloon_deflate(MemKind::Slow, 16);
+        assert_eq!(audit_kernel(&k), Vec::new());
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = Violation::FrameAccounting {
+            kind: MemKind::Fast,
+            resident: 10,
+            free: 2,
+            total: 64,
+        };
+        assert_eq!(v.to_string(), "FastMem: resident 10 + free 2 != total 64");
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic fault injection for the HeteroOS reproduction.
+//!
+//! HeteroOS's claim is co-designed placement that stays correct *under
+//! pressure* — FastMem exhaustion, bandwidth storms, balloon churn, guest
+//! crashes. This crate perturbs the stack systematically so that claim is
+//! tested, not assumed:
+//!
+//! * [`plan`] — seeded, wall-clock-free fault plans ([`FaultPlan`]) drawn
+//!   from [`hetero_sim::SimRng`]: same seed, same faults, every run,
+//! * [`inject`] — the injector consulted at the three crate boundaries
+//!   (`hetero-mem` frame allocation and throttling, `hetero-guest`
+//!   migration/kswapd, `hetero-vmm` ring and balloon traffic),
+//! * [`retry`] — bounded retry-with-backoff, the defense for transient
+//!   channel faults,
+//! * [`audit`] — the invariant auditor cross-checking global frame
+//!   accounting (VMM grants vs. guest buddy counts vs. LRU/pagecache
+//!   membership), returning typed [`Violation`] reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod inject;
+pub mod plan;
+pub mod retry;
+
+pub use audit::{audit_kernel, audit_vmm, Violation};
+pub use inject::{FaultInjector, FaultRecord, FaultSite, FaultTrace, RingAction};
+pub use plan::{FaultKind, FaultPlan};
+pub use retry::{retry_with_backoff, Backoff, RetryExhausted};

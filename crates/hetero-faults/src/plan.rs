@@ -1,0 +1,212 @@
+//! Seeded fault plans.
+//!
+//! A [`FaultPlan`] describes *how much* of each fault family to inject —
+//! per-site probabilities and magnitude bounds — and carries the seed that
+//! makes the resulting schedule deterministic. Plans never consult the wall
+//! clock: every decision an injector built from a plan makes is drawn from
+//! [`hetero_sim::SimRng`], so the same `(plan, call sequence)` pair always
+//! produces the same faults and the same trace.
+
+use std::fmt;
+
+use hetero_mem::MemKind;
+
+/// One concrete fault drawn from a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A machine frame allocation on `MemKind` is forced to fail.
+    AllocFail(MemKind),
+    /// A bandwidth/latency storm: SlowMem behaves `factor`× worse for
+    /// `epochs` engine steps (models contention on the shared channel).
+    LatencyStorm {
+        /// Multiplier applied to the tier's throttle factors (≥ 1).
+        factor: f64,
+        /// Steps the storm lasts.
+        epochs: u32,
+    },
+    /// A transient page-migration failure in the guest.
+    MigrateFail,
+    /// The background reclaim daemon misses its window for `steps` steps.
+    KswapdStall {
+        /// Steps the daemon stays stalled.
+        steps: u32,
+    },
+    /// A guest↔VMM channel message is silently dropped.
+    RingDrop,
+    /// A guest↔VMM channel message is delayed by `ticks` flush rounds.
+    RingDelay {
+        /// Flush rounds the message is held back.
+        ticks: u32,
+    },
+    /// The channel reports full (backpressure) even though space exists.
+    RingFullBackpressure,
+    /// The guest crashes and must be restarted from scratch.
+    GuestCrash,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::AllocFail(k) => write!(f, "alloc-fail({k})"),
+            FaultKind::LatencyStorm { factor, epochs } => {
+                write!(f, "latency-storm(x{factor:.2},{epochs}ep)")
+            }
+            FaultKind::MigrateFail => f.write_str("migrate-fail"),
+            FaultKind::KswapdStall { steps } => write!(f, "kswapd-stall({steps})"),
+            FaultKind::RingDrop => f.write_str("ring-drop"),
+            FaultKind::RingDelay { ticks } => write!(f, "ring-delay({ticks})"),
+            FaultKind::RingFullBackpressure => f.write_str("ring-full"),
+            FaultKind::GuestCrash => f.write_str("guest-crash"),
+        }
+    }
+}
+
+/// A seeded description of how aggressively to perturb each boundary.
+///
+/// Probabilities are per *injection opportunity* (one allocation, one
+/// message post, one step), all in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// P(frame allocation fails) per `MachineMemory` allocation, per tier.
+    pub alloc_fail: f64,
+    /// P(a latency storm starts) per step, when none is active.
+    pub latency_storm: f64,
+    /// Upper bound on a storm's throttle multiplier (≥ 1).
+    pub storm_max_factor: f64,
+    /// Upper bound on a storm's duration in steps (≥ 1).
+    pub storm_max_epochs: u32,
+    /// P(migration fails transiently) per `migrate_page` call.
+    pub migrate_fail: f64,
+    /// P(kswapd stalls) per step, when not already stalled.
+    pub kswapd_stall: f64,
+    /// Upper bound on a stall's duration in steps (≥ 1).
+    pub stall_max_steps: u32,
+    /// P(a channel message is dropped) per post.
+    pub ring_drop: f64,
+    /// P(a channel message is delayed) per post.
+    pub ring_delay: f64,
+    /// Upper bound on a delay in flush rounds (≥ 1).
+    pub delay_max_ticks: u32,
+    /// P(the ring spuriously reports full) per post.
+    pub ring_full: f64,
+    /// P(the guest crashes) per step.
+    pub guest_crash: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the control arm of a chaos soak.
+    pub fn quiescent(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            alloc_fail: 0.0,
+            latency_storm: 0.0,
+            storm_max_factor: 1.0,
+            storm_max_epochs: 1,
+            migrate_fail: 0.0,
+            kswapd_stall: 0.0,
+            stall_max_steps: 1,
+            ring_drop: 0.0,
+            ring_delay: 0.0,
+            delay_max_ticks: 1,
+            ring_full: 0.0,
+            guest_crash: 0.0,
+        }
+    }
+
+    /// Occasional transient faults — the background noise of a healthy
+    /// datacenter node.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            alloc_fail: 0.02,
+            latency_storm: 0.05,
+            storm_max_factor: 3.0,
+            storm_max_epochs: 4,
+            migrate_fail: 0.05,
+            kswapd_stall: 0.02,
+            stall_max_steps: 3,
+            ring_drop: 0.02,
+            ring_delay: 0.05,
+            delay_max_ticks: 3,
+            ring_full: 0.02,
+            guest_crash: 0.0,
+            ..FaultPlan::quiescent(seed)
+        }
+    }
+
+    /// Sustained pressure on every boundary, including rare guest crashes —
+    /// the plan the chaos soak leans on hardest.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            alloc_fail: 0.15,
+            latency_storm: 0.20,
+            storm_max_factor: 8.0,
+            storm_max_epochs: 8,
+            migrate_fail: 0.25,
+            kswapd_stall: 0.10,
+            stall_max_steps: 6,
+            ring_drop: 0.10,
+            ring_delay: 0.15,
+            delay_max_ticks: 5,
+            ring_full: 0.10,
+            guest_crash: 0.01,
+            ..FaultPlan::quiescent(seed)
+        }
+    }
+
+    /// A deterministic mix: seed `n` picks quiescent/light/heavy by
+    /// `n % 3`, so a soak over consecutive seeds covers every intensity.
+    pub fn for_seed(seed: u64) -> Self {
+        match seed % 3 {
+            0 => FaultPlan::quiescent(seed),
+            1 => FaultPlan::light(seed),
+            _ => FaultPlan::heavy(seed),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        if self.alloc_fail == 0.0 && self.ring_drop == 0.0 && self.latency_storm == 0.0 {
+            "quiescent"
+        } else if self.guest_crash > 0.0 {
+            "heavy"
+        } else {
+            "light"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_intensities() {
+        assert_eq!(FaultPlan::quiescent(0).label(), "quiescent");
+        assert_eq!(FaultPlan::light(1).label(), "light");
+        assert_eq!(FaultPlan::heavy(2).label(), "heavy");
+    }
+
+    #[test]
+    fn for_seed_is_deterministic() {
+        assert_eq!(FaultPlan::for_seed(9), FaultPlan::for_seed(9));
+        assert_eq!(FaultPlan::for_seed(3).label(), "quiescent");
+        assert_eq!(FaultPlan::for_seed(4).label(), "light");
+        assert_eq!(FaultPlan::for_seed(5).label(), "heavy");
+    }
+
+    #[test]
+    fn kinds_render_compactly() {
+        assert_eq!(FaultKind::MigrateFail.to_string(), "migrate-fail");
+        assert_eq!(
+            FaultKind::LatencyStorm {
+                factor: 2.5,
+                epochs: 3
+            }
+            .to_string(),
+            "latency-storm(x2.50,3ep)"
+        );
+        assert_eq!(FaultKind::RingDelay { ticks: 2 }.to_string(), "ring-delay(2)");
+    }
+}

@@ -76,6 +76,8 @@ pub enum MigrateError {
     TargetFull,
     /// Page already lives on the target tier.
     AlreadyThere,
+    /// Transient failure (injected fault or hardware hiccup) — retryable.
+    Transient,
 }
 
 impl fmt::Display for MigrateError {
@@ -87,6 +89,7 @@ impl fmt::Display for MigrateError {
             MigrateError::DirtyIo => "dirty short-lived I/O page",
             MigrateError::TargetFull => "target tier is full",
             MigrateError::AlreadyThere => "page already on target tier",
+            MigrateError::Transient => "transient migration failure (retryable)",
         };
         f.write_str(s)
     }
@@ -207,6 +210,11 @@ impl GuestKernel {
     /// Allocation statistics (demand-prioritization input).
     pub fn stats(&self) -> &AllocStats {
         &self.stats
+    }
+
+    /// Shared view of the page-cache index (invariant-audit input).
+    pub fn page_cache(&self) -> &PageCache {
+        &self.cache
     }
 
     /// Rolls the statistics window (call once per prioritization period).

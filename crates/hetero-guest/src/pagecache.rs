@@ -91,6 +91,11 @@ impl PageCache {
             .collect()
     }
 
+    /// Every `(file, offset, frame)` entry, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, u64, Gfn)> + '_ {
+        self.index.iter().map(|(&(f, off), &g)| (f, off, g))
+    }
+
     /// Hit ratio since creation, `0.0` before any lookup.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;

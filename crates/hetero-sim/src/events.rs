@@ -24,6 +24,8 @@ pub enum EventKind {
     Balloon,
     /// Pages were swapped in or out.
     Swap,
+    /// An injected fault fired, or the engine degraded in response to one.
+    Fault,
     /// Anything else worth noting.
     Note,
 }
@@ -36,6 +38,7 @@ impl fmt::Display for EventKind {
             EventKind::Migration => "migration",
             EventKind::Balloon => "balloon",
             EventKind::Swap => "swap",
+            EventKind::Fault => "fault",
             EventKind::Note => "note",
         };
         f.write_str(s)

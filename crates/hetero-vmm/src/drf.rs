@@ -137,6 +137,22 @@ impl FairShare {
         );
     }
 
+    /// Removes a guest from the ledger (crash or shutdown), returning every
+    /// page it held to the free pool. Unknown guests are a no-op returning
+    /// `None`.
+    pub fn unregister(&mut self, id: GuestId) -> Option<KindMap<u64>> {
+        let g = self.guests.remove(&id)?;
+        for (k, &a) in g.alloc.iter() {
+            self.consumed[k] = self.consumed[k].saturating_sub(a);
+        }
+        Some(g.alloc)
+    }
+
+    /// True when the guest is registered.
+    pub fn is_registered(&self, id: GuestId) -> bool {
+        self.guests.contains_key(&id)
+    }
+
     /// Current allocation vector of a guest.
     ///
     /// # Panics
@@ -255,6 +271,31 @@ impl FairShare {
         Grant::NeedsReclaim(plan)
     }
 
+    /// True when [`FairShare::reclaim`] would succeed: the guest is
+    /// registered, holds the pages, and keeping its reservation floor
+    /// intact. Callers on fallible paths (e.g. a balloon acknowledgement
+    /// arriving over a lossy channel) check this first instead of risking
+    /// the panic.
+    pub fn can_reclaim(&self, id: GuestId, kind: MemKind, pages: u64) -> bool {
+        let Some(g) = self.guests.get(&id) else {
+            return false;
+        };
+        let Some(left) = g.alloc[kind].checked_sub(pages) else {
+            return false;
+        };
+        match self.policy {
+            SharePolicy::MaxMin => kind != MemKind::Fast || left >= g.min[kind],
+            SharePolicy::WeightedDrf { .. } => left >= g.min[kind],
+        }
+    }
+
+    /// True when [`FairShare::release`] would succeed.
+    pub fn can_release(&self, id: GuestId, kind: MemKind, pages: u64) -> bool {
+        self.guests
+            .get(&id)
+            .is_some_and(|g| g.alloc[kind] >= pages)
+    }
+
     /// Applies a reclaim: `pages` of `kind` taken back from `id` (after the
     /// balloon actually inflated).
     ///
@@ -264,17 +305,21 @@ impl FairShare {
     pub fn reclaim(&mut self, id: GuestId, kind: MemKind, pages: u64) {
         let maxmin = matches!(self.policy, SharePolicy::MaxMin);
         let g = self.guests.get_mut(&id).expect("guest registered");
+        // checked_sub, not `alloc - pages >= min`: the bare subtraction
+        // wraps in release builds when `pages > alloc`, silently passing
+        // the guard it was meant to enforce.
+        let left = g.alloc[kind].checked_sub(pages);
         if maxmin {
             if kind == MemKind::Fast {
                 assert!(
-                    g.alloc[kind] - pages >= g.min[kind],
+                    left.is_some_and(|l| l >= g.min[kind]),
                     "reclaim below {id}'s FastMem reservation"
                 );
             }
-            assert!(g.alloc[kind] >= pages, "{id} does not hold {pages} on {kind}");
+            assert!(left.is_some(), "{id} does not hold {pages} on {kind}");
         } else {
             assert!(
-                g.alloc[kind] - pages >= g.min[kind],
+                left.is_some_and(|l| l >= g.min[kind]),
                 "reclaim below {id}'s reserved minimum on {kind}"
             );
         }
@@ -298,14 +343,14 @@ impl FairShare {
         let g = &self.guests[&id];
         match &self.policy {
             // DRF honours the per-type reservation vector.
-            SharePolicy::WeightedDrf { .. } => g.alloc[kind] - g.min[kind],
+            SharePolicy::WeightedDrf { .. } => g.alloc[kind].saturating_sub(g.min[kind]),
             // Single-resource max-min guarantees fairness of ONE resource —
             // FastMem, the scarce one. SlowMem has no per-guest floor: any
             // of it is reclaimable on demand, which is exactly the §5.5
             // failure mode where Metis balloons out the Graphchi VM's
             // SlowMem reservation.
             SharePolicy::MaxMin => match kind {
-                MemKind::Fast => g.alloc[kind] - g.min[kind],
+                MemKind::Fast => g.alloc[kind].saturating_sub(g.min[kind]),
                 _ => g.alloc[kind],
             },
         }
@@ -399,6 +444,30 @@ mod tests {
         fs.request(GuestId(0), demand(40, 0));
         fs.release(GuestId(0), MemKind::Fast, 40);
         assert_eq!(fs.free(MemKind::Fast), 100);
+    }
+
+    #[test]
+    fn unregister_returns_capacity() {
+        let mut fs = FairShare::new(SharePolicy::paper_drf(), totals(100, 100));
+        fs.register(GuestId(0), demand(20, 10));
+        fs.request(GuestId(0), demand(30, 0));
+        let freed = fs.unregister(GuestId(0)).expect("was registered");
+        assert_eq!(freed[MemKind::Fast], 50);
+        assert_eq!(freed[MemKind::Slow], 10);
+        assert_eq!(fs.free(MemKind::Fast), 100);
+        assert_eq!(fs.free(MemKind::Slow), 100);
+        assert!(!fs.is_registered(GuestId(0)));
+        assert_eq!(fs.unregister(GuestId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn reclaim_more_than_held_panics() {
+        let mut fs = FairShare::new(SharePolicy::MaxMin, totals(100, 100));
+        fs.register(GuestId(0), KindMap::default());
+        fs.request(GuestId(0), demand(0, 5));
+        // 6 > 5 held: the checked_sub guard must fire, not wrap.
+        fs.reclaim(GuestId(0), MemKind::Slow, 6);
     }
 
     #[test]

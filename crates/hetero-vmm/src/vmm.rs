@@ -7,7 +7,7 @@
 //! manager implements weighted DRF (§4.2); the hot-page component lives in
 //! [`crate::hotness`] and is driven per guest through this facade.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use hetero_guest::page::PageType;
@@ -38,6 +38,13 @@ pub enum VmmError {
     DuplicateGuest(GuestId),
     /// The machine lacks frames for the guest's reserved minimum.
     InsufficientMachineMemory(MemKind),
+    /// The fair-share ledger and the machine frame pools disagree — grant
+    /// bookkeeping is corrupt and the operation was refused.
+    LedgerInconsistent(GuestId, MemKind),
+    /// A reclaim or release names more pages than the guest's backing (or
+    /// its reservation floor) can cover — e.g. a stale or duplicated
+    /// balloon acknowledgement.
+    InvalidReclaim(GuestId, MemKind),
 }
 
 impl fmt::Display for VmmError {
@@ -47,6 +54,12 @@ impl fmt::Display for VmmError {
             VmmError::DuplicateGuest(id) => write!(f, "guest {id} already registered"),
             VmmError::InsufficientMachineMemory(k) => {
                 write!(f, "machine cannot back the reserved minimum on {k}")
+            }
+            VmmError::LedgerInconsistent(id, k) => {
+                write!(f, "share ledger and machine frames disagree for {id} on {k}")
+            }
+            VmmError::InvalidReclaim(id, k) => {
+                write!(f, "reclaim/release exceeds what {id} holds on {k}")
             }
         }
     }
@@ -71,6 +84,10 @@ struct GuestEntry {
     tracking: Vec<(u64, u64)>,
     exceptions: Vec<PageType>,
     frames: KindMap<Vec<Mfn>>,
+    /// Responses that found the back ring full: retried at the next pump
+    /// instead of being dropped (a lost grant would leak frames forever).
+    /// Bounded by outstanding grants, which the guest's `max` caps.
+    pending_back: VecDeque<BackMsg>,
 }
 
 /// The hypervisor.
@@ -175,9 +192,62 @@ impl Vmm {
                 tracking: Vec::new(),
                 exceptions: Vec::new(),
                 frames,
+                pending_back: VecDeque::new(),
             },
         );
         Ok(())
+    }
+
+    /// Unregisters a guest (shutdown or crash): every frame backing it goes
+    /// back to the machine and its share is forgotten. Returns the pages
+    /// that were reclaimed per tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn unregister_guest(&mut self, id: GuestId) -> Result<KindMap<u64>, VmmError> {
+        let entry = self.guests.remove(&id).ok_or(VmmError::UnknownGuest(id))?;
+        let mut reclaimed = KindMap::default();
+        for (kind, frames) in entry.frames.iter() {
+            reclaimed[kind] = frames.len() as u64;
+            if !frames.is_empty() {
+                self.machine.free_frames_bulk(kind, frames.iter().copied());
+            }
+        }
+        self.fair.unregister(id);
+        Ok(reclaimed)
+    }
+
+    /// Ids of every registered guest, in ascending order.
+    pub fn guest_ids(&self) -> Vec<GuestId> {
+        let mut ids: Vec<GuestId> = self.guests.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Machine frames currently backing a guest on a tier (invariant-audit
+    /// input; must equal the fair-share ledger's grant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn backing_frames(&self, id: GuestId, kind: MemKind) -> Result<u64, VmmError> {
+        self.guests
+            .get(&id)
+            .map(|e| e.frames[kind].len() as u64)
+            .ok_or(VmmError::UnknownGuest(id))
+    }
+
+    /// Responses waiting for space on a guest's back ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    pub fn pending_responses(&self, id: GuestId) -> Result<usize, VmmError> {
+        self.guests
+            .get(&id)
+            .map(|e| e.pending_back.len())
+            .ok_or(VmmError::UnknownGuest(id))
     }
 
     /// Pages currently granted to a guest per tier.
@@ -205,7 +275,9 @@ impl Vmm {
     ///
     /// # Errors
     ///
-    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids, and
+    /// [`VmmError::LedgerInconsistent`] if grant bookkeeping is corrupt
+    /// (the grant is refused rather than aborting the process).
     pub fn request_memory(
         &mut self,
         id: GuestId,
@@ -221,13 +293,13 @@ impl Vmm {
             reclaim_plan: Vec::new(),
         };
         let want = self.clamp_to_max(id, kind, pages);
-        let got = self.try_grant(id, kind, want, &mut grant.reclaim_plan);
+        let got = self.try_grant(id, kind, want, &mut grant.reclaim_plan)?;
         grant.granted[kind] = got;
         let unmet = pages - got.min(pages);
         if unmet > 0 {
             if let Some(fb) = fallback.filter(|&fb| fb != kind) {
                 let want_fb = self.clamp_to_max(id, fb, unmet);
-                let got_fb = self.try_grant(id, fb, want_fb, &mut grant.reclaim_plan);
+                let got_fb = self.try_grant(id, fb, want_fb, &mut grant.reclaim_plan)?;
                 grant.granted[fb] = got_fb;
             }
         }
@@ -240,9 +312,9 @@ impl Vmm {
         kind: MemKind,
         pages: u64,
         plan: &mut Vec<(GuestId, MemKind, u64)>,
-    ) -> u64 {
+    ) -> Result<u64, VmmError> {
         if pages == 0 {
-            return 0;
+            return Ok(0);
         }
         // Grant as much as fits immediately (partial grants are fine).
         let immediate = pages.min(self.fair.free(kind));
@@ -250,18 +322,24 @@ impl Vmm {
             let mut d = KindMap::default();
             d[kind] = immediate;
             match self.fair.request(id, d) {
-                Grant::Granted => {
-                    let mfns = self
-                        .machine
-                        .alloc_frames(kind, immediate)
-                        .expect("fair-share ledger matches machine frames");
-                    self.guests
-                        .get_mut(&id)
-                        .expect("registered")
-                        .frames[kind]
-                        .extend(mfns);
-                }
-                other => unreachable!("free() said it fits: {other:?}"),
+                Grant::Granted => match self.machine.alloc_frames(kind, immediate) {
+                    Ok(mfns) => {
+                        self.guests
+                            .get_mut(&id)
+                            .expect("registered")
+                            .frames[kind]
+                            .extend(mfns);
+                    }
+                    Err(_) => {
+                        // The share ledger said the pages were free but the
+                        // machine disagrees. Undo the ledger movement and
+                        // surface the inconsistency instead of aborting.
+                        self.fair.release(id, kind, immediate);
+                        return Err(VmmError::LedgerInconsistent(id, kind));
+                    }
+                },
+                // free() said it fits, yet the ledger refused: corrupt.
+                _ => return Err(VmmError::LedgerInconsistent(id, kind)),
             }
         }
         let remaining = pages - immediate;
@@ -269,12 +347,13 @@ impl Vmm {
             let mut d = KindMap::default();
             d[kind] = remaining;
             match self.fair.request(id, d) {
-                Grant::Granted => unreachable!("capacity was exhausted"),
+                // Capacity was exhausted a moment ago: corrupt ledger.
+                Grant::Granted => return Err(VmmError::LedgerInconsistent(id, kind)),
                 Grant::NeedsReclaim(p) => plan.extend(p),
                 Grant::Denied => {}
             }
         }
-        immediate
+        Ok(immediate)
     }
 
     /// Confirms a balloon reclaim: `pages` of `kind` returned by `donor`
@@ -282,11 +361,10 @@ impl Vmm {
     ///
     /// # Errors
     ///
-    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the donor does not hold that many overcommitted pages.
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids and
+    /// [`VmmError::InvalidReclaim`] when the acknowledgement names more
+    /// pages than the donor holds above its floor (a stale or duplicated
+    /// ack over a lossy channel) — nothing is mutated in that case.
     pub fn confirm_reclaim(
         &mut self,
         donor: GuestId,
@@ -297,9 +375,14 @@ impl Vmm {
             .guests
             .get_mut(&donor)
             .ok_or(VmmError::UnknownGuest(donor))?;
+        if !self.fair.can_reclaim(donor, kind, pages)
+            || (entry.frames[kind].len() as u64) < pages
+        {
+            return Err(VmmError::InvalidReclaim(donor, kind));
+        }
         self.fair.reclaim(donor, kind, pages);
         for _ in 0..pages {
-            let mfn = entry.frames[kind].pop().expect("ledger matches frames");
+            let mfn = entry.frames[kind].pop().expect("length checked above");
             self.machine.free_frame(kind, mfn);
         }
         Ok(())
@@ -310,7 +393,9 @@ impl Vmm {
     ///
     /// # Errors
     ///
-    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids and
+    /// [`VmmError::InvalidReclaim`] when the guest does not hold that many
+    /// pages — nothing is mutated in that case.
     pub fn release_memory(
         &mut self,
         id: GuestId,
@@ -318,9 +403,14 @@ impl Vmm {
         pages: u64,
     ) -> Result<(), VmmError> {
         let entry = self.guests.get_mut(&id).ok_or(VmmError::UnknownGuest(id))?;
+        if !self.fair.can_release(id, kind, pages)
+            || (entry.frames[kind].len() as u64) < pages
+        {
+            return Err(VmmError::InvalidReclaim(id, kind));
+        }
         self.fair.release(id, kind, pages);
         for _ in 0..pages {
-            let mfn = entry.frames[kind].pop().expect("ledger matches frames");
+            let mfn = entry.frames[kind].pop().expect("length checked above");
             self.machine.free_frame(kind, mfn);
         }
         Ok(())
@@ -338,17 +428,41 @@ impl Vmm {
             .ok_or(VmmError::UnknownGuest(id))
     }
 
+    /// Posts a response on a guest's back ring, queueing it when the ring
+    /// is full so it is retried at the next pump rather than dropped.
+    fn respond(entry: &mut GuestEntry, msg: BackMsg) {
+        if let Err(crate::channel::RingFull) = entry.ring.post_back(msg.clone()) {
+            entry.pending_back.push_back(msg);
+        }
+    }
+
+    /// Retries responses that previously found the back ring full, in
+    /// arrival order, stopping at the first that still does not fit.
+    fn flush_pending_back(entry: &mut GuestEntry) {
+        while let Some(msg) = entry.pending_back.front() {
+            if entry.ring.post_back(msg.clone()).is_err() {
+                break;
+            }
+            entry.pending_back.pop_front();
+        }
+    }
+
     /// Back-end message pump: drains a guest's pending requests, updating
     /// tracking/exception lists and answering on-demand requests with
-    /// grants. Returns the number of messages processed.
+    /// grants. Responses that find the back ring full are queued and
+    /// retried at the next pump, never dropped. Returns the number of
+    /// messages processed.
     ///
     /// # Errors
     ///
-    /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
+    /// Returns [`VmmError::UnknownGuest`] for unregistered ids, and
+    /// propagates grant-path errors ([`VmmError::LedgerInconsistent`],
+    /// [`VmmError::InvalidReclaim`]).
     pub fn process_guest_requests(&mut self, id: GuestId) -> Result<usize, VmmError> {
         if !self.guests.contains_key(&id) {
             return Err(VmmError::UnknownGuest(id));
         }
+        Self::flush_pending_back(self.guests.get_mut(&id).expect("checked"));
         let mut handled = 0;
         while let Some(msg) = self
             .guests
@@ -368,14 +482,12 @@ impl Vmm {
                     let entry = self.guests.get_mut(&id).expect("checked");
                     for (k, &n) in grant.granted.iter() {
                         if n > 0 {
-                            let _ = entry.ring.post_back(BackMsg::Grant { kind: k, pages: n });
+                            Self::respond(entry, BackMsg::Grant { kind: k, pages: n });
                         }
                     }
                     for (donor, k, n) in grant.reclaim_plan {
                         if let Some(d) = self.guests.get_mut(&donor) {
-                            let _ = d
-                                .ring
-                                .post_back(BackMsg::BalloonRequest { kind: k, pages: n });
+                            Self::respond(d, BackMsg::BalloonRequest { kind: k, pages: n });
                         }
                     }
                 }
@@ -540,6 +652,83 @@ mod tests {
         assert_eq!(vmm.machine().free_frames(MemKind::Fast), 25);
         vmm.release_memory(GuestId(0), MemKind::Fast, 25).unwrap();
         assert_eq!(vmm.machine().free_frames(MemKind::Fast), 50);
+    }
+
+    #[test]
+    fn unregister_returns_every_backing_frame() {
+        let mut vmm = Vmm::new(machine(100, 100), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(10, 100, 5, 100)).unwrap();
+        vmm.request_memory(GuestId(0), MemKind::Fast, 15, None)
+            .unwrap();
+        let reclaimed = vmm.unregister_guest(GuestId(0)).unwrap();
+        assert_eq!(reclaimed[MemKind::Fast], 25);
+        assert_eq!(reclaimed[MemKind::Slow], 5);
+        assert_eq!(vmm.machine().free_frames(MemKind::Fast), 100);
+        assert_eq!(vmm.machine().free_frames(MemKind::Slow), 100);
+        assert!(vmm.guest_ids().is_empty());
+        assert_eq!(
+            vmm.unregister_guest(GuestId(0)),
+            Err(VmmError::UnknownGuest(GuestId(0)))
+        );
+        // The id can be reused after a crash-restart.
+        vmm.register_guest(GuestId(0), spec(10, 100, 5, 100)).unwrap();
+        assert_eq!(vmm.granted(GuestId(0)).unwrap()[MemKind::Fast], 10);
+    }
+
+    #[test]
+    fn full_back_ring_queues_responses_until_next_pump() {
+        let mut vmm = Vmm::new(machine(100, 100), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 100, 0, 100)).unwrap();
+        {
+            let ring = vmm.ring_mut(GuestId(0)).unwrap();
+            while ring.post_back(BackMsg::HotPages(Vec::new())).is_ok() {}
+            ring.post_front(FrontMsg::OnDemand {
+                kind: MemKind::Fast,
+                pages: 4,
+                fallback: None,
+            })
+            .unwrap();
+        }
+        vmm.process_guest_requests(GuestId(0)).unwrap();
+        // The grant itself succeeded; only its notification is parked.
+        assert_eq!(vmm.granted(GuestId(0)).unwrap()[MemKind::Fast], 4);
+        assert_eq!(vmm.pending_responses(GuestId(0)).unwrap(), 1);
+        // Guest drains the jam; the next pump delivers the parked grant.
+        {
+            let ring = vmm.ring_mut(GuestId(0)).unwrap();
+            while ring.back_pending() > 0 {
+                ring.poll_back();
+            }
+        }
+        vmm.process_guest_requests(GuestId(0)).unwrap();
+        assert_eq!(vmm.pending_responses(GuestId(0)).unwrap(), 0);
+        assert_eq!(
+            vmm.ring_mut(GuestId(0)).unwrap().poll_back(),
+            Some(BackMsg::Grant {
+                kind: MemKind::Fast,
+                pages: 4
+            })
+        );
+    }
+
+    #[test]
+    fn stale_balloon_ack_is_an_error_not_an_abort() {
+        let mut vmm = Vmm::new(machine(40, 40), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 40, 0, 40)).unwrap();
+        vmm.request_memory(GuestId(0), MemKind::Fast, 10, None)
+            .unwrap();
+        // An ack for more pages than the guest holds (duplicated or stale).
+        assert_eq!(
+            vmm.confirm_reclaim(GuestId(0), MemKind::Fast, 50),
+            Err(VmmError::InvalidReclaim(GuestId(0), MemKind::Fast))
+        );
+        // Nothing was mutated by the refused ack.
+        assert_eq!(vmm.granted(GuestId(0)).unwrap()[MemKind::Fast], 10);
+        assert_eq!(vmm.machine().free_frames(MemKind::Fast), 30);
+        assert_eq!(
+            vmm.release_memory(GuestId(0), MemKind::Fast, 11),
+            Err(VmmError::InvalidReclaim(GuestId(0), MemKind::Fast))
+        );
     }
 
     #[test]

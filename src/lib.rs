@@ -7,11 +7,14 @@
 //! * [`hetero_workloads`] — the datacenter application models,
 //! * [`hetero_guest`] / [`hetero_vmm`] — the guest-OS and hypervisor substrates,
 //! * [`hetero_mem`] — the heterogeneous-memory hardware model,
-//! * [`hetero_sim`] — clock, RNG and statistics plumbing.
+//! * [`hetero_sim`] — clock, RNG and statistics plumbing,
+//! * [`hetero_faults`] — deterministic fault injection and invariant
+//!   auditing (the chaos-soak substrate).
 
 #![forbid(unsafe_code)]
 
 pub use hetero_core as core;
+pub use hetero_faults as faults;
 pub use hetero_guest as guest;
 pub use hetero_mem as mem;
 pub use hetero_sim as sim;

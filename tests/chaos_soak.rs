@@ -1,0 +1,261 @@
+//! Chaos soak: seeded fault plans perturb the whole stack while the
+//! invariant auditor cross-checks frame accounting after every step.
+//!
+//! Three harnesses, each run over many seeds:
+//!
+//! * **engine soak** — `SingleVmSim` with an armed `FaultInjector` and
+//!   `audit_invariants` on: injected FastMem outages degrade placement,
+//!   latency storms dilate pricing, migrations fail transiently — and the
+//!   guest kernel's books must still balance after every epoch,
+//! * **kernel soak** — a bare `GuestKernel` churned through mmap/munmap,
+//!   page-cache I/O, ballooning, injected-fault migration and a stallable
+//!   kswapd, audited each step,
+//! * **VMM soak** — two guests over injector-mediated rings (drops, delays,
+//!   backpressure, crash-restarts), with `audit_vmm` checking ledger vs.
+//!   backing vs. machine conservation throughout.
+//!
+//! Every harness also asserts *determinism*: re-running the same seed must
+//! reproduce a byte-identical fault trace.
+
+use heteroos::core::{Policy, SimConfig, SingleVmSim};
+use heteroos::faults::{audit_kernel, audit_vmm, FaultInjector, FaultPlan};
+use heteroos::guest::kernel::{GuestConfig, GuestKernel};
+use heteroos::guest::kswapd::Kswapd;
+use heteroos::guest::page::PageType;
+use heteroos::guest::pagecache::FileId;
+use heteroos::mem::{MachineMemory, MemKind, ThrottleConfig};
+use heteroos::sim::SimRng;
+use heteroos::vmm::channel::{BackMsg, FrontMsg};
+use heteroos::vmm::drf::GuestId;
+use heteroos::vmm::vmm::{GuestSpec, Vmm, VmmError};
+use heteroos::vmm::SharePolicy;
+use heteroos::workloads::{apps, AppWorkload};
+
+const SEEDS: std::ops::Range<u64> = 100..109;
+
+// ------------------------------------------------------------ engine soak
+
+fn engine_soak_once(seed: u64) -> String {
+    let cfg = SimConfig::paper_default()
+        .with_capacity_ratio(1, 4)
+        .with_seed(seed)
+        .with_audit_invariants(true);
+    let mut spec = apps::graphchi();
+    spec.total_instructions /= 20;
+    let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+    let mut sim = SingleVmSim::new(cfg, Policy::HeteroCoordinated, wl);
+    sim.set_fault_injector(FaultInjector::new(FaultPlan::for_seed(seed)));
+    while sim.step() {}
+    assert!(
+        sim.violations().is_empty(),
+        "seed {seed}: invariant violations under faults: {:?}",
+        sim.violations()
+    );
+    sim.fault_injector()
+        .expect("injector stays armed")
+        .trace()
+        .to_text()
+}
+
+#[test]
+fn engine_survives_fault_plans_with_clean_invariants() {
+    let mut any_faults = false;
+    for seed in SEEDS {
+        let trace = engine_soak_once(seed);
+        any_faults |= !trace.is_empty();
+        let again = engine_soak_once(seed);
+        assert_eq!(
+            trace, again,
+            "seed {seed}: fault trace must be byte-identical across reruns"
+        );
+    }
+    assert!(
+        any_faults,
+        "soak is vacuous: no plan injected a single fault"
+    );
+}
+
+// ------------------------------------------------------------ kernel soak
+
+fn kernel_soak_once(seed: u64) -> String {
+    let mut inj = FaultInjector::new(FaultPlan::heavy(seed));
+    let mut rng = SimRng::seed_from(seed ^ 0x5eed);
+    let mut kernel = GuestKernel::new(GuestConfig {
+        frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 256)],
+        cpus: 2,
+        page_size: 4096,
+    });
+    let mut kswapd = Kswapd::for_kernel(&kernel);
+    let mut chunks: Vec<(u64, u64)> = Vec::new();
+    let mut file_off = 0u64;
+    let base = ThrottleConfig::slow_mem_default();
+    for step in 0..300u64 {
+        inj.begin_step();
+        // Storms re-fit the throttle model; the result must stay sane.
+        let t = inj.storm_throttle(&base);
+        assert!(t.latency_factor >= 1.0 && t.bandwidth_factor >= 1.0);
+        // Heap churn.
+        let pages = rng.next_range(1, 6);
+        if let Ok((vma, _)) = kernel.mmap_heap(
+            pages,
+            std::iter::repeat(rng.next_range(10, 250) as u8),
+            &[MemKind::Fast, MemKind::Slow],
+        ) {
+            chunks.push((vma.start, vma.pages));
+        }
+        if chunks.len() > 20 {
+            let (start, n) = chunks.remove(rng.next_range(0, chunks.len() as u64) as usize);
+            kernel.munmap(start, n);
+        }
+        // Page-cache traffic.
+        if let Ok((g, _)) = kernel.page_in(FileId(1), file_off, 120, &[MemKind::Slow]) {
+            kernel.io_complete(g);
+            file_off += 1;
+        }
+        // Migration under injected transient failures: errors must leave
+        // the books balanced, successes must move the page.
+        for gfn in kernel.lru_candidates(MemKind::Slow, 2, |p| {
+            p.page_type == PageType::HeapAnon
+        }) {
+            let _ = inj.migrate_page(&mut kernel, gfn, MemKind::Fast);
+        }
+        // Background reclaim, possibly stalled.
+        inj.kswapd_balance(&mut kswapd, &mut kernel, MemKind::Fast);
+        // Balloon churn.
+        if rng.chance(0.2) {
+            kernel.balloon_inflate(MemKind::Slow, rng.next_range(1, 8));
+        }
+        if rng.chance(0.2) {
+            kernel.balloon_deflate(MemKind::Slow, rng.next_range(1, 8));
+        }
+        let violations = audit_kernel(&kernel);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} step {step}: {violations:?}"
+        );
+    }
+    inj.trace().to_text()
+}
+
+#[test]
+fn kernel_books_balance_under_heavy_faults() {
+    for seed in SEEDS {
+        let trace = kernel_soak_once(seed);
+        assert!(
+            !trace.is_empty(),
+            "seed {seed}: the heavy plan should inject faults"
+        );
+        assert_eq!(
+            trace,
+            kernel_soak_once(seed),
+            "seed {seed}: fault trace must be byte-identical across reruns"
+        );
+    }
+}
+
+// --------------------------------------------------------------- VMM soak
+
+fn guest_spec() -> GuestSpec {
+    let mut spec = GuestSpec::default();
+    spec.min[MemKind::Fast] = 8;
+    spec.max[MemKind::Fast] = 96;
+    spec.min[MemKind::Slow] = 32;
+    spec.max[MemKind::Slow] = 400;
+    spec
+}
+
+fn vmm_soak_once(seed: u64) -> String {
+    let mut inj = FaultInjector::new(FaultPlan::for_seed(seed.wrapping_mul(31).wrapping_add(2)));
+    let mut rng = SimRng::seed_from(seed ^ 0x5a5a_5a5a);
+    let machine = MachineMemory::builder()
+        .fast_mem(256 * 4096, ThrottleConfig::fast_mem())
+        .slow_mem(1024 * 4096, ThrottleConfig::slow_mem_default())
+        .build();
+    let mut vmm = Vmm::new(machine, SharePolicy::paper_drf());
+    vmm.register_guest(GuestId(0), guest_spec()).unwrap();
+    vmm.register_guest(GuestId(1), guest_spec()).unwrap();
+    let mut restarts = 0u32;
+    for step in 0..400u64 {
+        inj.begin_step();
+        // Whole-guest crash: the VMM reclaims everything and the guest
+        // comes back with a fresh reservation (id reuse).
+        if inj.crash_guest() {
+            let victim = GuestId((step % 2) as u32);
+            vmm.unregister_guest(victim).unwrap();
+            vmm.register_guest(victim, guest_spec()).unwrap();
+            restarts += 1;
+        }
+        for id in [GuestId(0), GuestId(1)] {
+            // The guest asks for memory through the faulty channel. A
+            // rejected post is simply retried next step — requests are
+            // idempotent demands, so nothing is lost.
+            let msg = FrontMsg::OnDemand {
+                kind: MemKind::Fast,
+                pages: rng.next_range(1, 8),
+                fallback: Some(MemKind::Slow),
+            };
+            let ring = vmm.ring_mut(id).unwrap();
+            let _ = inj.post_front(ring, msg);
+            inj.flush_delayed(ring);
+            match vmm.process_guest_requests(id) {
+                Ok(_) => {}
+                // A delayed/duplicated balloon ack can name pages the
+                // guest no longer holds; the VMM refuses it.
+                Err(VmmError::InvalidReclaim(..)) => {}
+                Err(e) => panic!("seed {seed} step {step}: unexpected {e}"),
+            }
+            // Guest side: drain responses; answer balloon requests with
+            // an ack for what the ledger can actually give back.
+            let granted = vmm.granted(id).unwrap();
+            let spec = guest_spec();
+            let mut acks = Vec::new();
+            let ring = vmm.ring_mut(id).unwrap();
+            while let Some(resp) = ring.poll_back() {
+                if let BackMsg::BalloonRequest { kind, pages } = resp {
+                    let give = pages.min(granted[kind].saturating_sub(spec.min[kind]));
+                    if give > 0 {
+                        acks.push(FrontMsg::BalloonAck { kind, pages: give });
+                    }
+                }
+            }
+            for ack in acks {
+                let ring = vmm.ring_mut(id).unwrap();
+                let _ = inj.post_front(ring, ack);
+            }
+            // Occasionally hand memory back voluntarily.
+            if rng.chance(0.15) {
+                let kind = if rng.chance(0.5) { MemKind::Fast } else { MemKind::Slow };
+                let held = vmm.granted(id).unwrap()[kind];
+                let floor = guest_spec().min[kind];
+                let give = rng.next_range(0, 4).min(held.saturating_sub(floor));
+                if give > 0 {
+                    vmm.release_memory(id, kind, give).unwrap();
+                }
+            }
+        }
+        let violations = audit_vmm(&vmm, &[]);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} step {step}: {violations:?}"
+        );
+    }
+    format!("restarts={restarts}\n{}", inj.trace().to_text())
+}
+
+#[test]
+fn vmm_ledgers_survive_ring_faults_and_crash_restarts() {
+    let mut any_restart = false;
+    for seed in SEEDS {
+        let trace = vmm_soak_once(seed);
+        any_restart |= !trace.starts_with("restarts=0");
+        assert_eq!(
+            trace,
+            vmm_soak_once(seed),
+            "seed {seed}: fault trace must be byte-identical across reruns"
+        );
+    }
+    assert!(
+        any_restart,
+        "soak is vacuous: no seed exercised a crash-restart"
+    );
+}
