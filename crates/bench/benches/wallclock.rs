@@ -1,0 +1,275 @@
+//! Wall-clock benchmark baseline (`cargo bench -p bench`).
+//!
+//! Unlike the opt-in criterion benches (`--features criterion-bench`),
+//! this harness runs offline with zero extra dependencies: plain
+//! `std::time::Instant` timing around the hot paths PR 2 optimised —
+//! buddy churn, full-VM hotness scans, LRU transitions, end-to-end `repro`
+//! epochs, and the object-traffic microbench in both scalar and bulk
+//! dispatch modes.
+//!
+//! Output: per-op nanoseconds on stdout, and (in full mode) a
+//! machine-readable `BENCH_substrate.json` at the repo root with
+//! `{bench_name: {ns_per_op, ops}}` entries.
+//!
+//! Flags (after `--`):
+//! * `--smoke` — reduced iteration counts for CI smoke runs;
+//! * `--check` — compare the measured object-traffic microbench against
+//!   the committed `BENCH_substrate.json` and exit non-zero on a >2x
+//!   regression. Does **not** rewrite the committed baseline.
+
+use std::time::Instant;
+
+use hetero_core::{Policy, SimConfig, SingleVmSim};
+use hetero_guest::buddy::BuddyAllocator;
+use hetero_guest::kernel::{GuestConfig, GuestKernel};
+use hetero_guest::page::Gfn;
+use hetero_guest::SlabClass;
+use hetero_mem::MemKind;
+use hetero_vmm::hotness::ScanOutcome;
+use hetero_vmm::HotnessTracker;
+use hetero_workloads::{apps, AppWorkload};
+
+/// Committed baseline path: `<repo root>/BENCH_substrate.json`.
+const BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
+
+/// Regression gate for `--check`.
+const MAX_REGRESSION: f64 = 2.0;
+
+struct BenchResult {
+    name: &'static str,
+    ns_per_op: f64,
+    ops: u64,
+}
+
+/// Times `iters` calls of `f` (after a short warmup); `f` returns the
+/// number of primitive operations it performed.
+fn run_bench(name: &'static str, iters: u64, mut f: impl FnMut() -> u64) -> BenchResult {
+    for _ in 0..(iters / 10).max(1) {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    let mut ops = 0u64;
+    for _ in 0..iters {
+        ops += std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let ns_per_op = elapsed / ops.max(1) as f64;
+    println!("{name:<24} {ns_per_op:>10.1} ns/op  ({ops} ops)");
+    BenchResult { name, ns_per_op, ops }
+}
+
+fn bench_buddy_churn(iters: u64) -> BenchResult {
+    let mut buddy = BuddyAllocator::new(0, 1 << 16);
+    let mut pages: Vec<Gfn> = Vec::with_capacity(256);
+    run_bench("buddy_churn", iters, move || {
+        pages.clear();
+        buddy.alloc_pages_bulk(256, &mut pages);
+        buddy.free_pages_bulk(pages.drain(..));
+        512
+    })
+}
+
+fn bench_full_vm_scan(iters: u64) -> BenchResult {
+    let mut kernel = GuestKernel::new(GuestConfig {
+        frames: vec![(MemKind::Fast, 4096), (MemKind::Slow, 16384)],
+        cpus: 4,
+        page_size: 4096,
+    });
+    kernel
+        .mmap_heap(12_000, std::iter::repeat(180), &[MemKind::Slow, MemKind::Fast])
+        .expect("capacity");
+    let total = kernel.memmap().total_frames();
+    let mut tracker = HotnessTracker::new(2);
+    let mut outcome = ScanOutcome::default();
+    let mut flip = false;
+    run_bench("full_vm_scan", iters, move || {
+        flip = !flip;
+        let touched = flip;
+        let mut oracle = move |_: &hetero_guest::page::Page| touched;
+        tracker.scan_full_into(&kernel, &mut oracle, total, &mut outcome);
+        outcome.scanned
+    })
+}
+
+fn bench_lru_transitions(iters: u64) -> BenchResult {
+    let mut kernel = GuestKernel::new(GuestConfig {
+        frames: vec![(MemKind::Fast, 8192)],
+        cpus: 2,
+        page_size: 4096,
+    });
+    let (vma, _) = kernel
+        .mmap_heap(4096, std::iter::repeat(200), &[MemKind::Fast])
+        .expect("capacity");
+    let gfns: Vec<Gfn> = (vma.start..vma.end())
+        .map(|v| kernel.page_table().translate(v).expect("mapped"))
+        .collect();
+    run_bench("lru_transitions", iters, move || {
+        for &g in &gfns {
+            kernel.deactivate_page(g);
+        }
+        for &g in &gfns {
+            kernel.activate_page(g);
+        }
+        gfns.len() as u64 * 2
+    })
+}
+
+fn bench_repro_epochs(name: &'static str, iters: u64, bulk_ops: bool) -> BenchResult {
+    run_bench(name, iters, move || {
+        let cfg = SimConfig::paper_default()
+            .with_capacity_ratio(1, 4)
+            .with_seed(42)
+            .with_bulk_ops(bulk_ops);
+        let mut spec = apps::graphchi();
+        spec.total_instructions /= 50;
+        let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(cfg, Policy::HeteroCoordinated, wl);
+        let mut epochs = 0u64;
+        while sim.step() {
+            epochs += 1;
+        }
+        epochs
+    })
+}
+
+/// Object-traffic kernel: a standing partial slab page absorbs alternating
+/// alloc-12 / free-12 object bursts, so the traffic is pure carve/release
+/// with no page-level churn — the engine's hottest per-object pattern.
+fn object_traffic_kernel() -> GuestKernel {
+    let mut kernel = GuestKernel::new(GuestConfig {
+        frames: vec![(MemKind::Fast, 8192)],
+        cpus: 1,
+        page_size: 4096,
+    });
+    for _ in 0..4 {
+        kernel
+            .slab_alloc(SlabClass::FsMeta, 224, &[MemKind::Fast])
+            .expect("capacity");
+    }
+    kernel
+}
+
+fn bench_object_traffic_scalar(iters: u64) -> BenchResult {
+    let mut kernel = object_traffic_kernel();
+    run_bench("object_traffic_scalar", iters, move || {
+        for _ in 0..12 {
+            kernel
+                .slab_alloc(SlabClass::FsMeta, 224, &[MemKind::Fast])
+                .expect("capacity");
+        }
+        for _ in 0..12 {
+            assert!(kernel.slab_free_any(SlabClass::FsMeta));
+        }
+        24
+    })
+}
+
+fn bench_object_traffic_bulk(iters: u64) -> BenchResult {
+    let mut kernel = object_traffic_kernel();
+    run_bench("object_traffic_bulk", iters, move || {
+        assert_eq!(
+            kernel.slab_alloc_bulk(SlabClass::FsMeta, 12, 224, &[MemKind::Fast]),
+            12
+        );
+        assert_eq!(kernel.slab_free_bulk(SlabClass::FsMeta, 12), 12);
+        24
+    })
+}
+
+fn write_json(results: &[BenchResult]) {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  \"{}\": {{ \"ns_per_op\": {:.1}, \"ops\": {} }}{comma}\n",
+            r.name, r.ns_per_op, r.ops
+        ));
+    }
+    out.push_str("}\n");
+    std::fs::write(BASELINE, out).expect("write BENCH_substrate.json");
+    println!("wrote {BASELINE}");
+}
+
+/// Minimal extraction of `"<name>": {{ "ns_per_op": <float>` from the
+/// committed baseline (hand-rolled: the repo adds no JSON dependency).
+fn baseline_ns_per_op(json: &str, name: &str) -> Option<f64> {
+    let entry = json.split(&format!("\"{name}\"")).nth(1)?;
+    let after = entry.split("\"ns_per_op\":").nth(1)?;
+    let value: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}
+
+fn check_regression(results: &[BenchResult]) -> bool {
+    let Ok(json) = std::fs::read_to_string(BASELINE) else {
+        eprintln!("--check: no committed {BASELINE}; skipping gate");
+        return true;
+    };
+    let mut ok = true;
+    for name in ["object_traffic_bulk", "object_traffic_scalar"] {
+        let Some(committed) = baseline_ns_per_op(&json, name) else {
+            eprintln!("--check: baseline has no entry for {name}; skipping");
+            continue;
+        };
+        let measured = results
+            .iter()
+            .find(|r| r.name == name)
+            .expect("bench always runs")
+            .ns_per_op;
+        let ratio = measured / committed.max(f64::MIN_POSITIVE);
+        if ratio > MAX_REGRESSION {
+            eprintln!(
+                "REGRESSION: {name} measured {measured:.1} ns/op vs committed \
+                 {committed:.1} ns/op ({ratio:.2}x > {MAX_REGRESSION}x)"
+            );
+            ok = false;
+        } else {
+            println!("check {name}: {ratio:.2}x of committed baseline — ok");
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let scale = if smoke { 20 } else { 1 };
+
+    let results = vec![
+        bench_buddy_churn(2_000 / scale),
+        bench_full_vm_scan(60 / scale),
+        bench_lru_transitions(100 / scale),
+        bench_repro_epochs("repro_epochs", (10 / scale).max(1), true),
+        bench_repro_epochs("repro_epochs_scalar", (10 / scale).max(1), false),
+        bench_object_traffic_scalar(20_000 / scale),
+        bench_object_traffic_bulk(20_000 / scale),
+    ];
+
+    let ns_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .expect("bench always runs")
+            .ns_per_op
+    };
+    println!(
+        "object_traffic speedup: {:.2}x (scalar/bulk)",
+        ns_of("object_traffic_scalar") / ns_of("object_traffic_bulk")
+    );
+    println!(
+        "repro_epochs speedup:   {:.2}x (scalar/bulk)",
+        ns_of("repro_epochs_scalar") / ns_of("repro_epochs")
+    );
+
+    if check {
+        if !check_regression(&results) {
+            std::process::exit(1);
+        }
+    } else {
+        write_json(&results);
+    }
+}

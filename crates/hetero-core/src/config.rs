@@ -104,6 +104,12 @@ pub struct SimConfig {
     /// not depend on this; the `ext-hints` experiment quantifies how much
     /// transparency leaves on the table.
     pub app_hints: bool,
+    /// Dispatch epoch demand through the guest kernel's bulk entry points
+    /// (one call per run of identically-placed objects) instead of one call
+    /// per object. Semantically a no-op — the scalar path is retained as the
+    /// equivalence reference for tests; traces and metrics are byte-identical
+    /// either way.
+    pub bulk_ops: bool,
     /// Run the cross-layer invariant auditor after every engine step,
     /// collecting typed violation reports (`SingleVmSim::violations`).
     /// Costs a full memmap walk per step — meant for chaos/fault runs and
@@ -152,6 +158,7 @@ impl SimConfig {
             bare_metal: false,
             trace_events: 0,
             app_hints: false,
+            bulk_ops: true,
             audit_invariants: false,
         }
     }
@@ -195,6 +202,12 @@ impl SimConfig {
     /// Sets the hotness-scan interval.
     pub fn with_scan_interval(mut self, interval: Nanos) -> Self {
         self.scan_interval = interval;
+        self
+    }
+
+    /// Selects bulk (default) or per-object scalar demand dispatch.
+    pub fn with_bulk_ops(mut self, on: bool) -> Self {
+        self.bulk_ops = on;
         self
     }
 

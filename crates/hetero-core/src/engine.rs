@@ -29,11 +29,13 @@ use crate::adaptive::IntervalController;
 use crate::config::SimConfig;
 use crate::metrics::RunReport;
 use crate::policy::{Policy, Tracking};
+use hetero_vmm::hotness::ScanOutcome;
 use hetero_vmm::HotnessTracker;
 
 /// A tier-preference chain (small, copyable — avoids borrowing the engine
-/// while the kernel is borrowed mutably).
-#[derive(Debug, Clone, Copy)]
+/// while the kernel is borrowed mutably). Equality lets the bulk dispatch
+/// run-length-group consecutive allocations with the same placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct TierChain {
     kinds: [MemKind; 3],
     len: u8,
@@ -83,6 +85,9 @@ pub struct SingleVmSim<W: Workload = AppWorkload> {
     rng: SimRng,
     clock: Clock,
     tracker: HotnessTracker,
+    /// Reused scan-outcome buffers (hot/cold candidate vectors keep their
+    /// capacity across the run's scans instead of reallocating).
+    scan_scratch: ScanOutcome,
     interval: IntervalController,
     next_scan: Nanos,
     next_window: Nanos,
@@ -199,6 +204,7 @@ impl<W: Workload> SingleVmSim<W> {
             // found set on the last visit — HeteroVisor promotes on recent
             // reference, and batched sweeps visit each page rarely.
             tracker: HotnessTracker::new(1),
+            scan_scratch: ScanOutcome::default(),
             interval,
             next_scan: cfg.scan_interval,
             next_window: cfg.stats_window,
@@ -551,14 +557,21 @@ impl<W: Workload> SingleVmSim<W> {
         }
         self.lazy_reclaim_if_due();
         // Kernel objects free immediately (kfree) under every policy.
-        for _ in 0..d.slab_frees * SLAB_OBJS_PER_PAGE {
-            if !self.kernel.slab_free_any(SlabClass::FsMeta) {
-                break;
+        if self.cfg.bulk_ops {
+            self.kernel
+                .slab_free_bulk(SlabClass::FsMeta, d.slab_frees * SLAB_OBJS_PER_PAGE);
+            self.kernel
+                .slab_free_bulk(SlabClass::Skbuff, d.netbuf_frees * NETBUF_OBJS_PER_PAGE);
+        } else {
+            for _ in 0..d.slab_frees * SLAB_OBJS_PER_PAGE {
+                if !self.kernel.slab_free_any(SlabClass::FsMeta) {
+                    break;
+                }
             }
-        }
-        for _ in 0..d.netbuf_frees * NETBUF_OBJS_PER_PAGE {
-            if !self.kernel.slab_free_any(SlabClass::Skbuff) {
-                break;
+            for _ in 0..d.netbuf_frees * NETBUF_OBJS_PER_PAGE {
+                if !self.kernel.slab_free_any(SlabClass::Skbuff) {
+                    break;
+                }
             }
         }
     }
@@ -589,15 +602,13 @@ impl<W: Workload> SingleVmSim<W> {
         // a reclaim storm drops them all at once (§3.3's criticism).
         let slack = |target: usize| ((target as f64 * LAZY_RECLAIM_SLACK) as usize).max(16);
         if self.cache_lazy.len() > slack(self.cache_live.len().max(1)) {
-            while let Some(off) = self.cache_lazy.pop_front() {
-                self.kernel.drop_cache_page(CACHE_FILE, off);
-            }
+            let q = std::mem::take(&mut self.cache_lazy);
+            self.kernel.drop_cache_pages(CACHE_FILE, q);
             self.charge_management(Nanos::from_micros(200));
         }
         if self.buffer_lazy.len() > slack(self.buffer_live.len().max(1)) {
-            while let Some(off) = self.buffer_lazy.pop_front() {
-                self.kernel.drop_cache_page(BUFFER_FILE, off);
-            }
+            let q = std::mem::take(&mut self.buffer_lazy);
+            self.kernel.drop_cache_pages(BUFFER_FILE, q);
             self.charge_management(Nanos::from_micros(200));
         }
     }
@@ -638,7 +649,7 @@ impl<W: Workload> SingleVmSim<W> {
                     }
                     if let Ok((vma, _)) = self.kernel.mmap_heap(
                         group.len() as u64,
-                        group.clone(),
+                        group.iter().copied(),
                         chain.as_slice(),
                     ) {
                         self.heap_chunks.push_back((vma.start, vma.pages));
@@ -652,7 +663,10 @@ impl<W: Workload> SingleVmSim<W> {
                 }
                 return self.apply_io_and_slab_allocations(d);
             }
-            match self.kernel.mmap_heap(d.heap_alloc, heats.clone(), pref.as_slice()) {
+            match self
+                .kernel
+                .mmap_heap(d.heap_alloc, heats.iter().copied(), pref.as_slice())
+            {
                 Ok((vma, _)) => {
                     self.heap_chunks.push_back((vma.start, vma.pages));
                     self.assign_heap_write_heats(&vma, &heats);
@@ -672,7 +686,10 @@ impl<W: Workload> SingleVmSim<W> {
                     let heats: Vec<u8> = (0..d.heap_alloc)
                         .map(|_| spec.sample_heat_with(&mut self.rng, PageType::HeapAnon, hot_p))
                         .collect();
-                    match self.kernel.mmap_heap(d.heap_alloc, heats.clone(), pref.as_slice()) {
+                    match self
+                        .kernel
+                        .mmap_heap(d.heap_alloc, heats.iter().copied(), pref.as_slice())
+                    {
                         Ok((vma, _)) => {
                             self.heap_chunks.push_back((vma.start, vma.pages));
                             self.assign_heap_write_heats(&vma, &heats);
@@ -695,6 +712,20 @@ impl<W: Workload> SingleVmSim<W> {
     }
 
     fn apply_io_and_slab_allocations(&mut self, d: &EpochDemand) {
+        if self.cfg.bulk_ops {
+            self.bulk_io_page_ins(true, d.cache_reads);
+            self.bulk_io_page_ins(false, d.buffer_allocs);
+            self.bulk_slab_allocs(SlabClass::FsMeta, PageType::Slab, d.slab_allocs * SLAB_OBJS_PER_PAGE);
+            self.bulk_slab_allocs(
+                SlabClass::Skbuff,
+                PageType::NetBuf,
+                d.netbuf_allocs * NETBUF_OBJS_PER_PAGE,
+            );
+            return;
+        }
+        // Scalar reference path: one placement decision and one kernel call
+        // per object. Kept verbatim as the equivalence baseline the bulk
+        // path is tested against (`with_bulk_ops(false)`).
         for _ in 0..d.cache_reads {
             let pref = self.preference(PageType::PageCache);
             let off = self.cache_next;
@@ -723,6 +754,183 @@ impl<W: Workload> SingleVmSim<W> {
         for _ in 0..d.netbuf_allocs * NETBUF_OBJS_PER_PAGE {
             let pref = self.preference(PageType::NetBuf);
             let _ = self.kernel.slab_alloc(SlabClass::Skbuff, 224, pref.as_slice());
+        }
+    }
+
+    // ------------------------------------------------------- bulk dispatch
+    //
+    // The bulk path must be an *exact* semantic no-op versus the scalar
+    // loops above: identical placement for every object, identical RNG draw
+    // count, identical allocation statistics and event traces. Placement
+    // decisions are therefore run-length grouped — one kernel call covers a
+    // run of consecutive objects only when every object in the run is
+    // guaranteed the same preference chain the scalar loop would compute.
+
+    /// Computes the next run of consecutive objects sharing one preference
+    /// chain. For RNG-driven policies this draws one chance per object
+    /// (keeping the draw count identical to the scalar loop); the first
+    /// draw that breaks the run is parked in `pending` for the next call.
+    /// For demand-prioritized policies the run is bounded so the FastMem
+    /// scarcity signal cannot flip inside it.
+    fn next_pref_run(
+        &mut self,
+        page_type: PageType,
+        remaining: u64,
+        pending: &mut Option<TierChain>,
+    ) -> (TierChain, u64) {
+        debug_assert!(remaining > 0);
+        match self.policy {
+            Policy::Random | Policy::NumaPreferred => {
+                let first = match pending.take() {
+                    Some(chain) => chain,
+                    None => self.preference(page_type),
+                };
+                let mut run = 1;
+                while run < remaining {
+                    let next = self.preference(page_type);
+                    if next == first {
+                        run += 1;
+                    } else {
+                        *pending = Some(next);
+                        break;
+                    }
+                }
+                (first, run)
+            }
+            Policy::HeapIoSlabOd | Policy::HeteroLru | Policy::HeteroCoordinated => {
+                debug_assert!(pending.is_none(), "OD runs are state-derived");
+                let chain = self.preference(page_type);
+                let thr = self.cfg.fast_low_watermark * 2.0;
+                if self.kernel.free_fraction(MemKind::Fast) < thr {
+                    // Scarce, and allocations only consume frames, so the
+                    // signal stays scarce for the whole remainder. (The one
+                    // way back up — a reclaim storm — makes the dispatcher
+                    // recompute runs.)
+                    (chain, remaining)
+                } else {
+                    // Plentiful: placements may drain FastMem until the
+                    // watermark trips. Each object consumes at most one
+                    // Fast frame, so the first `free - min_free + 1`
+                    // objects are guaranteed to still see a non-scarce
+                    // tier exactly as the scalar loop would.
+                    let total = self.kernel.total_frames(MemKind::Fast);
+                    let free = self.kernel.free_frames(MemKind::Fast);
+                    let mut min_free = (thr * total as f64).ceil() as u64;
+                    // Settle f64 rounding edges against the exact predicate.
+                    while (min_free as f64) / (total as f64) < thr {
+                        min_free += 1;
+                    }
+                    while min_free > 0 && ((min_free - 1) as f64) / (total as f64) >= thr {
+                        min_free -= 1;
+                    }
+                    debug_assert!(free >= min_free);
+                    ((chain), (free - min_free + 1).min(remaining))
+                }
+            }
+            // Static chains: one placement decision covers the epoch.
+            Policy::SlowMemOnly
+            | Policy::FastMemOnly
+            | Policy::HeapOd
+            | Policy::VmmExclusive => (self.preference(page_type), remaining),
+        }
+    }
+
+    /// Bulk page-cache / buffer-cache reads: run-grouped placement, with
+    /// sub-chunks sized so the scalar loop's `ensure_one_free` reclaim
+    /// storm fires at exactly the same object index.
+    fn bulk_io_page_ins(&mut self, is_cache: bool, n: u64) {
+        let page_type = if is_cache {
+            PageType::PageCache
+        } else {
+            PageType::BufferCache
+        };
+        let mut remaining = n;
+        let mut pending: Option<TierChain> = None;
+        while remaining > 0 {
+            let (chain, run) = self.next_pref_run(page_type, remaining, &mut pending);
+            remaining -= run;
+            let mut run_left = run;
+            while run_left > 0 {
+                let free_total = self.kernel.free_frames(MemKind::Fast)
+                    + self.kernel.free_frames(MemKind::Slow);
+                if free_total == 0 {
+                    // The next object trips the reclaim storm (its chain —
+                    // computed before the storm, like the scalar loop's —
+                    // is already fixed in `run`).
+                    if !self.ensure_one_free() {
+                        // Nothing reclaimable: the rest of the run is
+                        // skipped, but offsets still advance.
+                        self.advance_io_offsets(is_cache, run_left);
+                        run_left = 0;
+                        continue;
+                    }
+                    self.dispatch_io_chunk(is_cache, 1, chain);
+                    run_left -= 1;
+                    if self.policy.uses_demand_prioritization() && run_left > 0 {
+                        // The storm refilled free lists, which may flip the
+                        // scarcity signal: hand the rest back and recompute.
+                        remaining += run_left;
+                        run_left = 0;
+                    }
+                    continue;
+                }
+                // Within this chunk every object sees a free frame, so
+                // `ensure_one_free` is a guaranteed no-op for all of them.
+                let c = run_left.min(free_total);
+                self.dispatch_io_chunk(is_cache, c, chain);
+                run_left -= c;
+            }
+        }
+    }
+
+    /// Pages `count` consecutive offsets in with one kernel call and
+    /// registers the successes as live. Placement failures form a suffix
+    /// (nothing frees memory inside a chunk), so the success count is also
+    /// the live prefix length — exactly the offsets the scalar loop would
+    /// have recorded.
+    fn dispatch_io_chunk(&mut self, is_cache: bool, count: u64, chain: TierChain) -> u64 {
+        let (start, ok) = if is_cache {
+            let start = self.cache_next;
+            self.cache_next += count;
+            let ok = self
+                .kernel
+                .page_in_many(CACHE_FILE, start, count, 224, chain.as_slice());
+            (start, ok)
+        } else {
+            let start = self.buffer_next;
+            self.buffer_next += count;
+            let ok = self
+                .kernel
+                .buffer_page_in_many(BUFFER_FILE, start, count, 224, chain.as_slice());
+            (start, ok)
+        };
+        let live = if is_cache {
+            &mut self.cache_live
+        } else {
+            &mut self.buffer_live
+        };
+        live.extend(start..start + ok);
+        ok
+    }
+
+    fn advance_io_offsets(&mut self, is_cache: bool, n: u64) {
+        if is_cache {
+            self.cache_next += n;
+        } else {
+            self.buffer_next += n;
+        }
+    }
+
+    /// Bulk slab/netbuf object allocation: one kernel call per placement
+    /// run. `GuestKernel::slab_alloc_bulk` internally replicates the scalar
+    /// carve/fresh-page/failure sequence, including per-failure statistics.
+    fn bulk_slab_allocs(&mut self, class: SlabClass, page_type: PageType, n: u64) {
+        let mut remaining = n;
+        let mut pending: Option<TierChain> = None;
+        while remaining > 0 {
+            let (chain, run) = self.next_pref_run(page_type, remaining, &mut pending);
+            let _ = self.kernel.slab_alloc_bulk(class, run, 224, chain.as_slice());
+            remaining -= run;
         }
     }
 
@@ -799,12 +1007,10 @@ impl<W: Workload> SingleVmSim<W> {
     }
 
     fn force_reclaim_all(&mut self) {
-        while let Some(off) = self.cache_lazy.pop_front() {
-            self.kernel.drop_cache_page(CACHE_FILE, off);
-        }
-        while let Some(off) = self.buffer_lazy.pop_front() {
-            self.kernel.drop_cache_page(BUFFER_FILE, off);
-        }
+        let q = std::mem::take(&mut self.cache_lazy);
+        self.kernel.drop_cache_pages(CACHE_FILE, q);
+        let q = std::mem::take(&mut self.buffer_lazy);
+        self.kernel.drop_cache_pages(BUFFER_FILE, q);
     }
 
     // --------------------------------------------------------------- timing
@@ -1076,46 +1282,51 @@ impl<W: Workload> SingleVmSim<W> {
         let mut rng = self.rng.fork();
         let mut oracle =
             move |p: &Page| rng.chance(Self::touch_probability(interval, p));
-        let outcome = self.tracker.scan_full(&self.kernel, &mut oracle, batch);
-        self.charge_scan(outcome.scanned);
+        self.tracker
+            .scan_full_into(&self.kernel, &mut oracle, batch, &mut self.scan_scratch);
+        let scanned = self.scan_scratch.scanned;
+        self.charge_scan(scanned);
+        let (hot_n, cold_n) = (
+            self.scan_scratch.hot_candidates.len(),
+            self.scan_scratch.cold_candidates.len(),
+        );
         self.trace(EventKind::Scan, || {
-            format!(
-                "full scan: {} frames, {} hot / {} cold candidates",
-                outcome.scanned,
-                outcome.hot_candidates.len(),
-                outcome.cold_candidates.len()
-            )
+            format!("full scan: {scanned} frames, {hot_n} hot / {cold_n} cold candidates")
         });
         // Promote hot pages, hottest first — multi-interval access-bit
         // history ranks pages by touch frequency. The VMM is blind to guest
         // page state, so it migrates forced — including soon-to-die pages.
+        // The candidate vectors are taken out of the scratch and put back
+        // afterwards so their capacity carries to the next scan.
         let budget = self.cfg.sim_batch(self.cfg.migrate_batch);
         let mut migrated = 0u64;
-        let mut hot = outcome.hot_candidates;
+        let mut hot = std::mem::take(&mut self.scan_scratch.hot_candidates);
         hot.sort_by_key(|&g| std::cmp::Reverse(self.kernel.memmap().page(g).heat));
-        let mut cold = outcome.cold_candidates.into_iter();
-        for gfn in hot.into_iter().take(budget as usize) {
+        let cold = std::mem::take(&mut self.scan_scratch.cold_candidates);
+        let mut next_cold = 0usize;
+        'promote: for &gfn in hot.iter().take(budget as usize) {
             if self.kernel.free_frames(MemKind::Fast) == 0 {
                 // Make room by demoting a cold FastMem page first.
-                match cold.next() {
-                    Some(victim) => {
-                        if self
-                            .kernel
-                            .migrate_page_forced(victim, MemKind::Slow)
-                            .is_ok()
-                        {
-                            migrated += 1;
-                        } else {
-                            continue;
-                        }
-                    }
-                    None => break,
+                let Some(&victim) = cold.get(next_cold) else {
+                    break 'promote;
+                };
+                next_cold += 1;
+                if self
+                    .kernel
+                    .migrate_page_forced(victim, MemKind::Slow)
+                    .is_ok()
+                {
+                    migrated += 1;
+                } else {
+                    continue 'promote;
                 }
             }
             if self.kernel.migrate_page_forced(gfn, MemKind::Fast).is_ok() {
                 migrated += 1;
             }
         }
+        self.scan_scratch.hot_candidates = hot;
+        self.scan_scratch.cold_candidates = cold;
         self.charge_migration(migrated, false);
     }
 
@@ -1171,23 +1382,24 @@ impl<W: Workload> SingleVmSim<W> {
         let mut rng = self.rng.fork();
         let mut oracle =
             move |p: &Page| rng.chance(Self::touch_probability(interval, p));
-        let outcome = {
-            let mut tracker = std::mem::replace(&mut self.tracker, HotnessTracker::new(1));
-            let out = if self.cfg.guided_tracking {
-                tracker.scan_tracked(&self.kernel, &tracking, &exceptions, &mut oracle, batch)
-            } else {
-                tracker.scan_full(&self.kernel, &mut oracle, batch)
-            };
-            self.tracker = tracker;
-            out
-        };
-        self.charge_scan(outcome.scanned);
+        if self.cfg.guided_tracking {
+            self.tracker.scan_tracked_into(
+                &self.kernel,
+                &tracking,
+                &exceptions,
+                &mut oracle,
+                batch,
+                &mut self.scan_scratch,
+            );
+        } else {
+            self.tracker
+                .scan_full_into(&self.kernel, &mut oracle, batch, &mut self.scan_scratch);
+        }
+        let scanned = self.scan_scratch.scanned;
+        self.charge_scan(scanned);
+        let hot_n = self.scan_scratch.hot_candidates.len();
         self.trace(EventKind::Scan, || {
-            format!(
-                "guided scan: {} PTEs, {} hot candidates",
-                outcome.scanned,
-                outcome.hot_candidates.len()
-            )
+            format!("guided scan: {scanned} PTEs, {hot_n} hot candidates")
         });
         // Guest-side migration with §4.1 validity checks, hottest first.
         // In write-aware mode (§4.3 extension over NVM-like SlowMem), the
@@ -1196,7 +1408,7 @@ impl<W: Workload> SingleVmSim<W> {
         let budget = self.cfg.sim_batch(self.cfg.migrate_batch);
         let mut migrated = 0u64;
         let mut checked = 0u64;
-        let mut hot = outcome.hot_candidates;
+        let mut hot = std::mem::take(&mut self.scan_scratch.hot_candidates);
         let store_bias = if self.cfg.write_aware {
             (self.slow_params.store_latency.as_nanos() as f64
                 / self.slow_params.load_latency.as_nanos().max(1) as f64)
@@ -1208,7 +1420,7 @@ impl<W: Workload> SingleVmSim<W> {
             let p = self.kernel.memmap().page(g);
             std::cmp::Reverse(p.heat as u32 + (p.write_heat as f64 * store_bias) as u32)
         });
-        for gfn in hot.into_iter().take(budget as usize) {
+        for &gfn in hot.iter().take(budget as usize) {
             checked += 1;
             if self.kernel.free_frames(MemKind::Fast) == 0 {
                 let moved = self.kernel.demote_inactive(MemKind::Fast, 1);
@@ -1236,6 +1448,7 @@ impl<W: Workload> SingleVmSim<W> {
                 Err(MigrateError::TargetFull) => break,
             }
         }
+        self.scan_scratch.hot_candidates = hot;
         // Validity checks are cheap page walks over the candidates.
         let validity = self.cfg.costs.validity_cost(self.cfg.real_pages(checked));
         self.clock.charge(CostCategory::PageWalk, validity);

@@ -201,6 +201,32 @@ impl BuddyAllocator {
         self.free(gfn, 0);
     }
 
+    /// Allocates up to `n` order-0 pages, appending them to `out` in the
+    /// exact sequence repeated [`BuddyAllocator::alloc_page`] calls would
+    /// produce. Returns how many pages were obtained (short on exhaustion).
+    pub fn alloc_pages_bulk(&mut self, n: u64, out: &mut Vec<Gfn>) -> u64 {
+        out.reserve(n.min(self.free_frames) as usize);
+        for got in 0..n {
+            match self.alloc(0) {
+                Ok(g) => out.push(g),
+                Err(_) => return got,
+            }
+        }
+        n
+    }
+
+    /// Frees a batch of order-0 pages, coalescing exactly as the same
+    /// sequence of [`BuddyAllocator::free_page`] calls would.
+    ///
+    /// # Panics
+    ///
+    /// As for [`BuddyAllocator::free`], per page.
+    pub fn free_pages_bulk(&mut self, pages: impl IntoIterator<Item = Gfn>) {
+        for g in pages {
+            self.free(g, 0);
+        }
+    }
+
     /// Largest order with at least one free block, `None` when empty.
     pub fn max_free_order(&self) -> Option<u8> {
         (0..=MAX_ORDER)
@@ -306,6 +332,33 @@ mod tests {
     fn foreign_free_panics() {
         let mut b = BuddyAllocator::new(0, 8);
         b.free(Gfn(100), 0);
+    }
+
+    #[test]
+    fn bulk_paths_match_single_page_sequences() {
+        let mut single = BuddyAllocator::new(0, 256);
+        let mut bulk = BuddyAllocator::new(0, 256);
+        let singles: Vec<Gfn> = (0..100).map(|_| single.alloc_page().unwrap()).collect();
+        let mut bulked = Vec::new();
+        assert_eq!(bulk.alloc_pages_bulk(100, &mut bulked), 100);
+        assert_eq!(singles, bulked, "bulk alloc must match the scalar order");
+        for &g in singles.iter().rev() {
+            single.free_page(g);
+        }
+        bulk.free_pages_bulk(bulked.iter().rev().copied());
+        assert_eq!(single.free_frames(), bulk.free_frames());
+        for o in 0..=MAX_ORDER {
+            assert_eq!(single.free_blocks(o), bulk.free_blocks(o), "order {o}");
+        }
+    }
+
+    #[test]
+    fn bulk_alloc_stops_at_exhaustion() {
+        let mut b = BuddyAllocator::new(0, 8);
+        let mut out = Vec::new();
+        assert_eq!(b.alloc_pages_bulk(20, &mut out), 8);
+        assert_eq!(out.len(), 8);
+        assert_eq!(b.free_frames(), 0);
     }
 
     #[test]

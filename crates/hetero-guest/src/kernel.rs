@@ -478,6 +478,67 @@ impl GuestKernel {
         Ok((gfn, false))
     }
 
+    /// Faults `count` consecutive file offsets starting at `first_offset`
+    /// into the page cache — the bulk entry point for streaming reads.
+    /// State-equivalent to calling [`GuestKernel::page_in`] once per offset
+    /// (same placements, statistics and cache-probe counts). For previously
+    /// uncached offsets, a tier-exhaustion failure persists for the rest of
+    /// the batch (each remaining attempt still records its miss), so the
+    /// successes form a prefix; the returned count is that prefix length.
+    pub fn page_in_many(
+        &mut self,
+        file: FileId,
+        first_offset: u64,
+        count: u64,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> u64 {
+        let mut ok = 0u64;
+        for off in first_offset..first_offset + count {
+            if self.page_in(file, off, heat, preference).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// As [`GuestKernel::page_in_many`], for buffer-cache blocks (mirrors
+    /// [`GuestKernel::buffer_page_in`]).
+    pub fn buffer_page_in_many(
+        &mut self,
+        file: FileId,
+        first_offset: u64,
+        count: u64,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> u64 {
+        let mut ok = 0u64;
+        for off in first_offset..first_offset + count {
+            if self.buffer_page_in(file, off, heat, preference).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// Drops a batch of cached pages by identity — the bulk release entry
+    /// point (lazy-reclaim storms, forced reclaim). Equivalent to one
+    /// [`GuestKernel::drop_cache_page`] per offset, in order. Returns how
+    /// many pages were actually freed.
+    pub fn drop_cache_pages(
+        &mut self,
+        file: FileId,
+        offsets: impl IntoIterator<Item = u64>,
+    ) -> u64 {
+        let mut freed = 0u64;
+        for off in offsets {
+            if self.drop_cache_page(file, off) {
+                freed += 1;
+            }
+        }
+        freed
+    }
+
     /// Looks up a cached page by identity without allocating on a miss.
     /// Counts as a cache probe in the hit/miss statistics.
     pub fn cached_page(&mut self, file: FileId, offset_page: u64) -> Option<Gfn> {
@@ -594,6 +655,84 @@ impl GuestKernel {
             Some(None) => true,
             None => false,
         }
+    }
+
+    /// Allocates `n` kernel objects of one class in bulk — state-equivalent
+    /// to `n` [`GuestKernel::slab_alloc`] calls with the same arguments
+    /// (same pages carved in the same order, same allocation statistics,
+    /// same failure behaviour), but carving whole partial-slab chunks with
+    /// one map operation instead of two per object. Returns the number of
+    /// objects obtained; on tier exhaustion the remaining attempts still
+    /// record their allocation misses, as the scalar loop would.
+    pub fn slab_alloc_bulk(
+        &mut self,
+        class: SlabClass,
+        n: u64,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> u64 {
+        let page_type = match class {
+            SlabClass::Skbuff => PageType::NetBuf,
+            SlabClass::FsMeta => PageType::Slab,
+        };
+        let mut done = 0u64;
+        while done < n {
+            let cache = match class {
+                SlabClass::Skbuff => &mut self.skbuff,
+                SlabClass::FsMeta => &mut self.fs_meta,
+            };
+            done += cache.alloc_from_partial(n - done);
+            if done >= n {
+                break;
+            }
+            // No partial room anywhere: grow the slab with a fresh page.
+            match self.alloc_page(page_type, heat, preference) {
+                Ok((new_page, _)) => {
+                    let cache = match class {
+                        SlabClass::Skbuff => &mut self.skbuff,
+                        SlabClass::FsMeta => &mut self.fs_meta,
+                    };
+                    let gfn = cache
+                        .alloc_object(|| Some(new_page))
+                        .expect("fresh page provided");
+                    debug_assert_eq!(gfn, new_page);
+                    done += 1;
+                }
+                Err(_) => {
+                    // Every preferred tier is exhausted, and nothing in this
+                    // loop frees frames, so the remaining attempts would fail
+                    // identically — but each still records its miss, exactly
+                    // as the scalar per-object loop does.
+                    for _ in done + 1..n {
+                        let _ = self.alloc_page(page_type, heat, preference);
+                    }
+                    return done;
+                }
+            }
+        }
+        done
+    }
+
+    /// Frees up to `n` objects of a class in bulk — state-equivalent to
+    /// calling [`GuestKernel::slab_free_any`] until it returns `false` or
+    /// `n` objects are freed, releasing emptied slab pages at the same
+    /// points in the sequence. Returns the number of objects freed.
+    pub fn slab_free_bulk(&mut self, class: SlabClass, n: u64) -> u64 {
+        let mut done = 0u64;
+        while done < n {
+            let cache = match class {
+                SlabClass::Skbuff => &mut self.skbuff,
+                SlabClass::FsMeta => &mut self.fs_meta,
+            };
+            let Some((freed, emptied)) = cache.free_any_chunk(n - done) else {
+                break;
+            };
+            done += freed;
+            if let Some(page) = emptied {
+                self.free_page(page);
+            }
+        }
+        done
     }
 
     /// Live objects in a slab class.
@@ -1007,11 +1146,19 @@ impl GuestKernel {
     /// `cursor`, visits at most `limit` *frames* (present or not), and
     /// returns the present ones plus the wrapped-around next cursor.
     pub fn scan_resident(&self, cursor: u64, limit: u64) -> (Vec<Gfn>, u64) {
+        let mut out = Vec::new();
+        let next = self.scan_resident_into(cursor, limit, &mut out);
+        (out, next)
+    }
+
+    /// As [`GuestKernel::scan_resident`], but appends present frames to a
+    /// caller-owned buffer (per-scan scratch reuse) and returns only the
+    /// wrapped-around next cursor.
+    pub fn scan_resident_into(&self, cursor: u64, limit: u64, out: &mut Vec<Gfn>) -> u64 {
         let total = self.mm.total_frames();
         if total == 0 || limit == 0 {
-            return (Vec::new(), cursor);
+            return cursor;
         }
-        let mut out = Vec::new();
         let mut pos = cursor % total;
         for _ in 0..limit.min(total) {
             let gfn = Gfn(pos);
@@ -1020,7 +1167,7 @@ impl GuestKernel {
             }
             pos = (pos + 1) % total;
         }
-        (out, pos)
+        pos
     }
 
     /// Collects up to `limit` migration candidates from a tier's LRU lists
@@ -1115,6 +1262,93 @@ mod tests {
         k.free_page(gfn);
         assert_eq!(k.free_frames(MemKind::Fast), before);
         assert_eq!(k.memmap().resident_on(MemKind::Fast), 0);
+    }
+
+    #[test]
+    fn bulk_slab_and_page_in_paths_match_scalar_state() {
+        let mut scalar = small_kernel();
+        let mut bulk = small_kernel();
+        let pref = [MemKind::Fast, MemKind::Slow];
+        // Mixed object/IO traffic, including a free phase and a second
+        // alloc phase that must carve the same recycled partial slabs.
+        for round in 0..3 {
+            let allocs = 40 + round * 17;
+            for _ in 0..allocs {
+                let _ = scalar.slab_alloc(SlabClass::FsMeta, 224, &pref);
+                let _ = scalar.slab_alloc(SlabClass::Skbuff, 224, &pref);
+            }
+            assert_eq!(bulk.slab_alloc_bulk(SlabClass::FsMeta, allocs, 224, &pref), allocs);
+            assert_eq!(bulk.slab_alloc_bulk(SlabClass::Skbuff, allocs, 224, &pref), allocs);
+            let frees = 25 + round * 11;
+            let mut got = 0;
+            for _ in 0..frees {
+                if scalar.slab_free_any(SlabClass::FsMeta) {
+                    got += 1;
+                }
+            }
+            assert_eq!(bulk.slab_free_bulk(SlabClass::FsMeta, frees), got);
+            let base = round * 10;
+            let mut ok = 0;
+            for off in base..base + 10 {
+                if scalar.page_in(FileId(3), off, 224, &pref).is_ok() {
+                    ok += 1;
+                }
+            }
+            assert_eq!(bulk.page_in_many(FileId(3), base, 10, 224, &pref), ok);
+        }
+        // Full observable state must match: placement, stats, residency.
+        for kind in [MemKind::Fast, MemKind::Slow] {
+            assert_eq!(scalar.free_frames(kind), bulk.free_frames(kind), "{kind}");
+            assert_eq!(
+                scalar.memmap().resident_on(kind),
+                bulk.memmap().resident_on(kind),
+                "{kind}"
+            );
+        }
+        for class in [SlabClass::FsMeta, SlabClass::Skbuff] {
+            assert_eq!(scalar.slab_objects(class), bulk.slab_objects(class));
+        }
+        assert_eq!(
+            scalar.stats().overall_miss_ratio(),
+            bulk.stats().overall_miss_ratio()
+        );
+        for t in [PageType::Slab, PageType::NetBuf, PageType::PageCache] {
+            assert_eq!(
+                scalar.memmap().resident_pages(t),
+                bulk.memmap().resident_pages(t),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_slab_alloc_records_misses_on_exhaustion() {
+        let mut scalar = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 32)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        let mut bulk = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 32)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        // Far more objects than 32 frames can back: both paths run into
+        // exhaustion and must record identical allocation statistics.
+        let n = 40 * 16;
+        let mut ok = 0;
+        for _ in 0..n {
+            if scalar.slab_alloc(SlabClass::FsMeta, 224, &[MemKind::Fast]).is_ok() {
+                ok += 1;
+            }
+        }
+        assert_eq!(bulk.slab_alloc_bulk(SlabClass::FsMeta, n, 224, &[MemKind::Fast]), ok);
+        assert!(ok < n, "exhaustion must actually occur");
+        assert_eq!(
+            scalar.stats().overall_miss_ratio(),
+            bulk.stats().overall_miss_ratio()
+        );
+        assert_eq!(scalar.free_frames(MemKind::Fast), bulk.free_frames(MemKind::Fast));
     }
 
     #[test]

@@ -271,7 +271,13 @@ impl LruRegistry {
     /// first — they are cheapest to drop), removing them from the LRU.
     /// Returns the reclaimed pages, LRU-most first.
     pub fn shrink_inactive(&mut self, mm: &mut MemMap, kind: MemKind, n: u64) -> Vec<Gfn> {
-        let mut out = Vec::new();
+        // Pre-size to the reclaimable count: never over-reserve when the
+        // inactive lists hold fewer than `n` pages.
+        let available: u64 = [LruClass::File, LruClass::Anon]
+            .iter()
+            .map(|&c| self.split(kind, c).inactive.len())
+            .sum();
+        let mut out = Vec::with_capacity(n.min(available) as usize);
         for class in [LruClass::File, LruClass::Anon] {
             while (out.len() as u64) < n {
                 match self.split_mut(kind, class).inactive.pop_back(mm) {

@@ -100,15 +100,10 @@ impl PerCpuLists {
             self.fast_path_hits += 1;
             return Some(g);
         }
-        // Refill: batch order-0 pages out of the buddy.
+        // Refill: batch order-0 pages out of the buddy in one bulk call.
         self.refills += 1;
         let list = &mut self.lists[cpu][kind];
-        for _ in 0..self.batch {
-            match buddy.alloc_page() {
-                Ok(g) => list.push(g),
-                Err(_) => break,
-            }
-        }
+        buddy.alloc_pages_bulk(self.batch as u64, list);
         list.pop()
     }
 
@@ -123,18 +118,29 @@ impl PerCpuLists {
         let list = &mut self.lists[cpu][kind];
         list.push(gfn);
         if list.len() > high {
-            for g in list.drain(..high / 2) {
-                buddy.free_page(g);
-            }
+            buddy.free_pages_bulk(list.drain(..high / 2));
+        }
+    }
+
+    /// Returns a batch of pages to `cpu`'s list in one call, draining to the
+    /// buddy at the same high-watermark points `n` single
+    /// [`PerCpuLists::free`] calls would.
+    pub fn free_bulk(
+        &mut self,
+        cpu: usize,
+        kind: MemKind,
+        pages: impl IntoIterator<Item = Gfn>,
+        buddy: &mut BuddyAllocator,
+    ) {
+        for g in pages {
+            self.free(cpu, kind, g, buddy);
         }
     }
 
     /// Drains every list of a tier back to the buddy (memory-pressure path).
     pub fn drain_kind(&mut self, kind: MemKind, buddy: &mut BuddyAllocator) {
         for cpu_list in &mut self.lists {
-            for g in cpu_list[kind].drain(..) {
-                buddy.free_page(g);
-            }
+            buddy.free_pages_bulk(cpu_list[kind].drain(..));
         }
     }
 }

@@ -17,8 +17,6 @@
 //! [`TouchOracle`], which the simulation engine implements from the
 //! workload's access model (and tests implement deterministically).
 
-use std::collections::HashMap;
-
 use hetero_guest::page::{Gfn, Page, PageType};
 use hetero_guest::GuestKernel;
 use hetero_mem::MemKind;
@@ -66,14 +64,25 @@ pub struct ScanOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct HotnessTracker {
-    /// 8-bit shift-register history per page (bit 0 = most recent scan).
-    history: HashMap<Gfn, u8>,
+    /// 8-bit shift-register history per frame, indexed by `Gfn` (bit 0 =
+    /// most recent scan). Dense: guest frame numbers are contiguous, so a
+    /// flat table replaces the former `HashMap<Gfn, u8>` — no hashing on
+    /// the per-frame scan path, and batched scans walk it sequentially.
+    history: Vec<u8>,
+    /// Whether a frame has any recorded history. A history byte of 0 is a
+    /// real state ("visited, never touched"), so presence needs its own bit.
+    known: Vec<bool>,
+    /// Count of `known` frames (diagnostic, kept so `tracked_pages` stays
+    /// O(1)).
+    tracked: usize,
     /// Number of set history bits required to call a page hot.
     hot_threshold: u32,
     /// Resume cursor for batched full-VM scans.
     cursor: u64,
     /// Resume cursor (virtual page) for batched tracked scans.
     tracked_cursor: u64,
+    /// Reused buffer for the resident frames of the current full-scan batch.
+    resident_scratch: Vec<Gfn>,
 }
 
 impl HotnessTracker {
@@ -89,27 +98,49 @@ impl HotnessTracker {
             "hot threshold must be in 1..=8"
         );
         HotnessTracker {
-            history: HashMap::new(),
+            history: Vec::new(),
+            known: Vec::new(),
+            tracked: 0,
             hot_threshold,
             cursor: 0,
             tracked_cursor: 0,
+            resident_scratch: Vec::new(),
         }
     }
 
     /// Pages with recorded history (diagnostic).
     pub fn tracked_pages(&self) -> usize {
-        self.history.len()
+        self.tracked
     }
 
     /// Clears history (e.g. after a phase change).
     pub fn reset(&mut self) {
         self.history.clear();
+        self.known.clear();
+        self.tracked = 0;
         self.cursor = 0;
         self.tracked_cursor = 0;
     }
 
+    /// Grows the dense tables to cover `frames` guest frames.
+    fn ensure_frames(&mut self, frames: u64) {
+        let frames = frames as usize;
+        if self.history.len() < frames {
+            self.history.resize(frames, 0);
+            self.known.resize(frames, false);
+        }
+    }
+
     fn record(&mut self, gfn: Gfn, touched: bool) -> u8 {
-        let h = self.history.entry(gfn).or_insert(0);
+        let i = gfn.0 as usize;
+        if i >= self.history.len() {
+            self.ensure_frames(gfn.0 + 1);
+        }
+        if !self.known[i] {
+            self.known[i] = true;
+            self.tracked += 1;
+        }
+        let h = &mut self.history[i];
         *h = (*h << 1) | u8::from(touched);
         *h
     }
@@ -138,18 +169,42 @@ impl HotnessTracker {
         oracle: &mut dyn TouchOracle,
         batch: u64,
     ) -> ScanOutcome {
-        let (resident, next) = kernel.scan_resident(self.cursor, batch);
-        self.cursor = next;
-        let mut out = ScanOutcome {
-            scanned: batch.min(kernel.memmap().total_frames()),
-            ..Default::default()
-        };
-        for gfn in resident {
+        let mut out = ScanOutcome::default();
+        self.scan_full_into(kernel, oracle, batch, &mut out);
+        out
+    }
+
+    /// As [`HotnessTracker::scan_full`], writing into a caller-owned
+    /// [`ScanOutcome`] whose candidate buffers are reused across scans
+    /// instead of reallocated. The outcome is cleared first.
+    pub fn scan_full_into(
+        &mut self,
+        kernel: &GuestKernel,
+        oracle: &mut dyn TouchOracle,
+        batch: u64,
+        out: &mut ScanOutcome,
+    ) {
+        let total = kernel.memmap().total_frames();
+        out.scanned = batch.min(total);
+        out.hot_candidates.clear();
+        out.cold_candidates.clear();
+        // The guest can shrink (ballooning, or a tracker reused across
+        // differently-sized guests): a cursor past the end would silently
+        // skip the first `cursor % total` frames on its next pass. Restart
+        // from frame 0 instead.
+        if self.cursor >= total {
+            self.cursor = 0;
+        }
+        self.ensure_frames(total);
+        let mut resident = std::mem::take(&mut self.resident_scratch);
+        resident.clear();
+        self.cursor = kernel.scan_resident_into(self.cursor, batch, &mut resident);
+        for &gfn in &resident {
             let touched = oracle.touched(kernel.memmap().page(gfn));
             let h = self.record(gfn, touched);
-            self.classify(kernel, gfn, h, &mut out);
+            self.classify(kernel, gfn, h, out);
         }
-        out
+        self.resident_scratch = resident;
     }
 
     /// Coordinated scan: visits only the virtual ranges on `tracking` (the
@@ -164,8 +219,26 @@ impl HotnessTracker {
         batch: u64,
     ) -> ScanOutcome {
         let mut out = ScanOutcome::default();
+        self.scan_tracked_into(kernel, tracking, exceptions, oracle, batch, &mut out);
+        out
+    }
+
+    /// As [`HotnessTracker::scan_tracked`], writing into a caller-owned,
+    /// reused [`ScanOutcome`]. The outcome is cleared first.
+    pub fn scan_tracked_into(
+        &mut self,
+        kernel: &GuestKernel,
+        tracking: &[(u64, u64)],
+        exceptions: &[PageType],
+        oracle: &mut dyn TouchOracle,
+        batch: u64,
+        out: &mut ScanOutcome,
+    ) {
+        out.scanned = 0;
+        out.hot_candidates.clear();
+        out.cold_candidates.clear();
         if tracking.is_empty() {
-            return out;
+            return;
         }
         // Resume where the previous batch stopped, wrapping over the list.
         let total_vpns: u64 = tracking.iter().map(|&(s, e)| e.saturating_sub(s)).sum();
@@ -199,7 +272,7 @@ impl HotnessTracker {
                     }
                     let touched = oracle.touched(page);
                     let h = self.record(gfn, touched);
-                    self.classify(kernel, gfn, h, &mut out);
+                    self.classify(kernel, gfn, h, out);
                 }
             }
             if !started {
@@ -214,14 +287,22 @@ impl HotnessTracker {
                 break;
             }
         }
-        out
     }
 
     /// Forgets pages that are no longer resident (called opportunistically
     /// to bound history size).
     pub fn prune(&mut self, kernel: &GuestKernel) {
-        self.history
-            .retain(|gfn, _| kernel.memmap().page(*gfn).is_present());
+        let total = kernel.memmap().total_frames() as usize;
+        for i in 0..self.known.len() {
+            if !self.known[i] {
+                continue;
+            }
+            if i >= total || !kernel.memmap().page(Gfn(i as u64)).is_present() {
+                self.known[i] = false;
+                self.history[i] = 0;
+                self.tracked -= 1;
+            }
+        }
     }
 }
 
@@ -356,5 +437,52 @@ mod tests {
     #[should_panic(expected = "hot threshold")]
     fn zero_threshold_rejected() {
         HotnessTracker::new(0);
+    }
+
+    #[test]
+    fn cursor_resets_when_guest_shrinks_below_it() {
+        // Advance the cursor deep into a large guest, then point the same
+        // tracker at a much smaller guest. The stale cursor must restart at
+        // frame 0 rather than skip the small guest's first frames.
+        let big = kernel_with_slow_heap(16); // 320 frames total
+        let mut t = HotnessTracker::new(1);
+        let mut always = |_: &Page| true;
+        let total_big = big.memmap().total_frames();
+        t.scan_full(&big, &mut always, total_big - 10); // cursor = 310
+        let mut small = GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Slow, 64)],
+            cpus: 1,
+            page_size: 4096,
+        });
+        let (vma, _) = small
+            .mmap_heap(8, std::iter::repeat(200), &[MemKind::Slow])
+            .unwrap();
+        let first: Vec<Gfn> = (vma.start..vma.end())
+            .map(|v| small.page_table().translate(v).unwrap())
+            .collect();
+        let out = t.scan_full(&small, &mut always, small.memmap().total_frames());
+        for gfn in &first {
+            assert!(
+                out.hot_candidates.contains(gfn),
+                "frame {gfn:?} skipped by a stale cursor"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_into_reuses_buffers_and_matches_allocating_scan() {
+        let k = kernel_with_slow_heap(16);
+        let mut a = HotnessTracker::new(1);
+        let mut b = HotnessTracker::new(1);
+        let mut always = |_: &Page| true;
+        let mut scratch = ScanOutcome::default();
+        for _ in 0..3 {
+            let fresh = a.scan_full(&k, &mut always, 100);
+            b.scan_full_into(&k, &mut always, 100, &mut scratch);
+            assert_eq!(fresh.scanned, scratch.scanned);
+            assert_eq!(fresh.hot_candidates, scratch.hot_candidates);
+            assert_eq!(fresh.cold_candidates, scratch.cold_candidates);
+        }
+        assert_eq!(a.tracked_pages(), b.tracked_pages());
     }
 }

@@ -1,0 +1,79 @@
+//! Bulk dispatch is an exact semantic no-op.
+//!
+//! PR 2 replaced the engine's per-object allocation/free loops with
+//! run-grouped bulk kernel calls (`SimConfig::bulk_ops`, default on). The
+//! scalar loops were kept as the reference path; this suite pins the
+//! contract that both produce **identical** results — every `RunReport`
+//! field and every event-log byte — across seeds and policies. Any
+//! divergence means the bulk path changed placement, RNG draw order, or
+//! statistics, which would silently invalidate every cross-policy
+//! comparison the repo makes.
+
+use heteroos::core::{Policy, SimConfig, SingleVmSim};
+use heteroos::workloads::{apps, AppWorkload};
+
+const SEEDS: [u64; 6] = [7, 11, 42, 100, 555, 9001];
+
+/// Policies spanning every placement discipline: static chains, RNG-driven
+/// chains, and demand-prioritized (state-dependent) chains.
+const POLICIES: [Policy; 6] = [
+    Policy::SlowMemOnly,
+    Policy::Random,
+    Policy::NumaPreferred,
+    Policy::HeapIoSlabOd,
+    Policy::HeteroLru,
+    Policy::HeteroCoordinated,
+];
+
+fn run_once(policy: Policy, seed: u64, bulk: bool) -> (String, String) {
+    let mut cfg = SimConfig::paper_default()
+        .with_capacity_ratio(1, 4)
+        .with_seed(seed)
+        .with_bulk_ops(bulk);
+    cfg.trace_events = 100_000;
+    let mut spec = apps::graphchi();
+    spec.total_instructions /= 25;
+    let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+    let mut sim = SingleVmSim::new(cfg, policy, wl);
+    while sim.step() {}
+    let events: String = sim
+        .events()
+        .expect("tracing enabled")
+        .iter()
+        .map(|e| format!("{e}\n"))
+        .collect();
+    let report = format!("{:?}", sim.report());
+    (report, events)
+}
+
+#[test]
+fn bulk_and_scalar_paths_are_byte_identical() {
+    let mut any_events = false;
+    for policy in POLICIES {
+        for seed in SEEDS {
+            let (scalar_report, scalar_events) = run_once(policy, seed, false);
+            let (bulk_report, bulk_events) = run_once(policy, seed, true);
+            assert_eq!(
+                scalar_report, bulk_report,
+                "{policy:?} seed {seed}: RunReport diverged"
+            );
+            any_events |= !scalar_events.is_empty();
+            assert_eq!(
+                scalar_events, bulk_events,
+                "{policy:?} seed {seed}: event log diverged"
+            );
+        }
+    }
+    assert!(
+        any_events,
+        "no policy traced a single event — the byte comparison is vacuous"
+    );
+}
+
+#[test]
+fn bulk_path_is_deterministic_across_reruns() {
+    let (r1, e1) = run_once(Policy::HeteroCoordinated, 42, true);
+    let (r2, e2) = run_once(Policy::HeteroCoordinated, 42, true);
+    assert_eq!(r1, r2);
+    assert_eq!(e1, e2);
+}

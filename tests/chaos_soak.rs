@@ -36,9 +36,14 @@ const SEEDS: std::ops::Range<u64> = 100..109;
 // ------------------------------------------------------------ engine soak
 
 fn engine_soak_once(seed: u64) -> String {
+    engine_soak_with(seed, true)
+}
+
+fn engine_soak_with(seed: u64, bulk_ops: bool) -> String {
     let cfg = SimConfig::paper_default()
         .with_capacity_ratio(1, 4)
         .with_seed(seed)
+        .with_bulk_ops(bulk_ops)
         .with_audit_invariants(true);
     let mut spec = apps::graphchi();
     spec.total_instructions /= 20;
@@ -73,6 +78,21 @@ fn engine_survives_fault_plans_with_clean_invariants() {
         any_faults,
         "soak is vacuous: no plan injected a single fault"
     );
+}
+
+#[test]
+fn bulk_dispatch_preserves_fault_traces_exactly() {
+    // The bulk allocation path (PR 2) must not move a single fault: the
+    // injector's decisions key off step/draw order, so a byte-identical
+    // trace under both dispatch modes proves the bulk path preserves the
+    // engine's exact operation sequence even while faults degrade it.
+    for seed in SEEDS {
+        assert_eq!(
+            engine_soak_with(seed, true),
+            engine_soak_with(seed, false),
+            "seed {seed}: bulk vs scalar fault trace diverged"
+        );
+    }
 }
 
 // ------------------------------------------------------------ kernel soak
