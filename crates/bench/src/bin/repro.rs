@@ -1,20 +1,54 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--seed N] <target>...
-//! repro all            # every table and figure
-//! repro ablations      # the design-choice ablations
-//! repro fig9 fig10     # specific targets
+//! repro [--quick] [--seed N] [--json-out DIR] <target>...
+//! repro all                      # every table and figure
+//! repro ablations                # the design-choice ablations
+//! repro fig9 fig10               # specific targets
+//! repro --json-out out/ all      # also write machine-readable exports
 //! ```
+//!
+//! With `--json-out DIR`, every target additionally writes machine-readable
+//! files into `DIR`: `<target>.json` for all targets, plus `<target>.csv`
+//! for figures and `<target>.txt` for text tables. A `telemetry.json`
+//! snapshot (metrics registry + span trace of an instrumented quick run)
+//! is written alongside them.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{run_experiment, ABLATIONS, EXTENSIONS, TARGETS};
+use bench::{run_artifact, ABLATIONS, EXTENSIONS, TARGETS};
 use hetero_core::experiments::ExpOptions;
+use hetero_core::{Policy, SimConfig, SingleVmSim};
+use hetero_workloads::{apps, AppWorkload};
+
+/// Runs a short instrumented simulation and returns its telemetry
+/// snapshot (metrics + spans) as a JSON document.
+fn telemetry_snapshot(seed: u64) -> String {
+    let mut spec = apps::redis();
+    spec.total_instructions /= 20;
+    let cfg = SimConfig {
+        seed,
+        ..SimConfig::paper_default().with_capacity_ratio(1, 8)
+    }
+    .with_telemetry(true);
+    let workload = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+    let mut sim = SingleVmSim::new(cfg, Policy::HeteroCoordinated, workload);
+    while sim.step() {}
+    sim.telemetry()
+        .expect("telemetry was enabled in the config")
+        .snapshot_json()
+}
+
+fn write_file(dir: &std::path::Path, name: &str, body: &str) -> Result<(), String> {
+    let path = dir.join(name);
+    std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
 
 fn main() -> ExitCode {
     let mut opts = ExpOptions::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut json_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,11 +60,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json-out" => match args.next() {
+                Some(dir) => json_out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json-out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
             "ablations" => targets.extend(ABLATIONS.iter().map(|s| s.to_string())),
             "extensions" => targets.extend(EXTENSIONS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--seed N] <target>...");
+                println!("usage: repro [--quick] [--seed N] [--json-out DIR] <target>...");
                 println!("targets: all ablations extensions {}", TARGETS.join(" "));
                 println!("         {} {}", ABLATIONS.join(" "), EXTENSIONS.join(" "));
                 return ExitCode::SUCCESS;
@@ -42,17 +83,41 @@ fn main() -> ExitCode {
         eprintln!("no targets; try `repro all` or `repro --help`");
         return ExitCode::FAILURE;
     }
+    if let Some(dir) = &json_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
     for target in targets {
-        match run_experiment(&target, &opts) {
-            Ok(out) => {
-                println!("==================== {target} ====================");
-                println!("{out}");
-            }
+        let artifact = match run_artifact(&target, &opts) {
+            Ok(a) => a,
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
+        };
+        let rendered = artifact.render();
+        println!("==================== {target} ====================");
+        println!("{rendered}");
+        if let Some(dir) = &json_out {
+            let result = write_file(dir, &format!("{target}.json"), &artifact.to_json())
+                .and_then(|()| match artifact.to_csv() {
+                    Some(csv) => write_file(dir, &format!("{target}.csv"), &csv),
+                    None => write_file(dir, &format!("{target}.txt"), &rendered),
+                });
+            if let Err(e) = result {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    if let Some(dir) = &json_out {
+        if let Err(e) = write_file(dir, "telemetry.json", &telemetry_snapshot(opts.seed)) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        println!("machine-readable exports written to {}", dir.display());
     }
     ExitCode::SUCCESS
 }

@@ -17,6 +17,8 @@ use hetero_core::experiments::{
     ablations, capacity, coordinated, distribution, extensions, micro, overhead, placement,
     sensitivity, sharing, tables, ExpOptions,
 };
+use hetero_sim::export::json_string;
+use hetero_sim::SeriesSet;
 
 /// Every experiment target the `repro` binary accepts, in paper order.
 pub const TARGETS: [&str; 17] = [
@@ -51,41 +53,90 @@ pub const ABLATIONS: [&str; 4] = [
 pub const EXTENSIONS: [&str; 4] =
     ["ext-multitier", "ext-wear", "ext-baremetal", "ext-hints"];
 
+/// A structured experiment result: either a rendered text table or a
+/// figure's underlying data series (plot-ready, exportable as JSON/CSV).
+pub enum Artifact {
+    /// A plain-text table, already rendered for terminal output.
+    Table(String),
+    /// A figure's data series.
+    Figure(SeriesSet),
+}
+
+impl Artifact {
+    /// The human-readable rendering (what the `repro` binary prints).
+    pub fn render(&self) -> String {
+        match self {
+            Artifact::Table(text) => text.clone(),
+            Artifact::Figure(set) => set.to_string(),
+        }
+    }
+
+    /// Machine-readable JSON: the full series set for figures, a
+    /// `{"type":"table","text":...}` wrapper for text tables.
+    pub fn to_json(&self) -> String {
+        match self {
+            Artifact::Table(text) => {
+                format!("{{\"type\":\"table\",\"text\":{}}}", json_string(text))
+            }
+            Artifact::Figure(set) => set.to_json(),
+        }
+    }
+
+    /// CSV for figures; `None` for text tables (export those as `.txt`).
+    pub fn to_csv(&self) -> Option<String> {
+        match self {
+            Artifact::Table(_) => None,
+            Artifact::Figure(set) => Some(set.to_csv()),
+        }
+    }
+}
+
+/// Runs one experiment by name and returns its structured result —
+/// the underlying [`SeriesSet`] for figures, rendered text for tables.
+///
+/// # Errors
+///
+/// Returns an error message for unknown targets.
+pub fn run_artifact(target: &str, opts: &ExpOptions) -> Result<Artifact, String> {
+    use Artifact::{Figure, Table};
+    let out = match target {
+        "table1" => Table(tables::table1()),
+        "table3" => Table(tables::table3()),
+        "table4" => Table(tables::table4()),
+        "table5" => Table(tables::table5()),
+        "table6" => Table(tables::table6()),
+        "fig1" => Figure(sensitivity::fig1(opts)),
+        "fig2" => Figure(sensitivity::fig2(opts)),
+        "fig3" => Figure(capacity::fig3(opts)),
+        "fig4" => Table(distribution::fig4_table(opts)),
+        "fig6" => Figure(micro::fig6(opts)),
+        "fig7" => Figure(micro::fig7(opts)),
+        "fig8" => Figure(overhead::fig8(opts)),
+        "fig9" => Figure(placement::fig9(opts)),
+        "fig10" => Figure(placement::fig10(opts)),
+        "fig11" => Figure(coordinated::fig11(opts)),
+        "fig12" => Table(coordinated::fig12_table(opts)),
+        "fig13" => Figure(sharing::fig13(opts)),
+        "ablation-lru" => Figure(ablations::ablation_lru_eviction(opts)),
+        "ablation-interval" => Figure(ablations::ablation_adaptive_interval(opts)),
+        "ablation-scope" => Figure(ablations::ablation_tracking_scope(opts)),
+        "ablation-drf" => Figure(ablations::ablation_drf_weights(opts)),
+        "ext-multitier" => Figure(extensions::ext_multitier(opts)),
+        "ext-wear" => Figure(extensions::ext_wear(opts)),
+        "ext-baremetal" => Figure(extensions::ext_baremetal(opts)),
+        "ext-hints" => Figure(extensions::ext_hints(opts)),
+        other => return Err(format!("unknown experiment target '{other}'")),
+    };
+    Ok(out)
+}
+
 /// Runs one experiment by name and returns its rendered output.
 ///
 /// # Errors
 ///
 /// Returns an error message for unknown targets.
 pub fn run_experiment(target: &str, opts: &ExpOptions) -> Result<String, String> {
-    let out = match target {
-        "table1" => tables::table1(),
-        "table3" => tables::table3(),
-        "table4" => tables::table4(),
-        "table5" => tables::table5(),
-        "table6" => tables::table6(),
-        "fig1" => sensitivity::fig1(opts).to_string(),
-        "fig2" => sensitivity::fig2(opts).to_string(),
-        "fig3" => capacity::fig3(opts).to_string(),
-        "fig4" => distribution::fig4_table(opts),
-        "fig6" => micro::fig6(opts).to_string(),
-        "fig7" => micro::fig7(opts).to_string(),
-        "fig8" => overhead::fig8(opts).to_string(),
-        "fig9" => placement::fig9(opts).to_string(),
-        "fig10" => placement::fig10(opts).to_string(),
-        "fig11" => coordinated::fig11(opts).to_string(),
-        "fig12" => coordinated::fig12_table(opts),
-        "fig13" => sharing::fig13(opts).to_string(),
-        "ablation-lru" => ablations::ablation_lru_eviction(opts).to_string(),
-        "ablation-interval" => ablations::ablation_adaptive_interval(opts).to_string(),
-        "ablation-scope" => ablations::ablation_tracking_scope(opts).to_string(),
-        "ablation-drf" => ablations::ablation_drf_weights(opts).to_string(),
-        "ext-multitier" => extensions::ext_multitier(opts).to_string(),
-        "ext-wear" => extensions::ext_wear(opts).to_string(),
-        "ext-baremetal" => extensions::ext_baremetal(opts).to_string(),
-        "ext-hints" => extensions::ext_hints(opts).to_string(),
-        other => return Err(format!("unknown experiment target '{other}'")),
-    };
-    Ok(out)
+    run_artifact(target, opts).map(|a| a.render())
 }
 
 #[cfg(test)]
@@ -102,5 +153,17 @@ mod tests {
             assert!(run_experiment(t, &opts).is_ok(), "{t}");
         }
         assert!(run_experiment("nope", &opts).is_err());
+    }
+
+    #[test]
+    fn table_artifacts_wrap_as_json_and_have_no_csv() {
+        let opts = ExpOptions::quick();
+        let art = run_artifact("table1", &opts).unwrap();
+        assert!(matches!(art, Artifact::Table(_)));
+        let json = art.to_json();
+        assert!(json.starts_with("{\"type\":\"table\",\"text\":\""), "{json}");
+        assert!(json.ends_with("\"}"), "{json}");
+        assert!(art.to_csv().is_none());
+        assert_eq!(art.render(), tables::table1());
     }
 }

@@ -115,6 +115,12 @@ pub struct SimConfig {
     /// Costs a full memmap walk per step — meant for chaos/fault runs and
     /// debugging, not performance experiments.
     pub audit_invariants: bool,
+    /// Collect structured telemetry — a named metrics registry plus
+    /// hierarchical sim-time spans (`SingleVmSim::telemetry`). Purely
+    /// observational: RNG draw order, clock charges, the `RunReport` and
+    /// the event trace are byte-identical with it on or off. Off by
+    /// default (zero cost).
+    pub telemetry: bool,
 }
 
 impl SimConfig {
@@ -160,6 +166,7 @@ impl SimConfig {
             app_hints: false,
             bulk_ops: true,
             audit_invariants: false,
+            telemetry: false,
         }
     }
 
@@ -214,6 +221,12 @@ impl SimConfig {
     /// Enables the per-step invariant auditor.
     pub fn with_audit_invariants(mut self, on: bool) -> Self {
         self.audit_invariants = on;
+        self
+    }
+
+    /// Toggles structured telemetry (metrics registry + spans).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 

@@ -21,6 +21,7 @@ use hetero_guest::page::{Gfn, Page, PageType};
 use hetero_guest::pagecache::FileId;
 use hetero_guest::{GuestKernel, SlabClass};
 use hetero_mem::{MemKind, NodeParams};
+use hetero_sim::telemetry::{SpanId, Telemetry};
 use hetero_sim::{Clock, CostCategory, EventKind, EventLog, Nanos, SimRng};
 use hetero_workloads::spec::{EpochDemand, Workload};
 use hetero_workloads::AppWorkload;
@@ -135,6 +136,10 @@ pub struct SingleVmSim<W: Workload = AppWorkload> {
     done: bool,
     /// Optional trace of what the run did (see `SimConfig::trace_events`).
     events: Option<EventLog>,
+    /// Optional metrics/span sink (see `SimConfig::telemetry`). Purely
+    /// observational: it never draws randomness or charges simulated time,
+    /// so enabling it cannot change a run's results.
+    telemetry: Option<Telemetry>,
     /// Optional deterministic fault injector (see `set_fault_injector`).
     injector: Option<FaultInjector>,
     /// FastMem is treated as unavailable this epoch (injected allocation
@@ -235,6 +240,7 @@ impl<W: Workload> SingleVmSim<W> {
             epochs: 0,
             done: false,
             events: (cfg.trace_events > 0).then(|| EventLog::new(cfg.trace_events)),
+            telemetry: cfg.telemetry.then(Telemetry::new),
             injector: None,
             degraded: false,
             storm_factor: 1.0,
@@ -277,6 +283,26 @@ impl<W: Workload> SingleVmSim<W> {
     /// (`SimConfig::trace_events > 0`).
     pub fn events(&self) -> Option<&EventLog> {
         self.events.as_ref()
+    }
+
+    /// The run's telemetry sink (metrics registry + span trace), when
+    /// enabled (`SimConfig::telemetry`).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    fn span_open(&mut self, label: &str) -> Option<SpanId> {
+        let now = self.clock.now();
+        self.telemetry.as_mut().map(|t| t.spans.open(label, now))
+    }
+
+    fn span_close(&mut self, id: Option<SpanId>) {
+        if let Some(id) = id {
+            let now = self.clock.now();
+            if let Some(t) = self.telemetry.as_mut() {
+                t.spans.close(id, now);
+            }
+        }
     }
 
     /// Arms deterministic fault injection for this run. The injector's
@@ -478,17 +504,60 @@ impl<W: Workload> SingleVmSim<W> {
             self.done = true;
             return false;
         };
+        let epoch_start = self.clock.now();
+        let epoch_span = self.span_open("epoch");
+        let guest_span = self.span_open("guest-ops");
         self.apply_releases(&demand);
         self.apply_allocations(&demand);
         self.cool_heap();
         self.price_epoch(&demand);
+        self.span_close(guest_span);
         self.roll_stats_window();
         self.run_management();
         self.epochs += 1;
+        self.span_close(epoch_span);
+        if self.telemetry.is_some() {
+            self.sample_telemetry(epoch_start);
+        }
         if self.cfg.audit_invariants {
             self.violations.extend(audit_kernel(&self.kernel));
         }
         true
+    }
+
+    /// Samples the cumulative subsystem counters into the telemetry
+    /// registry and records the epoch's simulated duration. `counter_set`
+    /// keeps re-sampling idempotent; nothing here draws randomness or
+    /// charges the clock.
+    fn sample_telemetry(&mut self, epoch_start: Nanos) {
+        let epoch_ns = self
+            .clock
+            .now()
+            .checked_sub(epoch_start)
+            .unwrap_or(Nanos::ZERO)
+            .as_nanos();
+        let epochs = self.epochs;
+        let scans = self.scans;
+        let scanned = self.scanned_pages;
+        let misses = self.misses_total;
+        let slow_writes = self.slow_writes;
+        let scan_passes = self.tracker.total_scans();
+        let scan_frames = self.tracker.total_scanned_frames();
+        let tracked = self.tracker.tracked_pages() as u64;
+        let Some(t) = self.telemetry.as_mut() else {
+            return;
+        };
+        let reg = &mut t.registry;
+        reg.observe("engine.epoch_ns", epoch_ns);
+        reg.counter_set("engine.epochs", epochs);
+        reg.counter_set("engine.scans", scans);
+        reg.counter_set("engine.scanned_pages", scanned);
+        reg.gauge_set("engine.misses", misses);
+        reg.gauge_set("engine.slow_writes", slow_writes);
+        reg.counter_set("vmm.scan.passes", scan_passes);
+        reg.counter_set("vmm.scan.frames", scan_frames);
+        reg.counter_set("vmm.scan.tracked_pages", tracked);
+        self.kernel.export_telemetry(reg);
     }
 
     /// Runs to completion and produces the report.
@@ -1189,6 +1258,7 @@ impl<W: Workload> SingleVmSim<W> {
     }
 
     fn run_guest_lru(&mut self) {
+        let lru_span = self.span_open("guest-lru");
         // Active monitoring: age cold pages out of the active lists.
         let aged = self.kernel.age_lru(
             MemKind::Fast,
@@ -1203,6 +1273,7 @@ impl<W: Workload> SingleVmSim<W> {
         // runs at most once per management window — the LRU tops up what
         // churn consumed instead of cycling the tier through migration.
         if self.clock.now() < self.next_demote {
+            self.span_close(lru_span);
             return;
         }
         // Budget scales with elapsed windows (long epochs may span several).
@@ -1245,6 +1316,7 @@ impl<W: Workload> SingleVmSim<W> {
         if any {
             self.next_demote = self.clock.now() + self.cfg.stats_window;
         }
+        self.span_close(lru_span);
     }
 
     /// Touch oracle shared by both tracking disciplines: a page reads as
@@ -1276,6 +1348,7 @@ impl<W: Workload> SingleVmSim<W> {
     }
 
     fn vmm_exclusive_scan_once(&mut self) {
+        let scan_span = self.span_open("vmm-decision");
         self.scans += 1;
         let batch = self.cfg.sim_batch(self.cfg.scan_batch);
         let interval = self.cfg.scan_interval;
@@ -1328,6 +1401,11 @@ impl<W: Workload> SingleVmSim<W> {
         self.scan_scratch.hot_candidates = hot;
         self.scan_scratch.cold_candidates = cold;
         self.charge_migration(migrated, false);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.registry.observe("vmm.scan.frames_per_pass", scanned);
+            t.registry.observe("vmm.migrate.pages_per_pass", migrated);
+        }
+        self.span_close(scan_span);
     }
 
     fn run_coordinated_tracking(&mut self) {
@@ -1342,6 +1420,7 @@ impl<W: Workload> SingleVmSim<W> {
     }
 
     fn coordinated_scan_once(&mut self) {
+        let scan_span = self.span_open("vmm-decision");
         // Architectural hints: Eq. 1 adapts the interval from LLC-miss
         // movement (§4.1). On top of Eq. 1, a yield-aware backoff stretches
         // the interval when recent scans found little to migrate — the
@@ -1459,6 +1538,11 @@ impl<W: Workload> SingleVmSim<W> {
                 format!("guest promoted {migrated} pages ({checked} checked)")
             });
         }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.registry.observe("vmm.scan.frames_per_pass", scanned);
+            t.registry.observe("vmm.migrate.pages_per_pass", migrated);
+        }
+        self.span_close(scan_span);
     }
 }
 

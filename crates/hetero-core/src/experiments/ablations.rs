@@ -139,8 +139,12 @@ mod tests {
     #[test]
     fn eager_eviction_does_not_hurt() {
         let set = ablation_lru_eviction(&ExpOptions::quick());
-        let eager = set.get("eager").expect("series");
-        let lazy = set.get("lazy").expect("series");
+        let eager = set
+            .get("eager")
+            .expect("lru-eviction ablation has no 'eager' series");
+        let lazy = set
+            .get("lazy")
+            .expect("lru-eviction ablation has no 'lazy' series");
         for (e, l) in eager.points().iter().zip(lazy.points()) {
             assert!(
                 e.1 >= l.1 - 3.0,
@@ -155,14 +159,18 @@ mod tests {
     #[test]
     fn adaptive_interval_cuts_overhead() {
         let set = ablation_adaptive_interval(&ExpOptions::quick());
-        let a = set.get("adaptive-overhead").expect("series");
-        let f = set.get("fixed-overhead").expect("series");
+        let a = set
+            .get("adaptive-overhead")
+            .expect("adaptive-interval ablation has no 'adaptive-overhead' series");
+        let f = set
+            .get("fixed-overhead")
+            .expect("adaptive-interval ablation has no 'fixed-overhead' series");
         for (x, y) in a.points() {
             let fy = f
                 .points()
                 .iter()
                 .find(|&&(px, _)| (px - x).abs() < 1e-9)
-                .expect("matching point")
+                .unwrap_or_else(|| panic!("'fixed-overhead' has no point at x={x}"))
                 .1;
             assert!(*y <= fy + 0.5, "adaptive {y:.1}% vs fixed {fy:.1}%");
         }
@@ -171,8 +179,12 @@ mod tests {
     #[test]
     fn guided_tracking_scans_no_more_than_full() {
         let set = ablation_tracking_scope(&ExpOptions::quick());
-        let g = set.get("guided-scanned-M").expect("series");
-        let f = set.get("full-scanned-M").expect("series");
+        let g = set
+            .get("guided-scanned-M")
+            .expect("tracking-scope ablation has no 'guided-scanned-M' series");
+        let f = set
+            .get("full-scanned-M")
+            .expect("tracking-scope ablation has no 'full-scanned-M' series");
         for (gp, fp) in g.points().iter().zip(f.points()) {
             assert!(gp.1 <= fp.1 * 1.05, "guided {} vs full {}", gp.1, fp.1);
         }

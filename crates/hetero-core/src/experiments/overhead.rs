@@ -62,9 +62,11 @@ mod tests {
     #[test]
     fn fig8_overhead_falls_with_longer_intervals() {
         let set = fig8(&ExpOptions::quick());
-        let hot = set.get("hotpage-%").expect("series present");
-        let first = hot.points().first().expect("has points").1;
-        let last = hot.points().last().expect("has points").1;
+        let hot = set
+            .get("hotpage-%")
+            .expect("fig8 has no 'hotpage-%' series");
+        let first = hot.points().first().expect("fig8 'hotpage-%' is empty").1;
+        let last = hot.points().last().expect("fig8 'hotpage-%' is empty").1;
         // Observation 4: 100 ms intervals cost far more than 500 ms.
         assert!(
             first > last * 1.5,
@@ -72,12 +74,16 @@ mod tests {
         );
         // Tracking is more expensive than migration (§5.2: "hotness-
         // tracking is even more expensive compared to the migrations").
-        let mig = set.get("migration-%").expect("series present");
+        let mig = set
+            .get("migration-%")
+            .expect("fig8 has no 'migration-%' series");
         assert!(hot.points()[0].1 > mig.points()[0].1);
         // Total at 100 ms is substantial (paper: up to 60%).
         assert!(first + mig.points()[0].1 > 15.0);
         // Pages were actually migrated.
-        let m = set.get("migrated-millions").expect("series present");
+        let m = set
+            .get("migrated-millions")
+            .expect("fig8 has no 'migrated-millions' series");
         assert!(m.points().iter().all(|&(_, y)| y > 0.0));
     }
 }

@@ -88,7 +88,11 @@ mod tests {
         assert!(at(&set, "Heap-IO-Slab-OD", 42.0) > at(&set, "Heap-OD", 42.0) + 10.0);
         // Every HeteroOS policy beats doing nothing at every point.
         for p in ["Heap-OD", "Heap-IO-Slab-OD", "HeteroOS-LRU"] {
-            for pt in set.get(p).expect("series").points() {
+            for pt in set
+                .get(p)
+                .unwrap_or_else(|| panic!("fig9 has no '{p}' series"))
+                .points()
+            {
                 assert!(pt.1 > 0.0, "{p}@{}: {}", pt.0, pt.1);
             }
         }

@@ -96,8 +96,16 @@ mod tests {
         let f1 = fig1(&opts);
         let f2 = fig2(&opts);
         for app in ["LevelDB", "Redis", "Nginx"] {
-            let y1 = f1.get(app).unwrap().max_y().unwrap();
-            let y2 = f2.get(app).unwrap().max_y().unwrap();
+            let y1 = f1
+                .get(app)
+                .unwrap_or_else(|| panic!("fig1 has no '{app}' series"))
+                .max_y()
+                .unwrap_or_else(|| panic!("fig1 '{app}' series is empty"));
+            let y2 = f2
+                .get(app)
+                .unwrap_or_else(|| panic!("fig2 has no '{app}' series"))
+                .max_y()
+                .unwrap_or_else(|| panic!("fig2 '{app}' series is empty"));
             assert!(
                 y2 <= y1 + 1e-9,
                 "{app}: 48MB LLC should not raise the slowdown ({y2} vs {y1})"

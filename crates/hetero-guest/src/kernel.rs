@@ -1139,6 +1139,49 @@ impl GuestKernel {
         self.swap.total_heat()
     }
 
+    /// Samples the kernel's cumulative subsystem statistics into a
+    /// telemetry registry under the `guest.*` namespace.
+    ///
+    /// Sources are already cumulative, so values are written with
+    /// `counter_set` — sampling every epoch is idempotent. Purely
+    /// observational: never touches kernel state.
+    pub fn export_telemetry(&self, reg: &mut hetero_sim::telemetry::Registry) {
+        let (mut requests, mut fast_misses) = (0u64, 0u64);
+        for t in PageType::ALL {
+            let c = self.stats.cumulative(t);
+            requests += c.requests;
+            fast_misses += c.fast_misses();
+        }
+        reg.counter_set("guest.alloc.requests", requests);
+        reg.counter_set("guest.alloc.fast_misses", fast_misses);
+        reg.counter_set("guest.pcp.fast_path_hits", self.pcp.fast_path_hits);
+        reg.counter_set("guest.pcp.refills", self.pcp.refills);
+        let lt = self.lru.transitions();
+        reg.counter_set("guest.lru.insert_active", lt.insert_active);
+        reg.counter_set("guest.lru.insert_inactive", lt.insert_inactive);
+        reg.counter_set("guest.lru.removals", lt.removals);
+        reg.counter_set("guest.lru.activations", lt.activations);
+        reg.counter_set("guest.lru.deactivations", lt.deactivations);
+        reg.counter_set("guest.lru.reclaimed", lt.reclaimed);
+        for slab in [&self.skbuff, &self.fs_meta] {
+            let prefix = format!("guest.slab.{}", slab.name());
+            reg.counter_set(&format!("{prefix}.allocs"), slab.total_allocs());
+            reg.counter_set(&format!("{prefix}.frees"), slab.total_frees());
+            reg.counter_set(&format!("{prefix}.objects"), slab.objects());
+            reg.counter_set(&format!("{prefix}.pages"), slab.pages());
+        }
+        reg.counter_set("guest.migrations", self.migrations);
+        reg.counter_set("guest.swap.pages", self.swapped_pages());
+        for (kind, label) in [(MemKind::Fast, "fast"), (MemKind::Slow, "slow")] {
+            if self.total_frames(kind) > 0 {
+                reg.gauge_set(
+                    &format!("guest.free_fraction.{label}"),
+                    self.free_fraction(kind),
+                );
+            }
+        }
+    }
+
     // ---------------------------------------------------------- inspection
 
     /// Batched scan of resident pages across the whole guest-frame space,

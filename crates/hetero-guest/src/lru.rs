@@ -174,6 +174,25 @@ impl SplitLru {
 pub struct LruRegistry {
     // Indexed [kind.tier()][class as anon=0/file=1].
     lists: [[SplitLru; 2]; 3],
+    transitions: LruTransitionStats,
+}
+
+/// Cumulative LRU state-transition counts — the raw material for the
+/// telemetry registry's `guest.lru.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruTransitionStats {
+    /// Pages inserted on an active list.
+    pub insert_active: u64,
+    /// Pages inserted on an inactive list.
+    pub insert_inactive: u64,
+    /// Pages unlinked (free, migrate-out, reclaim precursor).
+    pub removals: u64,
+    /// Inactive→active promotions (re-reference).
+    pub activations: u64,
+    /// Active→inactive demotions (eager transitions + balancing).
+    pub deactivations: u64,
+    /// Pages reclaimed off inactive tails by `shrink_inactive`.
+    pub reclaimed: u64,
 }
 
 fn class_index(c: LruClass) -> usize {
@@ -211,6 +230,7 @@ impl LruRegistry {
         };
         mm.page_mut(gfn).flags.insert(PageFlags::ACTIVE);
         self.split_mut(kind, class).active.push_front(mm, gfn);
+        self.transitions.insert_active += 1;
     }
 
     /// Inserts a page on its inactive list.
@@ -220,6 +240,7 @@ impl LruRegistry {
         };
         mm.page_mut(gfn).flags.remove(PageFlags::ACTIVE);
         self.split_mut(kind, class).inactive.push_front(mm, gfn);
+        self.transitions.insert_inactive += 1;
     }
 
     /// Removes a page from whichever list holds it (no-op when unlisted).
@@ -236,6 +257,7 @@ impl LruRegistry {
             split.inactive.remove(mm, gfn);
         }
         mm.page_mut(gfn).flags.remove(PageFlags::ACTIVE);
+        self.transitions.removals += 1;
     }
 
     /// Moves an inactive page to the active list (page was re-referenced).
@@ -250,6 +272,7 @@ impl LruRegistry {
         split.inactive.remove(mm, gfn);
         mm.page_mut(gfn).flags.insert(PageFlags::ACTIVE);
         split.active.push_front(mm, gfn);
+        self.transitions.activations += 1;
     }
 
     /// Moves an active page to the inactive list — HeteroOS-LRU's *eager*
@@ -265,6 +288,7 @@ impl LruRegistry {
         split.active.remove(mm, gfn);
         mm.page_mut(gfn).flags.remove(PageFlags::ACTIVE);
         split.inactive.push_front(mm, gfn);
+        self.transitions.deactivations += 1;
     }
 
     /// Reclaims up to `n` pages from a tier's inactive lists (file pages
@@ -289,6 +313,7 @@ impl LruRegistry {
                 }
             }
         }
+        self.transitions.reclaimed += out.len() as u64;
         out
     }
 
@@ -321,6 +346,11 @@ impl LruRegistry {
             .iter()
             .map(SplitLru::len)
             .sum()
+    }
+
+    /// Cumulative transition counts since creation.
+    pub fn transitions(&self) -> &LruTransitionStats {
+        &self.transitions
     }
 }
 
@@ -448,6 +478,28 @@ mod tests {
         let flags = mm.page(g).flags;
         assert!(!flags.contains(PageFlags::LRU));
         assert!(!flags.contains(PageFlags::ACTIVE));
+    }
+
+    #[test]
+    fn transition_counters_track_lifecycle() {
+        let (mut mm, mut lru) = setup();
+        let g = alloc(&mut mm, 0, PageType::HeapAnon);
+        lru.insert_active(&mut mm, g);
+        lru.deactivate(&mut mm, g);
+        lru.activate(&mut mm, g);
+        lru.deactivate(&mut mm, g);
+        let reclaimed = lru.shrink_inactive(&mut mm, MemKind::Fast, 1);
+        assert_eq!(reclaimed.len(), 1);
+        let t = *lru.transitions();
+        assert_eq!(t.insert_active, 1);
+        assert_eq!(t.activations, 1);
+        assert_eq!(t.deactivations, 2);
+        assert_eq!(t.reclaimed, 1);
+        // No-op transitions (already active) are not counted.
+        let g2 = alloc(&mut mm, 1, PageType::HeapAnon);
+        lru.insert_active(&mut mm, g2);
+        lru.activate(&mut mm, g2);
+        assert_eq!(lru.transitions().activations, 1);
     }
 
     #[test]

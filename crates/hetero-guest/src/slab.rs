@@ -42,6 +42,10 @@ pub struct SlabCache {
     /// [`SlabCache::free_any_object`]); lazily validated like
     /// `partial_hint`.
     page_hint: Vec<Gfn>,
+    /// Cumulative objects ever allocated (telemetry).
+    total_allocs: u64,
+    /// Cumulative objects ever freed (telemetry).
+    total_frees: u64,
 }
 
 impl SlabCache {
@@ -65,6 +69,8 @@ impl SlabCache {
             objects: 0,
             partial_hint: Vec::new(),
             page_hint: Vec::new(),
+            total_allocs: 0,
+            total_frees: 0,
         }
     }
 
@@ -86,6 +92,16 @@ impl SlabCache {
     /// Backing pages currently held.
     pub fn pages(&self) -> u64 {
         self.slabs.len() as u64
+    }
+
+    /// Objects ever allocated from this cache (cumulative, telemetry).
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Objects ever freed back to this cache (cumulative, telemetry).
+    pub fn total_frees(&self) -> u64 {
+        self.total_frees
     }
 
     /// Allocates one object. If every slab is full, `get_page` is called to
@@ -128,6 +144,7 @@ impl SlabCache {
             }
         }
         self.objects += 1;
+        self.total_allocs += 1;
         Some(page)
     }
 
@@ -164,6 +181,7 @@ impl SlabCache {
                 self.partial_hint.pop();
             }
             self.objects += take;
+            self.total_allocs += take;
             done += take;
         }
         done
@@ -194,6 +212,7 @@ impl SlabCache {
         *used -= take as u32;
         let emptied = *used == 0;
         self.objects -= take;
+        self.total_frees += take;
         if emptied {
             self.slabs.remove(&page);
             // Scalar frees push one partial hint per *non-emptying* free.
@@ -224,6 +243,7 @@ impl SlabCache {
         assert!(*used > 0, "{page} has no live objects");
         *used -= 1;
         self.objects -= 1;
+        self.total_frees += 1;
         if *used == 0 {
             self.slabs.remove(&page);
             Some(page)
@@ -422,6 +442,25 @@ mod tests {
         assert_eq!(scalar.free_any_object(), bulk.free_any_chunk(1).map(|(_, p)| p));
         assert!(bulk.free_any_chunk(1).is_none());
         assert!(scalar.free_any_object().is_none());
+    }
+
+    #[test]
+    fn cumulative_traffic_counters_survive_frees() {
+        let mut c = SlabCache::new("x", 2048, 4096); // 2 objects/page
+        let mut src = pages_from(0);
+        let p = c.alloc_object(&mut src).unwrap();
+        c.alloc_object(&mut src).unwrap();
+        c.free_object(p);
+        c.free_object(p);
+        assert_eq!(c.objects(), 0, "live count returns to zero");
+        assert_eq!(c.total_allocs(), 2, "cumulative allocs persist");
+        assert_eq!(c.total_frees(), 2, "cumulative frees persist");
+        // Bulk paths count the same way.
+        c.alloc_object(&mut src).unwrap();
+        c.alloc_from_partial(1);
+        c.free_any_chunk(2).unwrap();
+        assert_eq!(c.total_allocs(), 4);
+        assert_eq!(c.total_frees(), 4);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Hand-rolled JSON/CSV building blocks for machine-readable export.
+//!
+//! The workspace deliberately carries **no serialization dependency** (the
+//! tier-1 verify must build offline), so every exporter — series sets,
+//! run reports, telemetry snapshots, the wall-clock bench baseline — is
+//! assembled from these few primitives. They cover exactly the subset of
+//! JSON/CSV the repo emits: objects, arrays, strings, finite numbers and
+//! `null`.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal (without the
+/// surrounding quotes).
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::export::json_escape;
+///
+/// assert_eq!(json_escape("plain"), "plain");
+/// assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+/// ```
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string literal.
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+/// Renders an `f64` as a JSON value.
+///
+/// Finite values use Rust's shortest round-trip representation (always a
+/// valid JSON number); NaN and infinities — which JSON cannot represent —
+/// become `null` rather than corrupting the document.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::export::json_f64;
+///
+/// assert_eq!(json_f64(1.5), "1.5");
+/// assert_eq!(json_f64(f64::NAN), "null");
+/// assert_eq!(json_f64(f64::INFINITY), "null");
+/// ```
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the decimal point for integral values; keep it a
+        // JSON number either way (both forms are valid), but normalise the
+        // negative zero oddity.
+        if s == "-0" {
+            "0".to_string()
+        } else {
+            s
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline;
+/// passes plain fields through untouched (RFC 4180 quoting).
+///
+/// # Examples
+///
+/// ```
+/// use hetero_sim::export::csv_field;
+///
+/// assert_eq!(csv_field("plain"), "plain");
+/// assert_eq!(csv_field("a,b"), "\"a,b\"");
+/// assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+/// ```
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+
+    #[test]
+    fn json_string_quotes() {
+        assert_eq!(json_string("x"), "\"x\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn f64_round_trips_through_display() {
+        for v in [0.0, 1.0, -2.5, 1e-9, 123456.789, f64::MAX] {
+            let s = json_f64(v);
+            let back: f64 = s.parse().expect("finite values parse back");
+            assert_eq!(back, v, "{s}");
+        }
+    }
+
+    #[test]
+    fn f64_non_finite_becomes_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn negative_zero_normalised() {
+        assert_eq!(json_f64(-0.0), "0");
+    }
+
+    #[test]
+    fn csv_plain_fields_unquoted() {
+        assert_eq!(csv_field("bw-factor"), "bw-factor");
+        assert_eq!(csv_field("multi\nline"), "\"multi\nline\"");
+    }
+}

@@ -12,7 +12,11 @@
 //! * [`stats`] — counters, histograms and running statistics used by the
 //!   engine and the benchmark harness,
 //! * [`events`] — a bounded event log for simulator introspection,
-//! * [`series`] — per-epoch metric recording for figure regeneration.
+//! * [`series`] — per-epoch metric recording for figure regeneration,
+//! * [`telemetry`] — a named metrics registry and hierarchical sim-time
+//!   spans for structured observability,
+//! * [`export`] — serde-free JSON/CSV building blocks shared by every
+//!   machine-readable exporter.
 //!
 //! # Examples
 //!
@@ -33,9 +37,11 @@
 
 pub mod clock;
 pub mod events;
+pub mod export;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use clock::{Clock, CostCategory};
@@ -43,4 +49,5 @@ pub use events::{Event, EventKind, EventLog};
 pub use rng::SimRng;
 pub use series::{Series, SeriesSet};
 pub use stats::{Counter, Histogram, RunningStats};
+pub use telemetry::{MetricValue, Registry, SpanId, SpanRecord, SpanTracer, Telemetry};
 pub use time::Nanos;

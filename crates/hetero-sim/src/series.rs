@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use crate::export::{csv_field, json_f64, json_string};
+
 /// A named sequence of `(x, y)` samples.
 ///
 /// # Examples
@@ -121,6 +123,11 @@ impl SeriesSet {
         &self.title
     }
 
+    /// X-axis label.
+    pub fn x_label(&self) -> &str {
+        &self.x_label
+    }
+
     /// Appends a sample to the named series, creating it if needed.
     pub fn record(&mut self, series: &str, x: f64, y: f64) {
         match self.series.iter_mut().find(|s| s.name() == series) {
@@ -154,6 +161,61 @@ impl SeriesSet {
         }
         xs.sort_by(|a, b| a.partial_cmp(b).expect("x values must not be NaN"));
         xs
+    }
+
+    /// Renders the set as a JSON object:
+    /// `{"title":..,"x_label":..,"series":[{"name":..,"points":[[x,y],..]},..]}`.
+    ///
+    /// Point order is preserved; non-finite values become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!("  \"x_label\": {},\n", json_string(&self.x_label)));
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            out.push_str(&json_string(s.name()));
+            out.push_str(", \"points\": [");
+            for (j, &(x, y)) in s.points().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", json_f64(x), json_f64(y)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}");
+        out
+    }
+
+    /// Renders the set as CSV: the x column followed by one column per
+    /// series, rows sorted by x, missing cells left empty.
+    pub fn to_csv(&self) -> String {
+        let mut out = csv_field(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&csv_field(s.name()));
+        }
+        out.push('\n');
+        for &x in &self.x_values() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                let y = s
+                    .points()
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-12)
+                    .map(|&(_, y)| y);
+                if let Some(y) = y {
+                    out.push_str(&format!("{y}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -238,5 +300,33 @@ mod tests {
         set.record("a", 1.0, 1.0);
         set.record("b", 3.0, 1.0);
         assert_eq!(set.x_values(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn json_matches_golden() {
+        let mut set = SeriesSet::new("Fig X", "ratio");
+        set.record("a", 0.5, 1.0);
+        set.record("a", 1.0, 2.5);
+        set.record("b", 0.5, 3.0);
+        let golden = "{\n  \"title\": \"Fig X\",\n  \"x_label\": \"ratio\",\n  \
+                      \"series\": [\n    \
+                      {\"name\": \"a\", \"points\": [[0.5,1],[1,2.5]]},\n    \
+                      {\"name\": \"b\", \"points\": [[0.5,3]]}\n  ]\n}";
+        assert_eq!(set.to_json(), golden);
+    }
+
+    #[test]
+    fn csv_matches_golden_with_empty_cells() {
+        let mut set = SeriesSet::new("t", "x");
+        set.record("a", 1.0, 2.0);
+        set.record("b", 2.0, 3.5);
+        assert_eq!(set.to_csv(), "x,a,b\n1,2,\n2,,3.5\n");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_labels() {
+        let mut set = SeriesSet::new("t", "cap,ratio");
+        set.record("p50,ns", 1.0, 2.0);
+        assert!(set.to_csv().starts_with("\"cap,ratio\",\"p50,ns\"\n"));
     }
 }

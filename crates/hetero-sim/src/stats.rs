@@ -141,7 +141,12 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate percentile (`q` in `[0,1]`) as a bucket upper bound.
+    /// Approximate percentile (`q` in `[0,1]`) as a bucket upper bound,
+    /// clamped to the largest recorded sample.
+    ///
+    /// The clamp matters: a single sample of `5` lands in bucket `[4,8)`,
+    /// whose raw upper bound `7` would overshoot every observed value.
+    /// Clamping guarantees `percentile(1.0) == max()`.
     ///
     /// Returns `0` when empty.
     pub fn percentile(&self, q: f64) -> u64 {
@@ -154,8 +159,9 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                // Upper bound of bucket i.
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                // Upper bound of bucket i, clamped to the observed max.
+                let bound = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return bound.min(self.max);
             }
         }
         self.max
@@ -304,7 +310,23 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.min(), 0);
-        assert_eq!(h.percentile(1.0), 1); // bucket 0 upper bound
+        assert_eq!(h.percentile(1.0), 0); // clamped to the observed max
+    }
+
+    #[test]
+    fn histogram_percentile_never_exceeds_max() {
+        // A lone sample of 5 sits in bucket [4,8); the raw bucket upper
+        // bound 7 used to leak out of `percentile`.
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.percentile(1.0), h.max());
+
+        // Same overshoot at the large end: one sample deep in a wide bucket.
+        let mut big = Histogram::new();
+        big.record(1 << 40);
+        assert_eq!(big.percentile(1.0), 1 << 40);
+        assert_eq!(big.percentile(1.0), big.max());
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct HotnessTracker {
     tracked_cursor: u64,
     /// Reused buffer for the resident frames of the current full-scan batch.
     resident_scratch: Vec<Gfn>,
+    /// Cumulative scan passes (full + tracked) since creation (telemetry).
+    total_scans: u64,
+    /// Cumulative frames/PTEs examined across all scans (telemetry).
+    total_scanned_frames: u64,
 }
 
 impl HotnessTracker {
@@ -105,12 +109,26 @@ impl HotnessTracker {
             cursor: 0,
             tracked_cursor: 0,
             resident_scratch: Vec::new(),
+            total_scans: 0,
+            total_scanned_frames: 0,
         }
     }
 
     /// Pages with recorded history (diagnostic).
     pub fn tracked_pages(&self) -> usize {
         self.tracked
+    }
+
+    /// Scan passes performed since creation (survives [`reset`]).
+    ///
+    /// [`reset`]: HotnessTracker::reset
+    pub fn total_scans(&self) -> u64 {
+        self.total_scans
+    }
+
+    /// Frames/PTEs examined across all scans since creation.
+    pub fn total_scanned_frames(&self) -> u64 {
+        self.total_scanned_frames
     }
 
     /// Clears history (e.g. after a phase change).
@@ -205,6 +223,8 @@ impl HotnessTracker {
             self.classify(kernel, gfn, h, out);
         }
         self.resident_scratch = resident;
+        self.total_scans += 1;
+        self.total_scanned_frames += out.scanned;
     }
 
     /// Coordinated scan: visits only the virtual ranges on `tracking` (the
@@ -237,6 +257,7 @@ impl HotnessTracker {
         out.scanned = 0;
         out.hot_candidates.clear();
         out.cold_candidates.clear();
+        self.total_scans += 1;
         if tracking.is_empty() {
             return;
         }
@@ -287,6 +308,7 @@ impl HotnessTracker {
                 break;
             }
         }
+        self.total_scanned_frames += out.scanned;
     }
 
     /// Forgets pages that are no longer resident (called opportunistically

@@ -119,6 +119,9 @@ pub struct Vmm {
     guests: HashMap<GuestId, GuestEntry>,
     /// Hot threshold handed to per-guest trackers.
     hot_threshold: u32,
+    /// Cumulative fair-share ledger mutations (register/unregister, grants,
+    /// reclaims, releases) — telemetry.
+    ledger_ops: u64,
 }
 
 impl fmt::Debug for Vmm {
@@ -140,6 +143,38 @@ impl Vmm {
             machine,
             guests: HashMap::new(),
             hot_threshold: 2,
+            ledger_ops: 0,
+        }
+    }
+
+    /// Cumulative fair-share ledger mutations since creation.
+    pub fn ledger_ops(&self) -> u64 {
+        self.ledger_ops
+    }
+
+    /// Samples the VMM's cumulative statistics into a telemetry registry
+    /// under the `vmm.*` namespace. Idempotent (uses `counter_set`);
+    /// purely observational.
+    pub fn export_telemetry(&self, reg: &mut hetero_sim::telemetry::Registry) {
+        reg.counter_set("vmm.ledger.ops", self.ledger_ops);
+        reg.counter_set("vmm.guests", self.guests.len() as u64);
+        let (mut scans, mut frames, mut tracked) = (0u64, 0u64, 0u64);
+        for e in self.guests.values() {
+            scans += e.tracker.total_scans();
+            frames += e.tracker.total_scanned_frames();
+            tracked += e.tracker.tracked_pages() as u64;
+        }
+        reg.counter_set("vmm.scan.passes", scans);
+        reg.counter_set("vmm.scan.frames", frames);
+        reg.counter_set("vmm.scan.tracked_pages", tracked);
+        for (kind, label) in [(MemKind::Fast, "fast"), (MemKind::Slow, "slow")] {
+            let total = self.machine.total_frames(kind);
+            if total > 0 {
+                reg.gauge_set(
+                    &format!("vmm.machine.free_fraction.{label}"),
+                    self.machine.free_frames(kind) as f64 / total as f64,
+                );
+            }
         }
     }
 
@@ -183,6 +218,7 @@ impl Vmm {
             }
         }
         self.fair.register(id, spec.min);
+        self.ledger_ops += 1;
         self.guests.insert(
             id,
             GuestEntry {
@@ -215,6 +251,7 @@ impl Vmm {
             }
         }
         self.fair.unregister(id);
+        self.ledger_ops += 1;
         Ok(reclaimed)
     }
 
@@ -321,6 +358,7 @@ impl Vmm {
         if immediate > 0 {
             let mut d = KindMap::default();
             d[kind] = immediate;
+            self.ledger_ops += 1;
             match self.fair.request(id, d) {
                 Grant::Granted => match self.machine.alloc_frames(kind, immediate) {
                     Ok(mfns) => {
@@ -335,6 +373,7 @@ impl Vmm {
                         // machine disagrees. Undo the ledger movement and
                         // surface the inconsistency instead of aborting.
                         self.fair.release(id, kind, immediate);
+                        self.ledger_ops += 1;
                         return Err(VmmError::LedgerInconsistent(id, kind));
                     }
                 },
@@ -346,6 +385,7 @@ impl Vmm {
         if remaining > 0 {
             let mut d = KindMap::default();
             d[kind] = remaining;
+            self.ledger_ops += 1;
             match self.fair.request(id, d) {
                 // Capacity was exhausted a moment ago: corrupt ledger.
                 Grant::Granted => return Err(VmmError::LedgerInconsistent(id, kind)),
@@ -381,6 +421,7 @@ impl Vmm {
             return Err(VmmError::InvalidReclaim(donor, kind));
         }
         self.fair.reclaim(donor, kind, pages);
+        self.ledger_ops += 1;
         for _ in 0..pages {
             let mfn = entry.frames[kind].pop().expect("length checked above");
             self.machine.free_frame(kind, mfn);
@@ -409,6 +450,7 @@ impl Vmm {
             return Err(VmmError::InvalidReclaim(id, kind));
         }
         self.fair.release(id, kind, pages);
+        self.ledger_ops += 1;
         for _ in 0..pages {
             let mfn = entry.frames[kind].pop().expect("length checked above");
             self.machine.free_frame(kind, mfn);
