@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use hetero_core::experiments::{placement, ExpOptions};
 use hetero_core::{Policy, SimConfig, SingleVmSim};
 use hetero_guest::buddy::BuddyAllocator;
 use hetero_guest::kernel::{GuestConfig, GuestKernel};
@@ -176,6 +177,20 @@ fn bench_object_traffic_bulk(iters: u64) -> BenchResult {
     })
 }
 
+/// One full quick-mode Fig 9 sweep on `jobs` worker threads, timed
+/// end-to-end (a single iteration — the sweep is seconds, not nanos). The
+/// `jobs = 1` / `jobs = 0` (available parallelism) pair is the committed
+/// evidence that the deterministic runner actually buys wall-clock.
+fn bench_fig9_jobs(name: &'static str, jobs: usize) -> BenchResult {
+    let opts = ExpOptions::quick().with_jobs(jobs);
+    let start = Instant::now();
+    let set = placement::fig9(&opts);
+    std::hint::black_box(set.to_json().len());
+    let ns_per_op = start.elapsed().as_nanos() as f64;
+    println!("{name:<24} {ns_per_op:>10.1} ns/op  (1 ops)");
+    BenchResult { name, ns_per_op, ops: 1 }
+}
+
 fn write_json(results: &[BenchResult]) {
     let mut out = String::from("{\n");
     for (i, r) in results.iter().enumerate() {
@@ -239,7 +254,7 @@ fn main() {
     let check = args.iter().any(|a| a == "--check");
     let scale = if smoke { 20 } else { 1 };
 
-    let results = vec![
+    let mut results = vec![
         bench_buddy_churn(2_000 / scale),
         bench_full_vm_scan(60 / scale),
         bench_lru_transitions(100 / scale),
@@ -248,6 +263,13 @@ fn main() {
         bench_object_traffic_scalar(20_000 / scale),
         bench_object_traffic_bulk(20_000 / scale),
     ];
+    // The end-to-end Fig 9 sweep takes seconds per iteration; only the
+    // full (baseline-writing) mode pays for it. `--check` gates CI on the
+    // object-traffic entries alone, so smoke runs lose nothing.
+    if !smoke {
+        results.push(bench_fig9_jobs("fig9_jobs1", 1));
+        results.push(bench_fig9_jobs("fig9_jobsN", 0));
+    }
 
     let ns_of = |name: &str| {
         results
@@ -264,6 +286,12 @@ fn main() {
         "repro_epochs speedup:   {:.2}x (scalar/bulk)",
         ns_of("repro_epochs_scalar") / ns_of("repro_epochs")
     );
+    if !smoke {
+        println!(
+            "fig9 runner speedup:    {:.2}x (jobs=1 / jobs=available)",
+            ns_of("fig9_jobs1") / ns_of("fig9_jobsN")
+        );
+    }
 
     if check {
         if !check_regression(&results) {

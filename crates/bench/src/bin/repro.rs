@@ -1,12 +1,17 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--json-out DIR] <target>...
+//! repro [--quick] [--seed N] [--jobs N] [--json-out DIR] <target>...
 //! repro all                      # every table and figure
 //! repro ablations                # the design-choice ablations
 //! repro fig9 fig10               # specific targets
 //! repro --json-out out/ all      # also write machine-readable exports
+//! repro --jobs 8 all             # spread runs over 8 OS threads
 //! ```
+//!
+//! `--jobs N` spreads the work over `N` OS threads (default: available
+//! parallelism; `--jobs 1` forces sequential). Output is byte-identical
+//! for every job count — parallelism only changes the wall-clock.
 //!
 //! With `--json-out DIR`, every target additionally writes machine-readable
 //! files into `DIR`: `<target>.json` for all targets, plus `<target>.csv`
@@ -17,7 +22,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{run_artifact, ABLATIONS, EXTENSIONS, TARGETS};
+use bench::{run_artifacts, ABLATIONS, EXTENSIONS, TARGETS};
 use hetero_core::experiments::ExpOptions;
 use hetero_core::{Policy, SimConfig, SingleVmSim};
 use hetero_workloads::{apps, AppWorkload};
@@ -45,8 +50,16 @@ fn write_file(dir: &std::path::Path, name: &str, body: &str) -> Result<(), Strin
     std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
+/// Is `target` one of the names `run_artifact` accepts?
+fn is_known_target(target: &str) -> bool {
+    TARGETS.contains(&target) || ABLATIONS.contains(&target) || EXTENSIONS.contains(&target)
+}
+
 fn main() -> ExitCode {
     let mut opts = ExpOptions::default();
+    // The CLI defaults to available parallelism; `--jobs 1` forces the
+    // sequential path. Either way the output bytes are identical.
+    let mut jobs: usize = 0;
     let mut targets: Vec<String> = Vec::new();
     let mut json_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -57,6 +70,13 @@ fn main() -> ExitCode {
                 Some(seed) => opts.seed = seed,
                 None => {
                     eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs requires an integer (0 = available parallelism)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -71,7 +91,9 @@ fn main() -> ExitCode {
             "ablations" => targets.extend(ABLATIONS.iter().map(|s| s.to_string())),
             "extensions" => targets.extend(EXTENSIONS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--seed N] [--json-out DIR] <target>...");
+                println!(
+                    "usage: repro [--quick] [--seed N] [--jobs N] [--json-out DIR] <target>..."
+                );
                 println!("targets: all ablations extensions {}", TARGETS.join(" "));
                 println!("         {} {}", ABLATIONS.join(" "), EXTENSIONS.join(" "));
                 return ExitCode::SUCCESS;
@@ -83,14 +105,27 @@ fn main() -> ExitCode {
         eprintln!("no targets; try `repro all` or `repro --help`");
         return ExitCode::FAILURE;
     }
+    // Validate every target before running anything, so a typo at the end
+    // of the list cannot waste minutes of completed experiments first.
+    let unknown: Vec<&str> = targets
+        .iter()
+        .map(String::as_str)
+        .filter(|t| !is_known_target(t))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment target(s): {}", unknown.join(", "));
+        eprintln!("valid targets: all ablations extensions {}", TARGETS.join(" "));
+        eprintln!("               {} {}", ABLATIONS.join(" "), EXTENSIONS.join(" "));
+        return ExitCode::FAILURE;
+    }
     if let Some(dir) = &json_out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
-    for target in targets {
-        let artifact = match run_artifact(&target, &opts) {
+    for (target, result) in run_artifacts(&targets, &opts, jobs) {
+        let artifact = match result {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("{e}");

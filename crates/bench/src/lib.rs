@@ -18,7 +18,7 @@ use hetero_core::experiments::{
     sensitivity, sharing, tables, ExpOptions,
 };
 use hetero_sim::export::json_string;
-use hetero_sim::SeriesSet;
+use hetero_sim::{Runner, SeriesSet};
 
 /// Every experiment target the `repro` binary accepts, in paper order.
 pub const TARGETS: [&str; 17] = [
@@ -130,6 +130,34 @@ pub fn run_artifact(target: &str, opts: &ExpOptions) -> Result<Artifact, String>
     Ok(out)
 }
 
+/// Runs many experiment targets with a total parallelism budget of `jobs`
+/// OS threads (`0` = available parallelism).
+///
+/// The budget is split between across-target workers and within-target run
+/// sweeps: with `T` targets, `min(jobs, T)` targets execute concurrently
+/// and each target's experiment runs its own sweep on `jobs / min(jobs, T)`
+/// inner workers. Results come back in the given target order, and every
+/// artifact is byte-identical to a `jobs = 1` run — parallelism only
+/// changes the wall-clock, never the output (see
+/// `hetero_sim::runner`'s determinism contract).
+pub fn run_artifacts(
+    targets: &[String],
+    opts: &ExpOptions,
+    jobs: usize,
+) -> Vec<(String, Result<Artifact, String>)> {
+    let jobs = if jobs == 0 {
+        hetero_sim::runner::available_jobs()
+    } else {
+        jobs
+    };
+    let outer = jobs.min(targets.len()).max(1);
+    let inner_opts = opts.with_jobs((jobs / outer).max(1));
+    Runner::new(outer).run(targets.to_vec(), move |target| {
+        let result = run_artifact(&target, &inner_opts);
+        (target, result)
+    })
+}
+
 /// Runs one experiment by name and returns its rendered output.
 ///
 /// # Errors
@@ -153,6 +181,34 @@ mod tests {
             assert!(run_experiment(t, &opts).is_ok(), "{t}");
         }
         assert!(run_experiment("nope", &opts).is_err());
+    }
+
+    #[test]
+    fn run_artifacts_preserves_order_and_is_jobs_invariant() {
+        let opts = ExpOptions::quick();
+        let targets: Vec<String> = ["table3", "fig8", "table1"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let seq = run_artifacts(&targets, &opts, 1);
+        let par = run_artifacts(&targets, &opts, 4);
+        assert_eq!(seq.len(), targets.len());
+        for (i, ((ts, rs), (tp, rp))) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(ts, &targets[i]);
+            assert_eq!(ts, tp);
+            let (a, b) = (rs.as_ref().unwrap(), rp.as_ref().unwrap());
+            assert_eq!(a.to_json(), b.to_json(), "{ts}");
+            assert_eq!(a.render(), b.render(), "{ts}");
+        }
+    }
+
+    #[test]
+    fn run_artifacts_reports_unknown_targets_in_place() {
+        let opts = ExpOptions::quick();
+        let targets = vec!["table1".to_string(), "bogus".to_string()];
+        let out = run_artifacts(&targets, &opts, 2);
+        assert!(out[0].1.is_ok());
+        assert!(out[1].1.is_err());
     }
 
     #[test]

@@ -24,11 +24,11 @@ pub fn ablation_lru_eviction(opts: &ExpOptions) -> SeriesSet {
         "Ablation — eager vs lazy I/O page eviction (HeteroOS-LRU, 1/4 ratio)",
         "app-index",
     );
-    for (ai, spec) in [apps::x_stream(), apps::leveldb(), apps::graphchi()]
+    let specs: Vec<_> = [apps::x_stream(), apps::leveldb(), apps::graphchi()]
         .into_iter()
-        .enumerate()
-    {
-        let spec = opts.tune(spec);
+        .map(|s| opts.tune(s))
+        .collect();
+    let rows = opts.runner().run(specs, |spec| {
         let base = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
             .with_seed(opts.seed);
@@ -38,9 +38,12 @@ pub fn ablation_lru_eviction(opts: &ExpOptions) -> SeriesSet {
             eager_io_override: Some(false),
             ..base
         };
-        let lazy = run_app(&lazy_cfg, Policy::HeteroLru, spec.clone());
-        set.record("eager", ai as f64, eager.gain_percent_vs(&slow));
-        set.record("lazy", ai as f64, lazy.gain_percent_vs(&slow));
+        let lazy = run_app(&lazy_cfg, Policy::HeteroLru, spec);
+        (eager.gain_percent_vs(&slow), lazy.gain_percent_vs(&slow))
+    });
+    for (ai, (eager, lazy)) in rows.into_iter().enumerate() {
+        set.record("eager", ai as f64, eager);
+        set.record("lazy", ai as f64, lazy);
     }
     set
 }
@@ -52,8 +55,11 @@ pub fn ablation_adaptive_interval(opts: &ExpOptions) -> SeriesSet {
         "Ablation — adaptive vs fixed tracking interval (coordinated, 1/4 ratio)",
         "app-index",
     );
-    for (ai, spec) in [apps::graphchi(), apps::redis()].into_iter().enumerate() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = [apps::graphchi(), apps::redis()]
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let rows = opts.runner().run(specs, |spec| {
         let base = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
             .with_seed(opts.seed);
@@ -63,11 +69,19 @@ pub fn ablation_adaptive_interval(opts: &ExpOptions) -> SeriesSet {
             adaptive_interval: false,
             ..base
         };
-        let fixed = run_app(&fixed_cfg, Policy::HeteroCoordinated, spec.clone());
-        set.record("adaptive-gain", ai as f64, adaptive.gain_percent_vs(&slow));
-        set.record("fixed-gain", ai as f64, fixed.gain_percent_vs(&slow));
-        set.record("adaptive-overhead", ai as f64, adaptive.overhead_percent());
-        set.record("fixed-overhead", ai as f64, fixed.overhead_percent());
+        let fixed = run_app(&fixed_cfg, Policy::HeteroCoordinated, spec);
+        (
+            adaptive.gain_percent_vs(&slow),
+            fixed.gain_percent_vs(&slow),
+            adaptive.overhead_percent(),
+            fixed.overhead_percent(),
+        )
+    });
+    for (ai, (a_gain, f_gain, a_over, f_over)) in rows.into_iter().enumerate() {
+        set.record("adaptive-gain", ai as f64, a_gain);
+        set.record("fixed-gain", ai as f64, f_gain);
+        set.record("adaptive-overhead", ai as f64, a_over);
+        set.record("fixed-overhead", ai as f64, f_over);
     }
     set
 }
@@ -78,8 +92,11 @@ pub fn ablation_tracking_scope(opts: &ExpOptions) -> SeriesSet {
         "Ablation — guided tracking list vs full-VM scan (coordinated, 1/4 ratio)",
         "app-index",
     );
-    for (ai, spec) in [apps::graphchi(), apps::x_stream()].into_iter().enumerate() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = [apps::graphchi(), apps::x_stream()]
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let rows = opts.runner().run(specs, |spec| {
         let base = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
             .with_seed(opts.seed);
@@ -89,19 +106,19 @@ pub fn ablation_tracking_scope(opts: &ExpOptions) -> SeriesSet {
             guided_tracking: false,
             ..base
         };
-        let full = run_app(&full_cfg, Policy::HeteroCoordinated, spec.clone());
-        set.record("guided-gain", ai as f64, guided.gain_percent_vs(&slow));
-        set.record("full-scan-gain", ai as f64, full.gain_percent_vs(&slow));
-        set.record(
-            "guided-scanned-M",
-            ai as f64,
+        let full = run_app(&full_cfg, Policy::HeteroCoordinated, spec);
+        (
+            guided.gain_percent_vs(&slow),
+            full.gain_percent_vs(&slow),
             guided.scanned_pages as f64 / 1e6,
-        );
-        set.record(
-            "full-scanned-M",
-            ai as f64,
             full.scanned_pages as f64 / 1e6,
-        );
+        )
+    });
+    for (ai, (g_gain, f_gain, g_scan, f_scan)) in rows.into_iter().enumerate() {
+        set.record("guided-gain", ai as f64, g_gain);
+        set.record("full-scan-gain", ai as f64, f_gain);
+        set.record("guided-scanned-M", ai as f64, g_scan);
+        set.record("full-scanned-M", ai as f64, f_scan);
     }
     set
 }
@@ -113,10 +130,11 @@ pub fn ablation_drf_weights(opts: &ExpOptions) -> SeriesSet {
         "Ablation — DRF FastMem weight sweep (Fig 13 scenario)",
         "fast-weight",
     );
-    for weight in [1.0, 2.0, 4.0] {
+    let sweep = vec![1.0, 2.0, 4.0];
+    let rows = opts.runner().run(sweep.clone(), |weight| {
         let mut weights: KindMap<f64> = KindMap::from_fn(|_| 1.0);
         weights[MemKind::Fast] = weight;
-        let reports = MultiVmSim::new(
+        MultiVmSim::new(
             SimConfig::paper_default()
                 .with_fast_bytes(4 << 30)
                 .with_slow_bytes(8 << 30)
@@ -125,7 +143,9 @@ pub fn ablation_drf_weights(opts: &ExpOptions) -> SeriesSet {
             Policy::HeteroCoordinated,
             sharing::paper_setups(opts),
         )
-        .run();
+        .run()
+    });
+    for (weight, reports) in sweep.into_iter().zip(rows) {
         set.record("graphchi-vm-runtime-s", weight, reports[0].runtime.as_secs_f64());
         set.record("metis-vm-runtime-s", weight, reports[1].runtime.as_secs_f64());
     }

@@ -20,21 +20,33 @@ pub fn fig3(opts: &ExpOptions) -> SeriesSet {
         "Fig 3 — slowdown vs FastMem 1:1 ratio (L:5,B:9, on-demand placement)",
         "1/ratio",
     );
-    for spec in apps::all() {
-        let spec = opts.tune(spec);
-        let base_cfg = SimConfig::paper_default().with_seed(opts.seed);
-        // 1:1 baseline: FastMem as large as SlowMem — effectively the
-        // everything-fits-in-FastMem ideal.
-        let baseline = run_app(
-            &base_cfg.clone().with_capacity_ratio(1, 1),
-            Policy::FastMemOnly,
-            spec.clone(),
-        );
-        for den in RATIOS {
-            let cfg = base_cfg.clone().with_capacity_ratio(1, den);
+    let specs: Vec<_> = apps::all().into_iter().map(|s| opts.tune(s)).collect();
+    // Descriptor `den == 1` is the 1:1 FastMem-only baseline (everything
+    // fits in FastMem); it leads each app's group.
+    let mut runs: Vec<(usize, u64)> = Vec::new();
+    for ai in 0..specs.len() {
+        runs.push((ai, 1));
+        runs.extend(RATIOS.iter().map(|&den| (ai, den)));
+    }
+    let reports = opts.runner().run(runs.clone(), |(ai, den)| {
+        let cfg = SimConfig::paper_default()
+            .with_seed(opts.seed)
+            .with_capacity_ratio(1, den);
+        let policy = if den == 1 {
+            Policy::FastMemOnly
+        } else {
             // Observation 3 is about *on-demand* allocation to FastMem.
-            let r = run_app(&cfg, Policy::HeapIoSlabOd, spec.clone());
-            set.record(spec.name, den as f64, r.slowdown_vs(&baseline));
+            Policy::HeapIoSlabOd
+        };
+        run_app(&cfg, policy, specs[ai].clone())
+    });
+    let mut baseline = None;
+    for (&(ai, den), r) in runs.iter().zip(&reports) {
+        if den == 1 {
+            baseline = Some(r);
+        } else {
+            let base = baseline.expect("baseline precedes its group");
+            set.record(specs[ai].name, den as f64, r.slowdown_vs(base));
         }
     }
     set

@@ -23,20 +23,40 @@ pub fn fig11(opts: &ExpOptions) -> SeriesSet {
         "Fig 11 — gains (%) vs SlowMem-only (x = app*10 + 1/ratio)",
         "app-ratio",
     );
-    for (ai, spec) in apps::fig9_apps().into_iter().enumerate() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = apps::fig9_apps()
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    // Flat descriptor list, baseline-first per cell (see placement::fig9).
+    let mut runs: Vec<(usize, u64, Policy)> = Vec::new();
+    for ai in 0..specs.len() {
         for den in RATIOS {
-            let cfg = SimConfig::paper_default()
-                .with_capacity_ratio(1, den)
-                .with_seed(opts.seed);
-            let slow = run_app(&cfg, Policy::SlowMemOnly, spec.clone());
-            let x = (ai * 10 + den as usize) as f64;
+            runs.push((ai, den, Policy::SlowMemOnly));
             for policy in Policy::FIG11 {
-                let r = run_app(&cfg, policy, spec.clone());
-                set.record(policy.name(), x, r.gain_percent_vs(&slow));
+                runs.push((ai, den, policy));
             }
-            let fast = run_app(&cfg, Policy::FastMemOnly, spec.clone());
-            set.record("FastMem-only", x, fast.gain_percent_vs(&slow));
+            runs.push((ai, den, Policy::FastMemOnly));
+        }
+    }
+    let reports = opts.runner().run(runs.clone(), |(ai, den, policy)| {
+        let cfg = SimConfig::paper_default()
+            .with_capacity_ratio(1, den)
+            .with_seed(opts.seed);
+        run_app(&cfg, policy, specs[ai].clone())
+    });
+    let mut slow = None;
+    for (&(ai, den, policy), r) in runs.iter().zip(&reports) {
+        let x = (ai * 10 + den as usize) as f64;
+        if policy == Policy::SlowMemOnly {
+            slow = Some(r);
+        } else {
+            let base = slow.expect("baseline precedes its cell");
+            let label = if policy == Policy::FastMemOnly {
+                "FastMem-only"
+            } else {
+                policy.name()
+            };
+            set.record(label, x, r.gain_percent_vs(base));
         }
     }
     set
@@ -58,22 +78,39 @@ pub struct MigrationGain {
 /// Figure 12: gains exclusively from migrations (1/4 ratio), for the three
 /// applications the paper tabulates.
 pub fn fig12(opts: &ExpOptions) -> Vec<MigrationGain> {
-    let mut out = Vec::new();
-    for spec in [apps::graphchi(), apps::redis(), apps::leveldb()] {
-        let spec = opts.tune(spec);
-        let cfg = SimConfig::paper_default()
-            .with_capacity_ratio(1, 4)
-            .with_seed(opts.seed);
-        let placement_only = run_app(&cfg, Policy::HeapIoSlabOd, spec.clone());
+    let specs: Vec<_> = [apps::graphchi(), apps::redis(), apps::leveldb()]
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let mut runs: Vec<(usize, Policy)> = Vec::new();
+    for ai in 0..specs.len() {
+        runs.push((ai, Policy::HeapIoSlabOd)); // the placement-only baseline
         for policy in Policy::FIG11 {
-            let r = run_app(&cfg, policy, spec.clone());
-            out.push(MigrationGain {
-                app: spec.name,
-                policy,
-                gain_vs_placement: r.gain_percent_vs(&placement_only),
-                migrated_millions: (r.migrations * cfg.granule()) as f64 / 1e6,
-            });
+            runs.push((ai, policy));
         }
+    }
+    let cfg = SimConfig::paper_default()
+        .with_capacity_ratio(1, 4)
+        .with_seed(opts.seed);
+    let reports = opts
+        .runner()
+        .run(runs.clone(), |(ai, policy)| {
+            run_app(&cfg, policy, specs[ai].clone())
+        });
+    let mut out = Vec::new();
+    let mut placement_only = None;
+    for (&(ai, policy), r) in runs.iter().zip(&reports) {
+        if policy == Policy::HeapIoSlabOd {
+            placement_only = Some(r);
+            continue;
+        }
+        out.push(MigrationGain {
+            app: specs[ai].name,
+            policy,
+            gain_vs_placement: r
+                .gain_percent_vs(placement_only.expect("baseline precedes its cell")),
+            migrated_millions: (r.migrations * cfg.granule()) as f64 / 1e6,
+        });
     }
     out
 }

@@ -33,9 +33,8 @@ pub fn fig4(opts: &ExpOptions) -> Vec<PageMix> {
         apps::metis(),
         apps::leveldb(),
     ];
-    let mut out = Vec::new();
-    for spec in order {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = order.into_iter().map(|s| opts.tune(s)).collect();
+    opts.runner().run(specs, |spec| {
         let cfg = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
             .with_seed(opts.seed);
@@ -59,13 +58,12 @@ pub fn fig4(opts: &ExpOptions) -> Vec<PageMix> {
                 (t, f)
             })
             .collect();
-        out.push(PageMix {
+        PageMix {
             app: name,
             fractions,
             total_millions: cfg.real_pages(total) as f64 / 1e6,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Renders the Fig 4 data as a text table.

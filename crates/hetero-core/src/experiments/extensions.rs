@@ -31,32 +31,35 @@ pub fn ext_multitier(opts: &ExpOptions) -> SeriesSet {
         "Extension — three-tier machines under HeteroOS-LRU (gains % vs SlowMem-only)",
         "app-index",
     );
-    for (ai, spec) in [apps::graphchi(), apps::x_stream(), apps::redis()]
+    let specs: Vec<_> = [apps::graphchi(), apps::x_stream(), apps::redis()]
         .into_iter()
-        .enumerate()
-    {
-        let spec = opts.tune(spec);
+        .map(|s| opts.tune(s))
+        .collect();
+    let rows = opts.runner().run(specs, |spec| {
         let two_tier = SimConfig::paper_default()
             .with_fast_bytes(GB)
             .with_seed(opts.seed);
         let slow = run_app(&two_tier, Policy::SlowMemOnly, spec.clone());
         let r2 = run_app(&two_tier, Policy::HeteroLru, spec.clone());
-        set.record("two-tier-1G", ai as f64, r2.gain_percent_vs(&slow));
 
         let three_tier = two_tier.clone().with_medium_bytes(2 * GB);
         let r3 = run_app(&three_tier, Policy::HeteroLru, spec.clone());
-        set.record("three-tier-1G+2G", ai as f64, r3.gain_percent_vs(&slow));
 
         let untyped = SimConfig {
             typed_demotion: false,
             ..three_tier
         };
-        let r3u = run_app(&untyped, Policy::HeteroLru, spec.clone());
-        set.record(
-            "three-tier-untyped-demotion",
-            ai as f64,
+        let r3u = run_app(&untyped, Policy::HeteroLru, spec);
+        (
+            r2.gain_percent_vs(&slow),
+            r3.gain_percent_vs(&slow),
             r3u.gain_percent_vs(&slow),
-        );
+        )
+    });
+    for (ai, (two, three, untyped)) in rows.into_iter().enumerate() {
+        set.record("two-tier-1G", ai as f64, two);
+        set.record("three-tier-1G+2G", ai as f64, three);
+        set.record("three-tier-untyped-demotion", ai as f64, untyped);
     }
     set
 }
@@ -69,11 +72,11 @@ pub fn ext_wear(opts: &ExpOptions) -> SeriesSet {
         "Extension — write-aware migration over NVM SlowMem (coordinated, 1/4 ratio)",
         "app-index",
     );
-    for (ai, spec) in [apps::metis(), apps::graphchi(), apps::leveldb()]
+    let specs: Vec<_> = [apps::metis(), apps::graphchi(), apps::leveldb()]
         .into_iter()
-        .enumerate()
-    {
-        let spec = opts.tune(spec);
+        .map(|s| opts.tune(s))
+        .collect();
+    let rows = opts.runner().run(specs, |spec| {
         let base = SimConfig {
             nvm_slow: true,
             ..SimConfig::paper_default()
@@ -86,15 +89,19 @@ pub fn ext_wear(opts: &ExpOptions) -> SeriesSet {
             write_aware: true,
             ..base
         };
-        let aware = run_app(&aware_cfg, Policy::HeteroCoordinated, spec.clone());
-        set.record("plain-gain", ai as f64, plain.gain_percent_vs(&slow));
-        set.record("write-aware-gain", ai as f64, aware.gain_percent_vs(&slow));
-        set.record("plain-slow-writes-M", ai as f64, plain.slow_writes / 1e6);
-        set.record(
-            "write-aware-slow-writes-M",
-            ai as f64,
+        let aware = run_app(&aware_cfg, Policy::HeteroCoordinated, spec);
+        (
+            plain.gain_percent_vs(&slow),
+            aware.gain_percent_vs(&slow),
+            plain.slow_writes / 1e6,
             aware.slow_writes / 1e6,
-        );
+        )
+    });
+    for (ai, (p_gain, a_gain, p_writes, a_writes)) in rows.into_iter().enumerate() {
+        set.record("plain-gain", ai as f64, p_gain);
+        set.record("write-aware-gain", ai as f64, a_gain);
+        set.record("plain-slow-writes-M", ai as f64, p_writes);
+        set.record("write-aware-slow-writes-M", ai as f64, a_writes);
     }
     set
 }
@@ -107,8 +114,11 @@ pub fn ext_baremetal(opts: &ExpOptions) -> SeriesSet {
         "Extension — virtualized vs bare-metal coordinated management (1/4 ratio)",
         "app-index",
     );
-    for (ai, spec) in [apps::graphchi(), apps::redis()].into_iter().enumerate() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = [apps::graphchi(), apps::redis()]
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let rows = opts.runner().run(specs, |spec| {
         let virt = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
             .with_seed(opts.seed);
@@ -118,11 +128,19 @@ pub fn ext_baremetal(opts: &ExpOptions) -> SeriesSet {
             bare_metal: true,
             ..virt
         };
-        let b = run_app(&bare_cfg, Policy::HeteroCoordinated, spec.clone());
-        set.record("virtualized-gain", ai as f64, v.gain_percent_vs(&slow));
-        set.record("bare-metal-gain", ai as f64, b.gain_percent_vs(&slow));
-        set.record("virtualized-overhead", ai as f64, v.overhead_percent());
-        set.record("bare-metal-overhead", ai as f64, b.overhead_percent());
+        let b = run_app(&bare_cfg, Policy::HeteroCoordinated, spec);
+        (
+            v.gain_percent_vs(&slow),
+            b.gain_percent_vs(&slow),
+            v.overhead_percent(),
+            b.overhead_percent(),
+        )
+    });
+    for (ai, (v_gain, b_gain, v_over, b_over)) in rows.into_iter().enumerate() {
+        set.record("virtualized-gain", ai as f64, v_gain);
+        set.record("bare-metal-gain", ai as f64, b_gain);
+        set.record("virtualized-overhead", ai as f64, v_over);
+        set.record("bare-metal-overhead", ai as f64, b_over);
     }
     set
 }
@@ -135,8 +153,11 @@ pub fn ext_hints(opts: &ExpOptions) -> SeriesSet {
         "Extension — transparent placement vs explicit mmap hints (1/8 ratio)",
         "app-index",
     );
-    for (ai, spec) in [apps::graphchi(), apps::metis()].into_iter().enumerate() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = [apps::graphchi(), apps::metis()]
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let rows = opts.runner().run(specs, |spec| {
         let base = SimConfig::paper_default()
             .with_capacity_ratio(1, 8)
             .with_seed(opts.seed);
@@ -146,13 +167,15 @@ pub fn ext_hints(opts: &ExpOptions) -> SeriesSet {
             app_hints: true,
             ..base
         };
-        let hinted = run_app(&hinted_cfg, Policy::HeapIoSlabOd, spec.clone());
-        set.record(
-            "transparent-gain",
-            ai as f64,
+        let hinted = run_app(&hinted_cfg, Policy::HeapIoSlabOd, spec);
+        (
             transparent.gain_percent_vs(&slow),
-        );
-        set.record("hinted-gain", ai as f64, hinted.gain_percent_vs(&slow));
+            hinted.gain_percent_vs(&slow),
+        )
+    });
+    for (ai, (transparent, hinted)) in rows.into_iter().enumerate() {
+        set.record("transparent-gain", ai as f64, transparent);
+        set.record("hinted-gain", ai as f64, hinted);
     }
     set
 }

@@ -36,17 +36,28 @@ pub fn fig6(opts: &ExpOptions) -> SeriesSet {
         "Fig 6 — memlat average latency (cycles), 0.5GB FastMem / 3.5GB SlowMem",
         "wss-gb",
     );
-    for spec in micro::memlat_sweep() {
-        let spec = opts.tune(spec);
-        let wss_gb = spec.footprint.heap as f64 / GB as f64;
+    let specs: Vec<_> = micro::memlat_sweep()
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let mut runs: Vec<(usize, Policy)> = Vec::new();
+    for si in 0..specs.len() {
         for policy in MICRO_POLICIES {
-            let r = run_app(&micro_cfg(opts), policy, spec.clone());
-            set.record(
-                policy.name(),
-                wss_gb,
-                r.avg_miss_latency_cycles(spec.clock_ghz),
-            );
+            runs.push((si, policy));
         }
+    }
+    let reports = opts
+        .runner()
+        .run(runs.clone(), |(si, policy)| {
+            run_app(&micro_cfg(opts), policy, specs[si].clone())
+        });
+    for (&(si, policy), r) in runs.iter().zip(&reports) {
+        let wss_gb = specs[si].footprint.heap as f64 / GB as f64;
+        set.record(
+            policy.name(),
+            wss_gb,
+            r.avg_miss_latency_cycles(specs[si].clock_ghz),
+        );
     }
     set
 }
@@ -58,13 +69,24 @@ pub fn fig7(opts: &ExpOptions) -> SeriesSet {
         "Fig 7 — Stream bandwidth (GB/s), 0.5GB FastMem / 3.5GB SlowMem",
         "wss-gb",
     );
-    for spec in micro::stream_sweep() {
-        let spec = opts.tune(spec);
-        let wss_gb = spec.footprint.heap as f64 / GB as f64;
+    let specs: Vec<_> = micro::stream_sweep()
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let mut runs: Vec<(usize, Policy)> = Vec::new();
+    for si in 0..specs.len() {
         for policy in MICRO_POLICIES {
-            let r = run_app(&micro_cfg(opts), policy, spec.clone());
-            set.record(policy.name(), wss_gb, r.achieved_bandwidth_gbps);
+            runs.push((si, policy));
         }
+    }
+    let reports = opts
+        .runner()
+        .run(runs.clone(), |(si, policy)| {
+            run_app(&micro_cfg(opts), policy, specs[si].clone())
+        });
+    for (&(si, policy), r) in runs.iter().zip(&reports) {
+        let wss_gb = specs[si].footprint.heap as f64 / GB as f64;
+        set.record(policy.name(), wss_gb, r.achieved_bandwidth_gbps);
     }
     set
 }

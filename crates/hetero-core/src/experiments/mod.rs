@@ -8,6 +8,7 @@
 //! [`ExpOptions::quick`] shortens every run ~8× for tests and benches; the
 //! published numbers use the full-length runs.
 
+use hetero_sim::Runner;
 use hetero_workloads::WorkloadSpec;
 
 pub mod ablations;
@@ -32,6 +33,11 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Deterministic seed.
     pub seed: u64,
+    /// Worker threads for the per-target run sweeps (`0` = available
+    /// parallelism). Every driver merges results in descriptor order, so
+    /// output is byte-identical for any value — the default of `1` keeps
+    /// library users sequential unless they opt in.
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -39,6 +45,7 @@ impl Default for ExpOptions {
         ExpOptions {
             quick: false,
             seed: 42,
+            jobs: 1,
         }
     }
 }
@@ -50,6 +57,17 @@ impl ExpOptions {
             quick: true,
             ..Default::default()
         }
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The parallel executor the experiment drivers fan runs out on.
+    pub fn runner(&self) -> Runner {
+        Runner::new(self.jobs)
     }
 
     /// Applies the run-length scaling to a workload spec.

@@ -24,7 +24,7 @@ pub fn fig8(opts: &ExpOptions) -> SeriesSet {
         "interval-ms",
     );
     let spec = opts.tune(apps::graphchi());
-    for ms in INTERVALS_MS {
+    let rows = opts.runner().run(INTERVALS_MS.to_vec(), |ms| {
         let cfg = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
             .with_scan_interval(Nanos::from_millis(ms))
@@ -36,21 +36,16 @@ pub fn fig8(opts: &ExpOptions) -> SeriesSet {
         let r = run_app(&cfg, Policy::VmmExclusive, spec.clone());
         let hotpage = r.spent(CostCategory::HotnessScan) + r.spent(CostCategory::TlbFlush);
         let migration = r.spent(CostCategory::PageWalk) + r.spent(CostCategory::PageCopy);
-        set.record(
-            "hotpage-%",
-            ms as f64,
+        (
             hotpage.ratio(r.runtime) * 100.0,
-        );
-        set.record(
-            "migration-%",
-            ms as f64,
             migration.ratio(r.runtime) * 100.0,
-        );
-        set.record(
-            "migrated-millions",
-            ms as f64,
             (r.migrations * cfg.granule()) as f64 / 1e6,
-        );
+        )
+    });
+    for (&ms, &(hot, mig, migrated)) in INTERVALS_MS.iter().zip(&rows) {
+        set.record("hotpage-%", ms as f64, hot);
+        set.record("migration-%", ms as f64, mig);
+        set.record("migrated-millions", ms as f64, migrated);
     }
     set
 }

@@ -25,20 +25,42 @@ pub fn fig9(opts: &ExpOptions) -> SeriesSet {
         "Fig 9 — gains (%) vs SlowMem-only (x = app*10 + 1/ratio)",
         "app-ratio",
     );
-    for (ai, spec) in apps::fig9_apps().into_iter().enumerate() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = apps::fig9_apps()
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    // One descriptor per independent run. The SlowMem-only baseline of
+    // each (app, ratio) cell comes first so the in-order merge below can
+    // resolve gains in a single linear pass.
+    let mut runs: Vec<(usize, u64, Policy)> = Vec::new();
+    for ai in 0..specs.len() {
         for den in RATIOS {
-            let cfg = SimConfig::paper_default()
-                .with_capacity_ratio(1, den)
-                .with_seed(opts.seed);
-            let slow = run_app(&cfg, Policy::SlowMemOnly, spec.clone());
-            let x = (ai * 10 + den as usize) as f64;
+            runs.push((ai, den, Policy::SlowMemOnly));
             for policy in Policy::FIG9 {
-                let r = run_app(&cfg, policy, spec.clone());
-                set.record(policy.name(), x, r.gain_percent_vs(&slow));
+                runs.push((ai, den, policy));
             }
-            let fast = run_app(&cfg, Policy::FastMemOnly, spec.clone());
-            set.record("FastMem-only", x, fast.gain_percent_vs(&slow));
+            runs.push((ai, den, Policy::FastMemOnly));
+        }
+    }
+    let reports = opts.runner().run(runs.clone(), |(ai, den, policy)| {
+        let cfg = SimConfig::paper_default()
+            .with_capacity_ratio(1, den)
+            .with_seed(opts.seed);
+        run_app(&cfg, policy, specs[ai].clone())
+    });
+    let mut slow = None;
+    for (&(ai, den, policy), r) in runs.iter().zip(&reports) {
+        let x = (ai * 10 + den as usize) as f64;
+        if policy == Policy::SlowMemOnly {
+            slow = Some(r);
+        } else {
+            let base = slow.expect("baseline precedes its cell");
+            let label = if policy == Policy::FastMemOnly {
+                "FastMem-only"
+            } else {
+                policy.name()
+            };
+            set.record(label, x, r.gain_percent_vs(base));
         }
     }
     set
@@ -50,15 +72,24 @@ pub fn fig10(opts: &ExpOptions) -> SeriesSet {
         "Fig 10 — FastMem allocation miss ratio, 1/8 capacity ratio",
         "app-index",
     );
-    for (ai, spec) in apps::fig9_apps().into_iter().enumerate() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = apps::fig9_apps()
+        .into_iter()
+        .map(|s| opts.tune(s))
+        .collect();
+    let mut runs: Vec<(usize, Policy)> = Vec::new();
+    for ai in 0..specs.len() {
+        for policy in Policy::FIG9 {
+            runs.push((ai, policy));
+        }
+    }
+    let reports = opts.runner().run(runs.clone(), |(ai, policy)| {
         let cfg = SimConfig::paper_default()
             .with_capacity_ratio(1, 8)
             .with_seed(opts.seed);
-        for policy in Policy::FIG9 {
-            let r = run_app(&cfg, policy, spec.clone());
-            set.record(policy.name(), ai as f64, r.fast_alloc_miss_ratio);
-        }
+        run_app(&cfg, policy, specs[ai].clone())
+    });
+    for (&(ai, policy), r) in runs.iter().zip(&reports) {
+        set.record(policy.name(), ai as f64, r.fast_alloc_miss_ratio);
     }
     set
 }
@@ -105,6 +136,16 @@ mod tests {
                 assert!(at(&set, "FastMem-only", x) + 1.0 >= at(&set, p.name(), x));
             }
         }
+    }
+
+    #[test]
+    fn fig10_output_is_byte_identical_across_job_counts() {
+        // The determinism contract of the parallel runner: thread count
+        // must not change a single byte of the exported artifact.
+        let seq = fig10(&ExpOptions::quick());
+        let par = fig10(&ExpOptions::quick().with_jobs(4));
+        assert_eq!(seq.to_json(), par.to_json());
+        assert_eq!(seq.to_csv(), par.to_csv());
     }
 
     #[test]

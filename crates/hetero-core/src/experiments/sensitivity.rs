@@ -16,23 +16,42 @@ use crate::{Policy, SimConfig};
 
 fn sweep(opts: &ExpOptions, llc: LlcModel, include_remote: bool, title: &str) -> SeriesSet {
     let mut set = SeriesSet::new(title, "bw-factor");
-    for spec in apps::all() {
-        let spec = opts.tune(spec);
+    let specs: Vec<_> = apps::all().into_iter().map(|s| opts.tune(s)).collect();
+    // One descriptor per run: the FastMem-only baseline (x = None) leads
+    // each app's group, followed by the throttle sweep and (for Fig 1) the
+    // remote-NUMA bar at x = 16.
+    let mut runs: Vec<(usize, Option<ThrottleConfig>, Option<f64>)> = Vec::new();
+    for ai in 0..specs.len() {
+        runs.push((ai, None, None));
+        for t in ThrottleConfig::figure1_sweep() {
+            runs.push((ai, Some(t), Some(t.bandwidth_factor)));
+        }
+        if include_remote {
+            runs.push((ai, Some(ThrottleConfig::remote_numa()), Some(16.0)));
+        }
+    }
+    let reports = opts.runner().run(runs.clone(), |(ai, throttle, _)| {
         let cfg = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
             .with_llc(llc)
             .with_seed(opts.seed);
-        let fast = run_app(&cfg, Policy::FastMemOnly, spec.clone());
-        for t in ThrottleConfig::figure1_sweep() {
-            let cfg = cfg.clone().with_slow_throttle(t);
-            let r = run_app(&cfg, Policy::SlowMemOnly, spec.clone());
-            set.record(spec.name, t.bandwidth_factor, r.slowdown_vs(&fast));
+        match throttle {
+            None => run_app(&cfg, Policy::FastMemOnly, specs[ai].clone()),
+            Some(t) => run_app(
+                &cfg.with_slow_throttle(t),
+                Policy::SlowMemOnly,
+                specs[ai].clone(),
+            ),
         }
-        if include_remote {
-            let cfg = cfg.clone().with_slow_throttle(ThrottleConfig::remote_numa());
-            let r = run_app(&cfg, Policy::SlowMemOnly, spec.clone());
-            // Plot the remote-NUMA bar past the sweep on the x axis.
-            set.record(spec.name, 16.0, r.slowdown_vs(&fast));
+    });
+    let mut fast = None;
+    for (&(ai, _, x), r) in runs.iter().zip(&reports) {
+        match x {
+            None => fast = Some(r),
+            Some(x) => {
+                let base = fast.expect("baseline precedes its group");
+                set.record(specs[ai].name, x, r.slowdown_vs(base));
+            }
         }
     }
     set

@@ -83,53 +83,53 @@ pub fn fig13(opts: &ExpOptions) -> SeriesSet {
         "vm-index",
     );
     let setups = paper_setups(opts);
-    let baselines: Vec<_> = setups.iter().map(|s| baseline(opts, s)).collect();
 
-    let mut record = |label: &str, reports: &[crate::RunReport]| {
-        for (i, r) in reports.iter().enumerate() {
-            set.record(label, i as f64, r.gain_percent_vs(&baselines[i]));
+    /// One independent unit of Fig 13 work.
+    enum Job {
+        /// Per-VM SlowMem-only baseline (VM alone on the host).
+        Baseline(usize),
+        /// A co-run of both VMs under one sharing discipline.
+        Multi(SharePolicy, Policy),
+        /// The single-VM star: one VM alone under coordinated management.
+        Solo(usize),
+    }
+    let jobs = vec![
+        Job::Baseline(0),
+        Job::Baseline(1),
+        Job::Multi(SharePolicy::MaxMin, Policy::VmmExclusive),
+        Job::Multi(SharePolicy::MaxMin, Policy::HeteroCoordinated),
+        Job::Multi(SharePolicy::paper_drf(), Policy::HeteroCoordinated),
+        Job::Solo(0),
+        Job::Solo(1),
+    ];
+    let results = opts.runner().run(jobs, |job| match job {
+        Job::Baseline(i) => vec![baseline(opts, &setups[i])],
+        Job::Multi(share, policy) => {
+            MultiVmSim::new(host_cfg(opts), share, policy, setups.clone()).run()
         }
-    };
-
-    let vmm_excl = MultiVmSim::new(
-        host_cfg(opts),
-        SharePolicy::MaxMin,
-        Policy::VmmExclusive,
-        setups.clone(),
-    )
-    .run();
-    record("VMM-exclusive", &vmm_excl);
-
-    let coord_maxmin = MultiVmSim::new(
-        host_cfg(opts),
-        SharePolicy::MaxMin,
-        Policy::HeteroCoordinated,
-        setups.clone(),
-    )
-    .run();
-    record("HeteroOS-coordinated", &coord_maxmin);
-
-    let coord_drf = MultiVmSim::new(
-        host_cfg(opts),
-        SharePolicy::paper_drf(),
-        Policy::HeteroCoordinated,
-        setups.clone(),
-    )
-    .run();
-    record("DRF-HeteroOS-coordinated", &coord_drf);
-
-    // The single-VM stars: each VM alone on the whole host (the paper's
-    // best-case single-VM runs).
-    for (i, setup) in setups.iter().enumerate() {
-        let solo = run_app(
+        Job::Solo(i) => vec![run_app(
             &host_cfg(opts),
             Policy::HeteroCoordinated,
-            setup.spec.clone(),
-        );
+            setups[i].spec.clone(),
+        )],
+    });
+
+    let baselines = [&results[0][0], &results[1][0]];
+    let mut record = |label: &str, reports: &[crate::RunReport]| {
+        for (i, r) in reports.iter().enumerate() {
+            set.record(label, i as f64, r.gain_percent_vs(baselines[i]));
+        }
+    };
+    record("VMM-exclusive", &results[2]);
+    record("HeteroOS-coordinated", &results[3]);
+    record("DRF-HeteroOS-coordinated", &results[4]);
+    // The single-VM stars: each VM alone on the whole host (the paper's
+    // best-case single-VM runs).
+    for i in 0..setups.len() {
         set.record(
             "Single-VM HeteroOS-coordinated",
             i as f64,
-            solo.gain_percent_vs(&baselines[i]),
+            results[5 + i][0].gain_percent_vs(baselines[i]),
         );
     }
     set

@@ -7,7 +7,7 @@
 //! `(file, offset) → page` index — allocation, placement and eviction policy
 //! live in the kernel facade.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::page::Gfn;
 
@@ -31,7 +31,11 @@ pub struct FileId(pub u64);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageCache {
-    index: HashMap<(FileId, u64), Gfn>,
+    /// `BTreeMap` so bulk observations ([`PageCache::remove_file`],
+    /// [`PageCache::iter`]) walk entries in `(file, offset)` order rather
+    /// than a per-process hash order — dropped pages re-enter the page
+    /// allocator in a reproducible sequence.
+    index: BTreeMap<(FileId, u64), Gfn>,
     /// Cache hits since creation.
     pub hits: u64,
     /// Cache misses since creation.
@@ -78,20 +82,21 @@ impl PageCache {
         self.index.remove(&(file, offset_page))
     }
 
-    /// Drops every page of a file (file close / truncate), returning them.
+    /// Drops every page of a file (file close / truncate), returning them
+    /// in ascending offset order.
     pub fn remove_file(&mut self, file: FileId) -> Vec<Gfn> {
         let keys: Vec<(FileId, u64)> = self
             .index
-            .keys()
-            .filter(|(f, _)| *f == file)
-            .copied()
+            .range((file, 0)..=(file, u64::MAX))
+            .map(|(&k, _)| k)
             .collect();
         keys.iter()
             .map(|k| self.index.remove(k).expect("key collected above"))
             .collect()
     }
 
-    /// Every `(file, offset, frame)` entry, in unspecified order.
+    /// Every `(file, offset, frame)` entry, in ascending `(file, offset)`
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (FileId, u64, Gfn)> + '_ {
         self.index.iter().map(|(&(f, off), &g)| (f, off, g))
     }

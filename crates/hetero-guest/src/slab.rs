@@ -7,7 +7,7 @@
 //! caches carve fixed-size objects out of pages obtained from the page
 //! allocator and release pages back when their last object dies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::page::Gfn;
 
@@ -31,8 +31,10 @@ pub struct SlabCache {
     name: &'static str,
     object_size: u32,
     objects_per_page: u32,
-    /// used-object count per backing page.
-    slabs: HashMap<Gfn, u32>,
+    /// used-object count per backing page. A `BTreeMap` so the bulk
+    /// observations ([`SlabCache::reap`], [`SlabCache::backing_pages`])
+    /// walk pages in frame order, never a per-process hash order.
+    slabs: BTreeMap<Gfn, u32>,
     objects: u64,
     /// LIFO hint stack of pages that may have free slots. Entries are
     /// validated lazily on pop (stale or full entries are skipped), keeping
@@ -65,7 +67,7 @@ impl SlabCache {
             name,
             object_size,
             objects_per_page: page_size / object_size,
-            slabs: HashMap::new(),
+            slabs: BTreeMap::new(),
             objects: 0,
             partial_hint: Vec::new(),
             page_hint: Vec::new(),
@@ -307,7 +309,8 @@ impl SlabCache {
         empty
     }
 
-    /// All backing pages (for migration bookkeeping).
+    /// All backing pages in ascending frame order (for migration
+    /// bookkeeping).
     pub fn backing_pages(&self) -> impl Iterator<Item = Gfn> + '_ {
         self.slabs.keys().copied()
     }

@@ -10,7 +10,7 @@
 //! HeteroOS-LRU to find inactive pages, and if not, swap pages to the
 //! disk").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// State remembered for one swapped-out page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +22,13 @@ pub struct SwapEntry {
 }
 
 /// The swap map: virtual page number → remembered page state.
+///
+/// Backed by a `BTreeMap` so every observation of it — in particular
+/// [`SwapMap::any_vpn`], which picks the next page for bulk swap-in — is
+/// fully determined by the entries themselves. A hash map's iteration
+/// order varies per process and per instance, which let the swap-in order
+/// (and through it, entire multi-VM runs) differ between otherwise
+/// identical executions.
 ///
 /// # Examples
 ///
@@ -36,7 +43,7 @@ pub struct SwapEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SwapMap {
-    entries: HashMap<u64, SwapEntry>,
+    entries: BTreeMap<u64, SwapEntry>,
     /// Pages ever swapped out.
     pub swap_outs: u64,
     /// Pages ever swapped back in.
@@ -92,7 +99,9 @@ impl SwapMap {
         dropped
     }
 
-    /// An arbitrary swapped VPN (for bulk swap-in), or `None` when empty.
+    /// The smallest swapped VPN (for bulk swap-in), or `None` when empty.
+    /// Deterministic: repeated calls over the same entries always walk
+    /// pages in ascending VPN order.
     pub fn any_vpn(&self) -> Option<u64> {
         self.entries.keys().next().copied()
     }

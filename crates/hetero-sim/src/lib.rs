@@ -16,7 +16,9 @@
 //! * [`telemetry`] — a named metrics registry and hierarchical sim-time
 //!   spans for structured observability,
 //! * [`export`] — serde-free JSON/CSV building blocks shared by every
-//!   machine-readable exporter.
+//!   machine-readable exporter,
+//! * [`runner`] — a deterministic parallel executor for independent runs
+//!   (descriptor-order merge, thread-count-independent output).
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@ pub mod clock;
 pub mod events;
 pub mod export;
 pub mod rng;
+pub mod runner;
 pub mod series;
 pub mod stats;
 pub mod telemetry;
@@ -47,6 +50,7 @@ pub mod time;
 pub use clock::{Clock, CostCategory};
 pub use events::{Event, EventKind, EventLog};
 pub use rng::SimRng;
+pub use runner::Runner;
 pub use series::{Series, SeriesSet};
 pub use stats::{Counter, Histogram, RunningStats};
 pub use telemetry::{MetricValue, Registry, SpanId, SpanRecord, SpanTracer, Telemetry};

@@ -148,10 +148,18 @@ impl Histogram {
     /// whose raw upper bound `7` would overshoot every observed value.
     /// Clamping guarantees `percentile(1.0) == max()`.
     ///
-    /// Returns `0` when empty.
+    /// Returns `0` when empty. `percentile(0.0)` anchors at [`min`]
+    /// exactly (the first bucket's upper bound can overshoot the smallest
+    /// sample the same way the last one overshoots the largest), and the
+    /// result is nondecreasing in `q`.
+    ///
+    /// [`min`]: Histogram::min
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
@@ -337,6 +345,44 @@ mod tests {
         }
         assert!(h.percentile(0.1) <= h.percentile(0.5));
         assert!(h.percentile(0.5) <= h.percentile(0.99));
+    }
+
+    #[test]
+    fn histogram_percentile_zero_anchors_at_min() {
+        // A lone sample of 5 sits in bucket [4,8); `percentile(0.0)` used
+        // to return the bucket's upper bound 7 instead of the sample.
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(100);
+        assert_eq!(h.percentile(0.0), h.min());
+        assert_eq!(h.percentile(0.0), 5);
+    }
+
+    #[test]
+    fn histogram_percentile_anchors_and_monotonicity_property() {
+        // Property over random value sets: percentile(0.0) == min(),
+        // percentile(1.0) == max(), and the quantile curve is nondecreasing
+        // in q — including across the q=0 anchor special-case.
+        for trial in 0..64u64 {
+            let mut rng = crate::SimRng::seed_from(trial.wrapping_mul(0x9e37_79b9));
+            let mut h = Histogram::new();
+            for _ in 0..rng.next_range(1, 200) {
+                // Mix magnitudes so samples land in many different buckets.
+                let shift = rng.next_range(0, 40) as u32;
+                h.record(rng.next_range(0, 1 << 20) << shift);
+            }
+            assert_eq!(h.percentile(0.0), h.min(), "trial {trial}");
+            assert_eq!(h.percentile(1.0), h.max(), "trial {trial}");
+            let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            for w in qs.windows(2) {
+                assert!(
+                    h.percentile(w[0]) <= h.percentile(w[1]),
+                    "trial {trial}: percentile({}) > percentile({})",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
     }
 
     #[test]

@@ -170,6 +170,10 @@ impl FairShare {
     /// Dominant share of a guest (Algorithm 1 line 10): the maximum over
     /// tiers of `weight * alloc / total`. Under max-min this degenerates to
     /// the guest's share of total pages.
+    ///
+    /// Zero-capacity tiers contribute share `0` — a single-tier machine
+    /// (e.g. SlowMem total `0`) must yield finite shares, never `NaN` from
+    /// a `0/0` division.
     pub fn dominant_share(&self, id: GuestId) -> f64 {
         let g = &self.guests[&id];
         match &self.policy {
@@ -484,6 +488,83 @@ mod tests {
         let mut fs = FairShare::new(SharePolicy::paper_drf(), totals(10, 10));
         fs.register(GuestId(0), demand(8, 0));
         fs.register(GuestId(1), demand(8, 0));
+    }
+
+    #[test]
+    fn single_tier_machine_yields_finite_shares() {
+        // A machine with no SlowMem at all: the zero-capacity tier must
+        // contribute share 0, not poison the maximum with 0/0 = NaN.
+        let mut fs = FairShare::new(SharePolicy::paper_drf(), totals(100, 0));
+        fs.register(GuestId(0), demand(10, 0));
+        let share = fs.dominant_share(GuestId(0));
+        assert!(share.is_finite(), "share is {share}");
+        assert!((share - 0.2).abs() < 1e-12, "2*10/100, got {share}");
+        // The ordinary request path still works end-to-end on one tier...
+        assert_eq!(fs.request(GuestId(0), demand(20, 0)), Grant::Granted);
+        // ...and demand on the absent tier is denied, not granted by a
+        // NaN comparison falling through.
+        assert_eq!(fs.request(GuestId(0), demand(0, 1)), Grant::Denied);
+
+        // Degenerate zero-capacity machine under max-min: share 0.
+        let mut empty = FairShare::new(SharePolicy::MaxMin, totals(0, 0));
+        empty.register(GuestId(1), KindMap::default());
+        assert_eq!(empty.dominant_share(GuestId(1)), 0.0);
+    }
+
+    #[test]
+    fn reclaim_plans_are_identical_across_registration_histories() {
+        // `request` walks `self.guests` (a HashMap) to build its reclaim
+        // plan. The donor sort's `(share desc, id)` ordering must fully
+        // determine the plan — including between guests whose shares tie
+        // exactly — no matter what internal table layout a particular
+        // register/unregister history produced.
+        use hetero_sim::SimRng;
+        let build_and_request = |seed: u64| -> String {
+            let mut rng = SimRng::seed_from(seed);
+            let mut fs = FairShare::new(SharePolicy::paper_drf(), totals(1000, 1000));
+            // Register and later remove shuffled decoys to perturb the
+            // HashMap's internal layout across seeds.
+            let mut decoys: Vec<u32> = (10..30).collect();
+            for i in (1..decoys.len()).rev() {
+                let j = rng.next_range(0, (i + 1) as u64) as usize;
+                decoys.swap(i, j);
+            }
+            for &d in &decoys {
+                fs.register(GuestId(d), KindMap::default());
+            }
+            let mut order: Vec<u32> = (0..6).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.next_range(0, (i + 1) as u64) as usize;
+                order.swap(i, j);
+            }
+            for &g in &order {
+                fs.register(GuestId(g), demand(10, 10));
+            }
+            for &d in &decoys {
+                fs.unregister(GuestId(d));
+            }
+            // Pairs (0,1), (2,3), (4,5) end with identical allocations, so
+            // their dominant shares tie exactly.
+            for g in 0..6u32 {
+                let extra = 100 + u64::from(g / 2) * 40;
+                assert_eq!(fs.request(GuestId(g), demand(extra, 50)), Grant::Granted);
+            }
+            // FastMem is now 900/1000 consumed; 150 more forces a reclaim
+            // plan chosen among the tied donors.
+            match fs.request(GuestId(0), demand(150, 0)) {
+                Grant::NeedsReclaim(plan) => format!("{plan:?}"),
+                other => panic!("expected a reclaim plan, got {other:?}"),
+            }
+        };
+        let reference = build_and_request(0);
+        assert!(reference.contains("Fast"), "plan is vacuous: {reference}");
+        for seed in 1..16u64 {
+            assert_eq!(
+                build_and_request(seed),
+                reference,
+                "seed {seed}: reclaim plan depends on registration history"
+            );
+        }
     }
 
     #[test]

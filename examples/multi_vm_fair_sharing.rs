@@ -21,6 +21,7 @@ fn main() {
     let opts = ExpOptions {
         quick: true,
         seed: 42,
+        jobs: 1,
     };
     let cfg = SimConfig::paper_default()
         .with_fast_bytes(4 * GB)

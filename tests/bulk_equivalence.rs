@@ -10,6 +10,7 @@
 //! comparison the repo makes.
 
 use heteroos::core::{Policy, SimConfig, SingleVmSim};
+use heteroos::sim::Runner;
 use heteroos::workloads::{apps, AppWorkload};
 
 const SEEDS: [u64; 6] = [7, 11, 42, 100, 555, 9001];
@@ -48,21 +49,31 @@ fn run_once(policy: Policy, seed: u64, bulk: bool) -> (String, String) {
 
 #[test]
 fn bulk_and_scalar_paths_are_byte_identical() {
+    // The 6×6 policy × seed matrix is independent cells; spread it over
+    // the deterministic runner (results come back in descriptor order, so
+    // failure messages still name the first diverging cell).
+    let cells: Vec<(Policy, u64)> = POLICIES
+        .iter()
+        .flat_map(|&p| SEEDS.iter().map(move |&s| (p, s)))
+        .collect();
+    let results = Runner::new(0).run(cells.clone(), |(policy, seed)| {
+        let scalar = run_once(policy, seed, false);
+        let bulk = run_once(policy, seed, true);
+        (scalar, bulk)
+    });
     let mut any_events = false;
-    for policy in POLICIES {
-        for seed in SEEDS {
-            let (scalar_report, scalar_events) = run_once(policy, seed, false);
-            let (bulk_report, bulk_events) = run_once(policy, seed, true);
-            assert_eq!(
-                scalar_report, bulk_report,
-                "{policy:?} seed {seed}: RunReport diverged"
-            );
-            any_events |= !scalar_events.is_empty();
-            assert_eq!(
-                scalar_events, bulk_events,
-                "{policy:?} seed {seed}: event log diverged"
-            );
-        }
+    for (&(policy, seed), ((scalar_report, scalar_events), (bulk_report, bulk_events))) in
+        cells.iter().zip(&results)
+    {
+        assert_eq!(
+            scalar_report, bulk_report,
+            "{policy:?} seed {seed}: RunReport diverged"
+        );
+        any_events |= !scalar_events.is_empty();
+        assert_eq!(
+            scalar_events, bulk_events,
+            "{policy:?} seed {seed}: event log diverged"
+        );
     }
     assert!(
         any_events,

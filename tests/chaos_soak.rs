@@ -24,7 +24,7 @@ use heteroos::guest::kswapd::Kswapd;
 use heteroos::guest::page::PageType;
 use heteroos::guest::pagecache::FileId;
 use heteroos::mem::{MachineMemory, MemKind, ThrottleConfig};
-use heteroos::sim::SimRng;
+use heteroos::sim::{Runner, SimRng};
 use heteroos::vmm::channel::{BackMsg, FrontMsg};
 use heteroos::vmm::drf::GuestId;
 use heteroos::vmm::vmm::{GuestSpec, Vmm, VmmError};
@@ -32,6 +32,15 @@ use heteroos::vmm::SharePolicy;
 use heteroos::workloads::{apps, AppWorkload};
 
 const SEEDS: std::ops::Range<u64> = 100..109;
+
+/// Runs `f` for every soak seed on the deterministic parallel runner and
+/// returns `(seed, result)` pairs in seed order. Each harness is a pure
+/// function of its seed, so the seeds are independent units of work.
+fn per_seed<T: Send>(f: impl Fn(u64) -> T + Sync) -> Vec<(u64, T)> {
+    let seeds: Vec<u64> = SEEDS.collect();
+    let results = Runner::new(0).run(seeds.clone(), f);
+    seeds.into_iter().zip(results).collect()
+}
 
 // ------------------------------------------------------------ engine soak
 
@@ -65,10 +74,10 @@ fn engine_soak_with(seed: u64, bulk_ops: bool) -> String {
 #[test]
 fn engine_survives_fault_plans_with_clean_invariants() {
     let mut any_faults = false;
-    for seed in SEEDS {
-        let trace = engine_soak_once(seed);
+    for (seed, (trace, again)) in
+        per_seed(|seed| (engine_soak_once(seed), engine_soak_once(seed)))
+    {
         any_faults |= !trace.is_empty();
-        let again = engine_soak_once(seed);
         assert_eq!(
             trace, again,
             "seed {seed}: fault trace must be byte-identical across reruns"
@@ -86,10 +95,11 @@ fn bulk_dispatch_preserves_fault_traces_exactly() {
     // injector's decisions key off step/draw order, so a byte-identical
     // trace under both dispatch modes proves the bulk path preserves the
     // engine's exact operation sequence even while faults degrade it.
-    for seed in SEEDS {
+    for (seed, (bulk, scalar)) in
+        per_seed(|seed| (engine_soak_with(seed, true), engine_soak_with(seed, false)))
+    {
         assert_eq!(
-            engine_soak_with(seed, true),
-            engine_soak_with(seed, false),
+            bulk, scalar,
             "seed {seed}: bulk vs scalar fault trace diverged"
         );
     }
@@ -159,15 +169,15 @@ fn kernel_soak_once(seed: u64) -> String {
 
 #[test]
 fn kernel_books_balance_under_heavy_faults() {
-    for seed in SEEDS {
-        let trace = kernel_soak_once(seed);
+    for (seed, (trace, again)) in
+        per_seed(|seed| (kernel_soak_once(seed), kernel_soak_once(seed)))
+    {
         assert!(
             !trace.is_empty(),
             "seed {seed}: the heavy plan should inject faults"
         );
         assert_eq!(
-            trace,
-            kernel_soak_once(seed),
+            trace, again,
             "seed {seed}: fault trace must be byte-identical across reruns"
         );
     }
@@ -265,12 +275,10 @@ fn vmm_soak_once(seed: u64) -> String {
 #[test]
 fn vmm_ledgers_survive_ring_faults_and_crash_restarts() {
     let mut any_restart = false;
-    for seed in SEEDS {
-        let trace = vmm_soak_once(seed);
+    for (seed, (trace, again)) in per_seed(|seed| (vmm_soak_once(seed), vmm_soak_once(seed))) {
         any_restart |= !trace.starts_with("restarts=0");
         assert_eq!(
-            trace,
-            vmm_soak_once(seed),
+            trace, again,
             "seed {seed}: fault trace must be byte-identical across reruns"
         );
     }

@@ -412,3 +412,23 @@ fn slab_object_accounting_is_exact() {
         }
     }
 }
+
+/// Send audit for the parallel runner: every type a runner job produces or
+/// owns must cross thread boundaries. A compile error here means someone
+/// introduced interior mutability (Rc/RefCell/raw pointers) into the
+/// simulation state, which would silently forbid parallel execution.
+#[test]
+fn simulation_state_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<heteroos::core::SingleVmSim>();
+    assert_send::<heteroos::core::multivm::MultiVmSim>();
+    assert_send::<heteroos::core::RunReport>();
+    assert_send::<heteroos::core::SimConfig>();
+    assert_send::<GuestKernel>();
+    assert_send::<heteroos::vmm::vmm::Vmm>();
+    assert_send::<FairShare>();
+    assert_send::<heteroos::faults::FaultInjector>();
+    assert_send::<heteroos::sim::telemetry::Telemetry>();
+    assert_send::<heteroos::sim::SeriesSet>();
+    assert_send::<SimRng>();
+}

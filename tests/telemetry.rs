@@ -9,6 +9,7 @@
 //! themselves.
 
 use heteroos::core::{Policy, SimConfig, SingleVmSim};
+use heteroos::sim::Runner;
 use heteroos::workloads::{apps, AppWorkload};
 
 const SEEDS: [u64; 4] = [7, 42, 555, 9001];
@@ -46,21 +47,28 @@ fn run_once(policy: Policy, seed: u64, telemetry: bool) -> (String, String, Opti
 
 #[test]
 fn telemetry_on_and_off_are_byte_identical() {
-    for policy in POLICIES {
-        for seed in SEEDS {
-            let (off_report, off_events, off_snap) = run_once(policy, seed, false);
-            let (on_report, on_events, on_snap) = run_once(policy, seed, true);
-            assert!(off_snap.is_none(), "telemetry-off run produced a snapshot");
-            assert!(on_snap.is_some(), "telemetry-on run produced no snapshot");
-            assert_eq!(
-                off_report, on_report,
-                "{policy:?} seed {seed}: RunReport diverged"
-            );
-            assert_eq!(
-                off_events, on_events,
-                "{policy:?} seed {seed}: event log diverged"
-            );
-        }
+    // Independent 4×4 policy × seed matrix — spread it over the
+    // deterministic runner; results come back in descriptor order.
+    let cells: Vec<(Policy, u64)> = POLICIES
+        .iter()
+        .flat_map(|&p| SEEDS.iter().map(move |&s| (p, s)))
+        .collect();
+    let results = Runner::new(0).run(cells.clone(), |(policy, seed)| {
+        (run_once(policy, seed, false), run_once(policy, seed, true))
+    });
+    for (&(policy, seed), ((off_report, off_events, off_snap), (on_report, on_events, on_snap))) in
+        cells.iter().zip(&results)
+    {
+        assert!(off_snap.is_none(), "telemetry-off run produced a snapshot");
+        assert!(on_snap.is_some(), "telemetry-on run produced no snapshot");
+        assert_eq!(
+            off_report, on_report,
+            "{policy:?} seed {seed}: RunReport diverged"
+        );
+        assert_eq!(
+            off_events, on_events,
+            "{policy:?} seed {seed}: event log diverged"
+        );
     }
 }
 
