@@ -1,17 +1,23 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--jobs N] [--json-out DIR] <target>...
+//! repro [--quick] [--seed N] [--jobs N] [--audit LEVEL] [--json-out DIR] <target>...
 //! repro all                      # every table and figure
 //! repro ablations                # the design-choice ablations
 //! repro fig9 fig10               # specific targets
 //! repro --json-out out/ all      # also write machine-readable exports
 //! repro --jobs 8 all             # spread runs over 8 OS threads
+//! repro --audit epoch fig9       # cross-check invariants every epoch
 //! ```
 //!
 //! `--jobs N` spreads the work over `N` OS threads (default: available
 //! parallelism; `--jobs 1` forces sequential). Output is byte-identical
 //! for every job count — parallelism only changes the wall-clock.
+//!
+//! `--audit LEVEL` (`off`, `epoch` or `paranoid`) runs the invariant
+//! sanitizer and shadow reference model over every simulation. Auditing is
+//! observational — exports stay byte-identical — but any violation makes
+//! the offending run panic instead of silently reporting wrong numbers.
 //!
 //! With `--json-out DIR`, every target additionally writes machine-readable
 //! files into `DIR`: `<target>.json` for all targets, plus `<target>.csv`
@@ -80,6 +86,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--audit" => match args.next().map(|s| s.parse()) {
+                Some(Ok(level)) => opts.audit = level,
+                Some(Err(e)) => {
+                    eprintln!("--audit: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--audit requires a level (off, epoch or paranoid)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--json-out" => match args.next() {
                 Some(dir) => json_out = Some(PathBuf::from(dir)),
                 None => {
@@ -92,8 +109,10 @@ fn main() -> ExitCode {
             "extensions" => targets.extend(EXTENSIONS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--seed N] [--jobs N] [--json-out DIR] <target>..."
+                    "usage: repro [--quick] [--seed N] [--jobs N] [--audit LEVEL] \
+                     [--json-out DIR] <target>..."
                 );
+                println!("audit levels: off epoch paranoid");
                 println!("targets: all ablations extensions {}", TARGETS.join(" "));
                 println!("         {} {}", ABLATIONS.join(" "), EXTENSIONS.join(" "));
                 return ExitCode::SUCCESS;

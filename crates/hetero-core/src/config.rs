@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use hetero_faults::AuditLevel;
 use hetero_mem::{CostModel, LlcModel, ThrottleConfig};
 use hetero_sim::Nanos;
 
@@ -114,7 +115,17 @@ pub struct SimConfig {
     /// collecting typed violation reports (`SingleVmSim::violations`).
     /// Costs a full memmap walk per step — meant for chaos/fault runs and
     /// debugging, not performance experiments.
+    ///
+    /// Legacy switch: equivalent to `audit = AuditLevel::Epoch` (see
+    /// [`SimConfig::effective_audit`]); kept so chaos harnesses that only
+    /// *collect* violations keep working unchanged.
     pub audit_invariants: bool,
+    /// Invariant-sanitizer level (`Off`/`Epoch`/`Paranoid`). Observational
+    /// only — every exported byte (report, traces, telemetry) is identical
+    /// across levels; non-`Off` levels make `SingleVmSim::run` and
+    /// `MultiVmSim::run` panic on the first violation instead of silently
+    /// continuing.
+    pub audit: AuditLevel,
     /// Collect structured telemetry — a named metrics registry plus
     /// hierarchical sim-time spans (`SingleVmSim::telemetry`). Purely
     /// observational: RNG draw order, clock charges, the `RunReport` and
@@ -166,6 +177,7 @@ impl SimConfig {
             app_hints: false,
             bulk_ops: true,
             audit_invariants: false,
+            audit: AuditLevel::Off,
             telemetry: false,
         }
     }
@@ -222,6 +234,24 @@ impl SimConfig {
     pub fn with_audit_invariants(mut self, on: bool) -> Self {
         self.audit_invariants = on;
         self
+    }
+
+    /// Sets the invariant-sanitizer level.
+    pub fn with_audit(mut self, level: AuditLevel) -> Self {
+        self.audit = level;
+        self
+    }
+
+    /// The level the sanitizer actually runs at: `audit` when set, else
+    /// `Epoch` when the legacy `audit_invariants` flag is on, else `Off`.
+    pub fn effective_audit(&self) -> AuditLevel {
+        if self.audit != AuditLevel::Off {
+            self.audit
+        } else if self.audit_invariants {
+            AuditLevel::Epoch
+        } else {
+            AuditLevel::Off
+        }
     }
 
     /// Toggles structured telemetry (metrics registry + spans).
@@ -316,5 +346,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_ratio_rejected() {
         SimConfig::paper_default().with_capacity_ratio(0, 8);
+    }
+
+    #[test]
+    fn effective_audit_unifies_legacy_flag() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.effective_audit(), AuditLevel::Off);
+        assert_eq!(
+            c.clone().with_audit_invariants(true).effective_audit(),
+            AuditLevel::Epoch
+        );
+        assert_eq!(
+            c.clone().with_audit(AuditLevel::Paranoid).effective_audit(),
+            AuditLevel::Paranoid
+        );
+        // The explicit level wins over the legacy flag.
+        assert_eq!(
+            c.with_audit_invariants(true)
+                .with_audit(AuditLevel::Paranoid)
+                .effective_audit(),
+            AuditLevel::Paranoid
+        );
     }
 }

@@ -15,7 +15,7 @@
 //! The result is a [`RunReport`]; slowdowns and gains come from comparing
 //! reports across policies, exactly as the paper compares runs.
 
-use hetero_faults::{audit_kernel, FaultInjector, Violation};
+use hetero_faults::{AuditLevel, EpochCosts, FaultInjector, Sanitizer, Violation};
 use hetero_guest::kernel::{AllocFailed, GuestConfig, MigrateError};
 use hetero_guest::page::{Gfn, Page, PageType};
 use hetero_guest::pagecache::FileId;
@@ -150,6 +150,16 @@ pub struct SingleVmSim<W: Workload = AppWorkload> {
     /// Invariant violations found by the per-step auditor
     /// (`SimConfig::audit_invariants`).
     violations: Vec<Violation>,
+    /// The layered sanitizer, present when `SimConfig::effective_audit`
+    /// is not `Off`. Observational only: it never draws randomness,
+    /// charges the clock, or mutates guest state.
+    sanitizer: Option<Sanitizer>,
+    /// The engine's own running tally of migrations it successfully
+    /// requested (every `charge_migration` call site). The sanitizer's
+    /// differential oracle demands this equals `kernel.migrations` after
+    /// every epoch — the engine may never charge for a migration the
+    /// kernel didn't perform, nor the kernel move a page unbilled.
+    migrations_tallied: u64,
 }
 
 impl<W: Workload> SingleVmSim<W> {
@@ -245,6 +255,11 @@ impl<W: Workload> SingleVmSim<W> {
             degraded: false,
             storm_factor: 1.0,
             violations: Vec::new(),
+            sanitizer: {
+                let level = cfg.effective_audit();
+                level.is_enabled().then(|| Sanitizer::new(level))
+            },
+            migrations_tallied: 0,
             kernel,
             workload,
             cfg,
@@ -317,9 +332,10 @@ impl<W: Workload> SingleVmSim<W> {
         self.injector.as_ref()
     }
 
-    /// Violations found by the per-step invariant auditor. Empty unless
-    /// `SimConfig::audit_invariants` is set — and, if the kernel is
-    /// healthy, empty even then.
+    /// Violations found by the invariant sanitizer. Empty unless
+    /// `SimConfig::effective_audit` enables it — and, if the stack is
+    /// healthy, empty even then. Stepping manually only *collects*
+    /// violations; [`SingleVmSim::run`] is what fails loudly on them.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
     }
@@ -519,10 +535,49 @@ impl<W: Workload> SingleVmSim<W> {
         if self.telemetry.is_some() {
             self.sample_telemetry(epoch_start);
         }
-        if self.cfg.audit_invariants {
-            self.violations.extend(audit_kernel(&self.kernel));
-        }
+        self.audit_epoch();
         true
+    }
+
+    /// Runs every per-epoch sanitizer layer (no-op when auditing is off).
+    /// The sanitizer is taken out of its slot for the call so it can borrow
+    /// the kernel and tracker immutably while mutating its own state.
+    fn audit_epoch(&mut self) {
+        let Some(mut sanitizer) = self.sanitizer.take() else {
+            return;
+        };
+        let swap = self.kernel.swap_map();
+        let counters = [
+            ("epochs", self.epochs),
+            ("scans", self.scans),
+            ("scanned_pages", self.scanned_pages),
+            ("kernel_migrations", self.kernel.migrations),
+            ("swap_outs", swap.swap_outs),
+            ("swap_ins", swap.swap_ins),
+            ("tracker_scans", self.tracker.total_scans()),
+            ("tracker_scanned_frames", self.tracker.total_scanned_frames()),
+        ];
+        let costs = EpochCosts {
+            epoch: self.epochs,
+            now_ns: self.clock.now().as_nanos(),
+            attributed_ns: self.clock.attributed().as_nanos(),
+            engine_migrations: self.migrations_tallied,
+            counters: &counters,
+        };
+        self.violations
+            .extend(sanitizer.check_epoch(&self.kernel, Some(&self.tracker), &costs));
+        self.sanitizer = Some(sanitizer);
+    }
+
+    /// `Paranoid` only: validates the scan outcome sitting in
+    /// `scan_scratch` at the moment the scan produced it, before the
+    /// epoch's migrations consume the candidates.
+    fn audit_scan_outcome(&mut self) {
+        let Some(sanitizer) = self.sanitizer.as_ref() else {
+            return;
+        };
+        let found = sanitizer.check_scan_outcome(&self.kernel, &self.scan_scratch);
+        self.violations.extend(found);
     }
 
     /// Samples the cumulative subsystem counters into the telemetry
@@ -561,8 +616,29 @@ impl<W: Workload> SingleVmSim<W> {
     }
 
     /// Runs to completion and produces the report.
+    ///
+    /// # Panics
+    ///
+    /// With an explicit `SimConfig::audit` level set (not the legacy
+    /// collect-only `audit_invariants` flag), panics on the first run whose
+    /// sanitizer found any violation, listing every one. The run itself is
+    /// driven to completion first, so the panic message reflects the whole
+    /// violation history, not just the first epoch's.
     pub fn run(mut self) -> RunReport {
         while self.step() {}
+        if self.cfg.audit != AuditLevel::Off && !self.violations.is_empty() {
+            let mut msg = format!(
+                "invariant sanitizer ({} level) found {} violation(s) in policy {} run:",
+                self.cfg.audit,
+                self.violations.len(),
+                self.policy.name(),
+            );
+            for v in &self.violations {
+                msg.push_str("\n  - ");
+                msg.push_str(&v.to_string());
+            }
+            panic!("{msg}");
+        }
         self.report()
     }
 
@@ -1225,6 +1301,7 @@ impl<W: Workload> SingleVmSim<W> {
         if sim_pages == 0 {
             return;
         }
+        self.migrations_tallied += sim_pages;
         let real = self.cfg.real_pages(sim_pages);
         let walk = self
             .cfg
@@ -1357,6 +1434,7 @@ impl<W: Workload> SingleVmSim<W> {
             move |p: &Page| rng.chance(Self::touch_probability(interval, p));
         self.tracker
             .scan_full_into(&self.kernel, &mut oracle, batch, &mut self.scan_scratch);
+        self.audit_scan_outcome();
         let scanned = self.scan_scratch.scanned;
         self.charge_scan(scanned);
         let (hot_n, cold_n) = (
@@ -1474,6 +1552,7 @@ impl<W: Workload> SingleVmSim<W> {
             self.tracker
                 .scan_full_into(&self.kernel, &mut oracle, batch, &mut self.scan_scratch);
         }
+        self.audit_scan_outcome();
         let scanned = self.scan_scratch.scanned;
         self.charge_scan(scanned);
         let hot_n = self.scan_scratch.hot_candidates.len();

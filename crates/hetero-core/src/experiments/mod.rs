@@ -8,6 +8,7 @@
 //! [`ExpOptions::quick`] shortens every run ~8× for tests and benches; the
 //! published numbers use the full-length runs.
 
+use hetero_faults::AuditLevel;
 use hetero_sim::Runner;
 use hetero_workloads::WorkloadSpec;
 
@@ -38,6 +39,10 @@ pub struct ExpOptions {
     /// output is byte-identical for any value — the default of `1` keeps
     /// library users sequential unless they opt in.
     pub jobs: usize,
+    /// Invariant-sanitizer level applied to every run a driver launches.
+    /// Observational (results are byte-identical at any level), but a
+    /// violation makes the offending run panic instead of reporting.
+    pub audit: AuditLevel,
 }
 
 impl Default for ExpOptions {
@@ -46,6 +51,7 @@ impl Default for ExpOptions {
             quick: false,
             seed: 42,
             jobs: 1,
+            audit: AuditLevel::Off,
         }
     }
 }
@@ -62,6 +68,12 @@ impl ExpOptions {
     /// Sets the worker-thread count (`0` = available parallelism).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the invariant-sanitizer level for every run.
+    pub fn with_audit(mut self, audit: AuditLevel) -> Self {
+        self.audit = audit;
         self
     }
 

@@ -38,5 +38,6 @@ pub mod policy;
 
 pub use config::SimConfig;
 pub use engine::{run_app, SingleVmSim};
+pub use hetero_faults::AuditLevel;
 pub use metrics::RunReport;
 pub use policy::{Policy, Tracking};

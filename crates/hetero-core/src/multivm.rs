@@ -8,6 +8,8 @@
 //! exactly the failure mode the paper demonstrates for single-resource
 //! max-min in §5.5.
 
+use hetero_faults::{audit_fair_share, AuditLevel, Violation};
+use hetero_guest::GuestKernel;
 use hetero_mem::kind::KindMap;
 use hetero_mem::MemKind;
 use hetero_sim::Nanos;
@@ -66,6 +68,9 @@ pub struct MultiVmSim {
     cfg: SimConfig,
     fair: FairShare,
     vms: Vec<VmState>,
+    /// Machine tier sizes (simulated pages) — the conservation target the
+    /// fair-share ledger is audited against.
+    totals: KindMap<u64>,
 }
 
 impl MultiVmSim {
@@ -113,12 +118,48 @@ impl MultiVmSim {
                 done: false,
             });
         }
-        MultiVmSim { cfg, fair, vms }
+        MultiVmSim {
+            cfg,
+            fair,
+            vms,
+            totals,
+        }
     }
 
     /// Runs every VM to completion, co-scheduled by simulated time, and
     /// returns their reports in setup order.
-    pub fn run(mut self) -> Vec<RunReport> {
+    ///
+    /// # Panics
+    ///
+    /// With an explicit `SimConfig::audit` level set, panics if the run
+    /// produced any violation — in the fair-share ledger or inside any
+    /// guest's own sanitizer. Use [`MultiVmSim::run_audited`] to inspect
+    /// violations without panicking.
+    pub fn run(self) -> Vec<RunReport> {
+        let audit = self.cfg.audit;
+        let (reports, violations) = self.run_audited();
+        if audit != AuditLevel::Off && !violations.is_empty() {
+            let mut msg = format!(
+                "invariant sanitizer ({} level) found {} violation(s) in multi-VM run:",
+                audit,
+                violations.len(),
+            );
+            for v in &violations {
+                msg.push_str("\n  - ");
+                msg.push_str(&v.to_string());
+            }
+            panic!("{msg}");
+        }
+        reports
+    }
+
+    /// As [`MultiVmSim::run`], additionally returning every violation found
+    /// (always empty when `SimConfig::effective_audit` is `Off`): the
+    /// machine-level ledger conservation checks run after each scheduling
+    /// step, followed by each guest's own collected violations.
+    pub fn run_audited(mut self) -> (Vec<RunReport>, Vec<Violation>) {
+        let audited = self.cfg.effective_audit().is_enabled();
+        let mut violations = Vec::new();
         loop {
             // Advance the VM that is furthest behind in simulated time —
             // round-robin co-scheduling on the shared host.
@@ -133,11 +174,29 @@ impl MultiVmSim {
             if !self.vms[i].sim.step() {
                 self.vms[i].done = true;
                 self.release_all(i);
-                continue;
+            } else {
+                self.grow_if_pressured(i);
             }
-            self.grow_if_pressured(i);
+            if audited {
+                self.audit_ledger(&mut violations);
+            }
         }
-        self.vms.iter().map(|v| v.sim.report()).collect()
+        let reports = self.vms.iter().map(|v| v.sim.report()).collect();
+        for vm in &self.vms {
+            violations.extend_from_slice(vm.sim.violations());
+        }
+        (reports, violations)
+    }
+
+    /// One pass of the machine-level conservation audit: per-guest grants
+    /// vs. what each kernel owns, and grants + free pool vs. tier totals.
+    fn audit_ledger(&self, out: &mut Vec<Violation>) {
+        let guests: Vec<(GuestId, &GuestKernel)> = self
+            .vms
+            .iter()
+            .map(|v| (v.id, v.sim.kernel()))
+            .collect();
+        out.extend(audit_fair_share(&self.fair, &guests, &self.totals));
     }
 
     /// A finished VM returns everything above its minimum so others can
@@ -222,12 +281,16 @@ impl MultiVmSim {
         }
     }
 
-    /// Total simulated time of the longest-running VM.
-    pub fn makespan(reports: &[RunReport]) -> Nanos {
-        reports
-            .iter()
-            .map(|r| r.runtime)
-            .fold(Nanos::ZERO, Nanos::max)
+    /// Total simulated time of the longest-running VM, or `None` for an
+    /// empty report set.
+    ///
+    /// Returning `Option` (rather than the old `Nanos::ZERO`) keeps the
+    /// degenerate case out of downstream ratio helpers: a zero makespan
+    /// fed into `RunReport::gain_percent_vs`-style comparisons reads as a
+    /// *real* instantaneous runtime and silently produces 0% gains, which
+    /// is indistinguishable from "no improvement".
+    pub fn makespan(reports: &[RunReport]) -> Option<Nanos> {
+        reports.iter().map(|r| r.runtime).max()
     }
 
     /// Convenience accessor for the shared configuration.
@@ -344,8 +407,35 @@ mod tests {
             paper_setups(),
         )
         .run();
-        let m = MultiVmSim::makespan(&reports);
+        let m = MultiVmSim::makespan(&reports).expect("two reports");
         assert!(reports.iter().all(|r| r.runtime <= m));
         assert!(reports.iter().any(|r| r.runtime == m));
+    }
+
+    #[test]
+    fn makespan_of_nothing_is_none() {
+        assert_eq!(MultiVmSim::makespan(&[]), None);
+    }
+
+    #[test]
+    fn audited_run_matches_unaudited_and_is_clean() {
+        let plain = MultiVmSim::new(
+            host_cfg(),
+            SharePolicy::paper_drf(),
+            Policy::HeteroCoordinated,
+            paper_setups(),
+        )
+        .run();
+        let (audited, violations) = MultiVmSim::new(
+            host_cfg().with_audit(hetero_faults::AuditLevel::Epoch),
+            SharePolicy::paper_drf(),
+            Policy::HeteroCoordinated,
+            paper_setups(),
+        )
+        .run_audited();
+        assert_eq!(violations, Vec::new(), "multi-VM stack must audit clean");
+        for (a, b) in plain.iter().zip(audited.iter()) {
+            assert_eq!(a.to_json(), b.to_json(), "audit must not perturb runs");
+        }
     }
 }

@@ -117,6 +117,116 @@ pub enum Violation {
         /// Machine tier size.
         total: u64,
     },
+    /// The hotness tracker's O(1) tracked-page count disagrees with its
+    /// known-bit table.
+    TrackerAccounting {
+        /// The tracker's cached count.
+        tracked: u64,
+        /// Known bits actually set in the table.
+        known: u64,
+    },
+    /// The hotness tracker knows a frame beyond the guest's frame space.
+    TrackerOutOfRange {
+        /// The out-of-range frame.
+        gfn: Gfn,
+        /// The guest's configured frame count.
+        total_frames: u64,
+    },
+    /// A hotness scan emitted a candidate that violates the scan contract
+    /// (wrong tier, not present, or not migratable at emission time).
+    ScanCandidate {
+        /// The offending candidate.
+        gfn: Gfn,
+        /// Whether it was emitted as a hot (promotion) candidate.
+        hot: bool,
+        /// What the contract check found.
+        reason: &'static str,
+    },
+    /// The page-cache index size disagrees with the number of resident
+    /// file-backed pages (the index must be a bijection onto them).
+    PageCacheCount {
+        /// Entries in the page-cache index.
+        indexed: u64,
+        /// Resident `PageCache`/`BufferCache` pages in the memmap.
+        resident: u64,
+    },
+    /// A slab cache's backing-page set disagrees with memmap residency.
+    SlabAccounting {
+        /// The slab class name.
+        class: &'static str,
+        /// Backing pages the slab cache tracks.
+        backing: u64,
+        /// Resident pages of the class's page type in the memmap.
+        resident: u64,
+    },
+    /// A swapped-out virtual page is still mapped in the page table
+    /// (swap-out must unmap before the frame is freed).
+    SwapResidency {
+        /// The doubly-resident virtual page number.
+        vpn: u64,
+    },
+    /// The memmap's incremental residency counters disagree with a naive
+    /// full walk of the page-descriptor array (shadow reference model).
+    ResidencyDrift {
+        /// Page type of the bucket.
+        page_type: PageType,
+        /// Tier of the bucket.
+        kind: MemKind,
+        /// Which counter drifted (`"pages"`, `"heat"`, `"write_heat"`).
+        field: &'static str,
+        /// The incremental counter's value.
+        tracked: u64,
+        /// The full walk's recount.
+        walked: u64,
+    },
+    /// The allocator's free-frame total disagrees with a naive recount of
+    /// non-present frames (shadow reference model).
+    FreeFrameDrift {
+        /// Tier checked.
+        kind: MemKind,
+        /// `free_frames()` (buddy + per-CPU caches).
+        free: u64,
+        /// Non-present frames found by the walk.
+        walked: u64,
+    },
+    /// Per-category cost attribution does not sum to the simulated runtime.
+    CostConservation {
+        /// The clock's current time, in nanoseconds.
+        now_ns: u64,
+        /// The sum of every category's attributed time, in nanoseconds.
+        attributed_ns: u64,
+    },
+    /// A cumulative run counter regressed between audited epochs.
+    CounterRegression {
+        /// Which counter regressed.
+        name: &'static str,
+        /// Its value at the previous audit.
+        prev: u64,
+        /// Its (smaller) value now.
+        now: u64,
+    },
+    /// The guest kernel's migration counter moved by a different amount
+    /// than the engine's own tally of migrations it requested.
+    MigrationDelta {
+        /// Epoch at which the delta was checked.
+        epoch: u64,
+        /// Migrations the engine believes it performed (cumulative).
+        engine: u64,
+        /// Migrations the kernel counted (cumulative).
+        kernel: u64,
+    },
+    /// The fair-share ledger's allocations plus free pool do not cover the
+    /// machine tier exactly (multi-VM).
+    LedgerConservation {
+        /// Tier checked.
+        kind: MemKind,
+        /// Pages allocated to guests by the ledger.
+        allocated: u64,
+        /// Pages the ledger holds free.
+        free: u64,
+        /// Machine tier size.
+        total: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -185,6 +295,74 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "{kind}: machine free {free} + backed {backed} != total {total}"
+            ),
+            Violation::TrackerAccounting { tracked, known } => write!(
+                f,
+                "hotness tracker counts {tracked} tracked but {known} known bits set"
+            ),
+            Violation::TrackerOutOfRange { gfn, total_frames } => write!(
+                f,
+                "hotness tracker knows {gfn:?} beyond the guest's {total_frames} frames"
+            ),
+            Violation::ScanCandidate { gfn, hot, reason } => {
+                let class = if *hot { "hot" } else { "cold" };
+                write!(f, "scan emitted {class} candidate {gfn:?}: {reason}")
+            }
+            Violation::PageCacheCount { indexed, resident } => write!(
+                f,
+                "page cache indexes {indexed} entries but {resident} file pages resident"
+            ),
+            Violation::SlabAccounting {
+                class,
+                backing,
+                resident,
+            } => write!(
+                f,
+                "slab {class}: {backing} backing pages but {resident} resident in memmap"
+            ),
+            Violation::SwapResidency { vpn } => {
+                write!(f, "vpn {vpn:#x} is on swap but still mapped")
+            }
+            Violation::ResidencyDrift {
+                page_type,
+                kind,
+                field,
+                tracked,
+                walked,
+            } => write!(
+                f,
+                "{kind}/{page_type:?} {field}: incremental {tracked} but walk found {walked}"
+            ),
+            Violation::FreeFrameDrift { kind, free, walked } => write!(
+                f,
+                "{kind}: allocator reports {free} free but walk found {walked} non-present"
+            ),
+            Violation::CostConservation {
+                now_ns,
+                attributed_ns,
+            } => write!(
+                f,
+                "clock at {now_ns} ns but only {attributed_ns} ns attributed to categories"
+            ),
+            Violation::CounterRegression { name, prev, now } => {
+                write!(f, "counter {name} regressed from {prev} to {now}")
+            }
+            Violation::MigrationDelta {
+                epoch,
+                engine,
+                kernel,
+            } => write!(
+                f,
+                "epoch {epoch}: engine tallied {engine} migrations but kernel counted {kernel}"
+            ),
+            Violation::LedgerConservation {
+                kind,
+                allocated,
+                free,
+                total,
+            } => write!(
+                f,
+                "{kind}: ledger allocated {allocated} + free {free} != total {total}"
             ),
         }
     }

@@ -14,7 +14,13 @@
 //!   channel faults,
 //! * [`audit`] — the invariant auditor cross-checking global frame
 //!   accounting (VMM grants vs. guest buddy counts vs. LRU/pagecache
-//!   membership), returning typed [`Violation`] reports.
+//!   membership), returning typed [`Violation`] reports,
+//! * [`sanitize`] — the layered cross-stack [`Sanitizer`] run behind
+//!   [`AuditLevel`]s: tracker vs. memmap, swap/slab/page-cache residency,
+//!   cost conservation, counter monotonicity and a migration differential,
+//! * [`shadow`] — the naive full-walk reference model ([`ShadowModel`])
+//!   the sanitizer uses as its differential oracle for incremental
+//!   residency and free-frame accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,8 +29,12 @@ pub mod audit;
 pub mod inject;
 pub mod plan;
 pub mod retry;
+pub mod sanitize;
+pub mod shadow;
 
 pub use audit::{audit_kernel, audit_vmm, Violation};
 pub use inject::{FaultInjector, FaultRecord, FaultSite, FaultTrace, RingAction};
 pub use plan::{FaultKind, FaultPlan};
 pub use retry::{retry_with_backoff, Backoff, RetryExhausted};
+pub use sanitize::{audit_fair_share, audit_residency, audit_tracker, AuditLevel, EpochCosts, Sanitizer};
+pub use shadow::ShadowModel;

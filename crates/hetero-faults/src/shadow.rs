@@ -1,0 +1,224 @@
+//! The shadow reference model: a deliberately naive recount of guest
+//! memory state.
+//!
+//! The engine and guest kernel keep *incremental* accounting — per-bucket
+//! residency counters updated on every allocation, free, and migration,
+//! and per-tier free totals split across a buddy allocator and per-CPU
+//! caches. Incremental state is exactly what drifts when a code path
+//! forgets a counter update (e.g. mutating page state through
+//! [`hetero_guest::memmap::MemMap::page_mut`] without the `set_*`
+//! helpers).
+//!
+//! The shadow model is the differential oracle for that state: it rebuilds
+//! the same totals the *slow, obvious* way — one full walk over every page
+//! descriptor, aggregating into plain maps, no caching, no increments —
+//! and demands exact agreement. It shares no code with the incremental
+//! paths it checks; a bug must hit both implementations identically to
+//! slip through.
+//!
+//! The walk is read-only and draws nothing from the RNG or the simulated
+//! clock, so running it cannot perturb the simulation it audits.
+
+use std::collections::BTreeMap;
+
+use hetero_guest::memmap::MemMap;
+use hetero_guest::page::PageType;
+use hetero_guest::GuestKernel;
+use hetero_mem::kind::KindMap;
+use hetero_mem::MemKind;
+
+use crate::audit::Violation;
+
+/// One naively-recounted residency bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Bucket {
+    pages: u64,
+    heat: u64,
+    write_heat: u64,
+}
+
+/// The shadow recount. Holds its aggregation map across audits so the
+/// (deliberate) allocation cost is paid once, not per epoch.
+#[derive(Debug, Default)]
+pub struct ShadowModel {
+    buckets: BTreeMap<(usize, MemKind), Bucket>,
+}
+
+impl ShadowModel {
+    /// Builds an empty shadow model.
+    pub fn new() -> Self {
+        ShadowModel::default()
+    }
+
+    /// Recounts one guest kernel: walks its memmap and checks the
+    /// allocator's free totals (buddy + per-CPU caches) along the way.
+    /// See [`ShadowModel::audit_memmap`] for the violations produced.
+    pub fn audit(&mut self, kernel: &GuestKernel, out: &mut Vec<Violation>) {
+        let free = KindMap::from_fn(|k| kernel.free_frames(k));
+        self.audit_memmap(kernel.memmap(), &free, out);
+    }
+
+    /// Walks every page descriptor of `mm` and appends a violation for
+    /// each disagreement with the incremental books:
+    ///
+    /// - [`Violation::ResidencyDrift`] — a per-(type, tier) residency
+    ///   counter (pages, heat, or write heat) differs from the recount.
+    /// - [`Violation::FreeFrameDrift`] — a tier's claimed free total
+    ///   (`free`) differs from its non-present frames.
+    pub fn audit_memmap(
+        &mut self,
+        mm: &MemMap,
+        free: &KindMap<u64>,
+        out: &mut Vec<Violation>,
+    ) {
+        self.buckets.clear();
+        let mut present: KindMap<u64> = KindMap::default();
+        for &kind in MemKind::ALL.iter() {
+            for gfn in mm.iter_kind(kind) {
+                let page = mm.page(gfn);
+                if !page.is_present() {
+                    continue;
+                }
+                present[kind] += 1;
+                let bucket = self
+                    .buckets
+                    .entry((page.page_type.index(), kind))
+                    .or_default();
+                bucket.pages += 1;
+                bucket.heat += page.heat as u64;
+                bucket.write_heat += page.write_heat as u64;
+            }
+        }
+        for &kind in MemKind::ALL.iter() {
+            let range = mm.range(kind);
+            if range.is_empty() {
+                continue;
+            }
+            for &page_type in PageType::ALL.iter() {
+                let walked = self
+                    .buckets
+                    .get(&(page_type.index(), kind))
+                    .copied()
+                    .unwrap_or_default();
+                let tracked = mm.residency(page_type, kind);
+                for (field, tracked, walked) in [
+                    ("pages", tracked.pages, walked.pages),
+                    ("heat", tracked.heat, walked.heat),
+                    ("write_heat", tracked.write_heat, walked.write_heat),
+                ] {
+                    if tracked != walked {
+                        out.push(Violation::ResidencyDrift {
+                            page_type,
+                            kind,
+                            field,
+                            tracked,
+                            walked,
+                        });
+                    }
+                }
+            }
+            let total = range.end - range.start;
+            let walked_free = total - present[kind];
+            if free[kind] != walked_free {
+                out.push(Violation::FreeFrameDrift {
+                    kind,
+                    free: free[kind],
+                    walked: walked_free,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_guest::kernel::GuestConfig;
+    use hetero_guest::page::Gfn;
+    use hetero_guest::pagecache::FileId;
+
+    fn kernel() -> GuestKernel {
+        GuestKernel::new(GuestConfig {
+            frames: vec![(MemKind::Fast, 64), (MemKind::Slow, 256)],
+            cpus: 1,
+            page_size: 4096,
+        })
+    }
+
+    #[test]
+    fn fresh_kernel_recounts_clean() {
+        let k = kernel();
+        let mut shadow = ShadowModel::new();
+        let mut out = Vec::new();
+        shadow.audit(&k, &mut out);
+        assert!(out.is_empty(), "unexpected drift: {out:?}");
+    }
+
+    #[test]
+    fn busy_kernel_recounts_clean() {
+        let mut k = kernel();
+        k.mmap_heap(
+            100,
+            (0..).map(|i| (i % 255) as u8),
+            &[MemKind::Fast, MemKind::Slow],
+        )
+        .unwrap();
+        for off in 0..10 {
+            let (g, _) = k
+                .page_in(FileId(1), off, 150, &[MemKind::Fast, MemKind::Slow])
+                .unwrap();
+            k.io_complete(g);
+        }
+        k.balloon_inflate(MemKind::Slow, 8);
+        let mut shadow = ShadowModel::new();
+        let mut out = Vec::new();
+        shadow.audit(&k, &mut out);
+        assert!(out.is_empty(), "unexpected drift: {out:?}");
+    }
+
+    /// The oracle's point: an update that bypasses the incremental
+    /// accounting must be caught by the recount. `page_mut` is the
+    /// documented escape hatch that desynchronises residency.
+    #[test]
+    fn heat_drift_through_page_mut_is_caught() {
+        let mut mm = MemMap::new(&[(MemKind::Fast, 16), (MemKind::Slow, 16)]);
+        let gfn = Gfn(mm.range(MemKind::Fast).start);
+        mm.set_allocated(gfn, PageType::HeapAnon, 100);
+        mm.page_mut(gfn).heat = 200; // bypasses residency accounting
+        let free = KindMap::from_fn(|k| match k {
+            MemKind::Fast => 15,
+            _ => mm.range(k).end.saturating_sub(mm.range(k).start),
+        });
+        let mut shadow = ShadowModel::new();
+        let mut out = Vec::new();
+        shadow.audit_memmap(&mm, &free, &mut out);
+        assert_eq!(
+            out,
+            vec![Violation::ResidencyDrift {
+                page_type: PageType::HeapAnon,
+                kind: MemKind::Fast,
+                field: "heat",
+                tracked: 100,
+                walked: 200,
+            }]
+        );
+    }
+
+    #[test]
+    fn free_frame_drift_is_caught() {
+        let mm = MemMap::new(&[(MemKind::Fast, 16)]);
+        // Claim one frame fewer free than the walk will find.
+        let free = KindMap::from_fn(|k| if k == MemKind::Fast { 15 } else { 0 });
+        let mut shadow = ShadowModel::new();
+        let mut out = Vec::new();
+        shadow.audit_memmap(&mm, &free, &mut out);
+        assert_eq!(
+            out,
+            vec![Violation::FreeFrameDrift {
+                kind: MemKind::Fast,
+                free: 15,
+                walked: 16,
+            }]
+        );
+    }
+}

@@ -217,6 +217,19 @@ impl GuestKernel {
         &self.cache
     }
 
+    /// Shared view of the swap map (invariant-audit input).
+    pub fn swap_map(&self) -> &SwapMap {
+        &self.swap
+    }
+
+    /// Shared view of one slab cache (invariant-audit input).
+    pub fn slab_cache(&self, class: SlabClass) -> &SlabCache {
+        match class {
+            SlabClass::Skbuff => &self.skbuff,
+            SlabClass::FsMeta => &self.fs_meta,
+        }
+    }
+
     /// Rolls the statistics window (call once per prioritization period).
     pub fn roll_stats_window(&mut self) {
         self.stats.roll_window();

@@ -31,25 +31,41 @@ impl Watermarks {
     /// node, `low = 1.25×min`, `high = 1.5×min` — scaled up by
     /// `pressure_factor` for tiers that deserve more headroom (FastMem).
     ///
+    /// Every mark is clamped to the node's capacity: on tiny nodes (or
+    /// under large pressure factors) the raw derivation can exceed
+    /// `total_pages`, and a `high` above capacity is unreachable — the
+    /// daemon would then grind every cache on the node on every pass
+    /// without ever satisfying its target. The `min ≥ 1` floor still
+    /// applies, so a 1-page node gets `min = low = high = 1`.
+    ///
     /// # Panics
     ///
-    /// Panics if `pressure_factor` is not finite and positive.
+    /// Panics if `pressure_factor` is not finite and positive, or if
+    /// `total_pages` is zero (an unconfigured node has no watermarks).
     pub fn for_node(total_pages: u64, pressure_factor: f64) -> Self {
         assert!(
             pressure_factor.is_finite() && pressure_factor > 0.0,
             "pressure factor must be positive"
         );
-        let min = ((total_pages as f64 * 0.004 * pressure_factor) as u64).max(1);
+        assert!(total_pages > 0, "a node needs at least one page");
+        let min = ((total_pages as f64 * 0.004 * pressure_factor) as u64)
+            .clamp(1, total_pages);
         Watermarks {
             min,
-            low: min + min / 4,
-            high: min + min / 2,
+            low: (min + min / 4).min(total_pages),
+            high: (min + min / 2).min(total_pages),
         }
     }
 
     /// Validates the ordering invariant.
     pub fn is_valid(&self) -> bool {
         self.min <= self.low && self.low <= self.high
+    }
+
+    /// Validates ordering *and* reachability against the node's capacity:
+    /// `min ≤ low ≤ high ≤ total_pages`.
+    pub fn is_valid_for(&self, total_pages: u64) -> bool {
+        self.is_valid() && self.high <= total_pages
     }
 }
 
@@ -171,6 +187,38 @@ mod tests {
         assert!(pressured.is_valid());
         // Tiny nodes still get a non-zero floor.
         assert!(Watermarks::for_node(10, 1.0).min >= 1);
+    }
+
+    /// Regression: the raw derivation used to let `min` (and with it `low`
+    /// and `high`) exceed tiny nodes — `for_node(2, 500.0)` produced
+    /// `min = 4 > 2`, an unreachable `high` that made `balance` shred every
+    /// cache on the node on every single pass. Property: for every node of
+    /// 1..=64 pages and a spread of pressure factors, the full
+    /// `min ≤ low ≤ high ≤ total` chain holds and `min` keeps its floor.
+    #[test]
+    fn watermarks_fit_tiny_nodes_for_all_factors() {
+        for total in 1..=64u64 {
+            for &factor in &[0.5, 1.0, 4.0, 16.0, 100.0, 500.0] {
+                let m = Watermarks::for_node(total, factor);
+                assert!(
+                    m.is_valid_for(total),
+                    "for_node({total}, {factor}) = {m:?} breaks min ≤ low ≤ high ≤ total"
+                );
+                assert!(m.min >= 1, "for_node({total}, {factor}) lost the floor");
+            }
+        }
+    }
+
+    #[test]
+    fn one_page_node_pins_all_marks_to_capacity() {
+        let m = Watermarks::for_node(1, 500.0);
+        assert_eq!((m.min, m.low, m.high), (1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_page_node_rejected() {
+        Watermarks::for_node(0, 1.0);
     }
 
     #[test]

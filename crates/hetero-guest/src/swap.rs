@@ -106,6 +106,12 @@ impl SwapMap {
         self.entries.keys().next().copied()
     }
 
+    /// Iterates every swap slot in ascending VPN order (invariant-audit
+    /// input: swapped pages must not still be mapped).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &SwapEntry)> + '_ {
+        self.entries.iter().map(|(&vpn, e)| (vpn, e))
+    }
+
     /// Sum of the remembered heat of all swapped pages (drives the fault
     /// model: cold pages on swap attract few accesses).
     pub fn total_heat(&self) -> u64 {

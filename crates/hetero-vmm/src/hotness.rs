@@ -141,8 +141,16 @@ impl HotnessTracker {
     }
 
     /// Grows the dense tables to cover `frames` guest frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frames` does not fit the platform's `usize` (a guest
+    /// that large cannot have dense per-frame tables; truncating silently
+    /// would alias distinct frames onto one slot).
     fn ensure_frames(&mut self, frames: u64) {
-        let frames = frames as usize;
+        let frames: usize = frames
+            .try_into()
+            .unwrap_or_else(|_| panic!("{frames} frames overflow the dense hotness tables"));
         if self.history.len() < frames {
             self.history.resize(frames, 0);
             self.known.resize(frames, false);
@@ -150,9 +158,16 @@ impl HotnessTracker {
     }
 
     fn record(&mut self, gfn: Gfn, touched: bool) -> u8 {
-        let i = gfn.0 as usize;
+        let i: usize = gfn
+            .0
+            .try_into()
+            .unwrap_or_else(|_| panic!("{gfn:?} overflows the dense hotness tables"));
         if i >= self.history.len() {
-            self.ensure_frames(gfn.0 + 1);
+            let frames = gfn
+                .0
+                .checked_add(1)
+                .unwrap_or_else(|| panic!("{gfn:?} overflows the dense hotness tables"));
+            self.ensure_frames(frames);
         }
         if !self.known[i] {
             self.known[i] = true;
@@ -311,10 +326,33 @@ impl HotnessTracker {
         self.total_scanned_frames += out.scanned;
     }
 
+    /// Frames covered by the dense tables (invariant-audit input).
+    pub fn table_frames(&self) -> u64 {
+        self.known.len() as u64
+    }
+
+    /// Iterates every tracked frame and its access history, in ascending
+    /// frame order (invariant-audit input).
+    pub fn known_entries(&self) -> impl Iterator<Item = (Gfn, u8)> + '_ {
+        self.known
+            .iter()
+            .enumerate()
+            .filter(|(_, &known)| known)
+            .map(|(i, _)| (Gfn(i as u64), self.history[i]))
+    }
+
     /// Forgets pages that are no longer resident (called opportunistically
     /// to bound history size).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the guest's frame count does not fit `usize` (see
+    /// [`HotnessTracker::table_frames`]; dense tables cannot cover it).
     pub fn prune(&mut self, kernel: &GuestKernel) {
-        let total = kernel.memmap().total_frames() as usize;
+        let total = kernel.memmap().total_frames();
+        let total: usize = total
+            .try_into()
+            .unwrap_or_else(|_| panic!("{total} frames overflow the dense hotness tables"));
         for i in 0..self.known.len() {
             if !self.known[i] {
                 continue;
@@ -506,5 +544,28 @@ mod tests {
             assert_eq!(fresh.cold_candidates, scratch.cold_candidates);
         }
         assert_eq!(a.tracked_pages(), b.tracked_pages());
+    }
+
+    /// Regression: `record` used to compute `gfn.0 + 1` in `u64` (overflow at
+    /// the boundary) and index with `gfn.0 as usize` (silent truncation on
+    /// 32-bit targets, aliasing distinct frames onto one history slot). Both
+    /// must now refuse loudly — and crucially *before* any table resize, so
+    /// the boundary case cannot first attempt an absurd allocation.
+    #[test]
+    #[should_panic(expected = "overflows the dense hotness tables")]
+    fn record_at_u64_boundary_panics_instead_of_truncating() {
+        let mut t = HotnessTracker::new(3);
+        t.record(Gfn(u64::MAX), true);
+    }
+
+    #[test]
+    fn record_at_table_edge_grows_exactly() {
+        let mut t = HotnessTracker::new(3);
+        assert_eq!(t.table_frames(), 0);
+        t.record(Gfn(7), true);
+        assert_eq!(t.table_frames(), 8, "tables cover gfn 0..=7");
+        assert_eq!(t.tracked_pages(), 1);
+        let entries: Vec<(Gfn, u8)> = t.known_entries().collect();
+        assert_eq!(entries, vec![(Gfn(7), 1)]);
     }
 }

@@ -20,8 +20,7 @@ const GB: u64 = 1 << 30;
 fn main() {
     let opts = ExpOptions {
         quick: true,
-        seed: 42,
-        jobs: 1,
+        ..ExpOptions::default()
     };
     let cfg = SimConfig::paper_default()
         .with_fast_bytes(4 * GB)

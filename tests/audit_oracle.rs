@@ -1,0 +1,71 @@
+//! Differential oracle: the invariant sanitizer must (a) find nothing on
+//! healthy runs across a policy × seed matrix, and (b) be purely
+//! observational — enabling it must not change a single exported byte.
+//!
+//! Property (b) is the load-bearing one: the sanitizer shares the engine's
+//! borrow of the kernel, clock and tracker, so any accidental RNG draw,
+//! clock charge or `prune()` call inside an audit would silently skew the
+//! published numbers. Pinning byte-identity here turns that mistake into a
+//! test failure instead of a wrong figure.
+
+use heteroos::core::{run_app, AuditLevel, Policy, SimConfig};
+use heteroos::sim::Runner;
+use heteroos::workloads::apps;
+
+const SEEDS: [u64; 3] = [11, 42, 97];
+
+/// Policies chosen to cover all three migration-charging paths: the guest
+/// LRU loop (`HeteroLru`), the VMM full-scan loop (`VmmExclusive`) and the
+/// coordinated tracked-scan loop (`HeteroCoordinated`).
+const POLICIES: [Policy; 3] = [
+    Policy::HeteroLru,
+    Policy::VmmExclusive,
+    Policy::HeteroCoordinated,
+];
+
+fn report_json(policy: Policy, seed: u64, audit: AuditLevel) -> String {
+    let cfg = SimConfig::paper_default()
+        .with_capacity_ratio(1, 4)
+        .with_seed(seed)
+        .with_audit(audit);
+    let mut spec = apps::graphchi();
+    spec.total_instructions /= 20;
+    run_app(&cfg, policy, spec).to_json()
+}
+
+#[test]
+fn epoch_oracle_is_clean_and_byte_identical_across_matrix() {
+    let matrix: Vec<(Policy, u64)> = POLICIES
+        .iter()
+        .flat_map(|&p| SEEDS.iter().map(move |&s| (p, s)))
+        .collect();
+    // `run_app` panics (inside the worker) if the sanitizer records a
+    // single violation at a non-Off level, so a green matrix *is* the
+    // oracle verdict; the explicit assert pins byte-identity on top.
+    let results = Runner::new(0).run(matrix.clone(), |(policy, seed)| {
+        (
+            report_json(policy, seed, AuditLevel::Off),
+            report_json(policy, seed, AuditLevel::Epoch),
+        )
+    });
+    for ((policy, seed), (off, epoch)) in matrix.into_iter().zip(results) {
+        assert_eq!(
+            off, epoch,
+            "{policy:?} seed {seed}: enabling the epoch sanitizer changed the exported report"
+        );
+    }
+}
+
+#[test]
+fn paranoid_oracle_is_clean_and_byte_identical_on_scan_policies() {
+    // Paranoid adds the post-scan candidate-freshness layer, which only the
+    // scanning policies exercise; one seed keeps the runtime reasonable.
+    for policy in [Policy::VmmExclusive, Policy::HeteroCoordinated] {
+        let off = report_json(policy, 7, AuditLevel::Off);
+        let paranoid = report_json(policy, 7, AuditLevel::Paranoid);
+        assert_eq!(
+            off, paranoid,
+            "{policy:?}: enabling the paranoid sanitizer changed the exported report"
+        );
+    }
+}

@@ -17,7 +17,7 @@
 //! Every harness also asserts *determinism*: re-running the same seed must
 //! reproduce a byte-identical fault trace.
 
-use heteroos::core::{Policy, SimConfig, SingleVmSim};
+use heteroos::core::{AuditLevel, Policy, SimConfig, SingleVmSim};
 use heteroos::faults::{audit_kernel, audit_vmm, FaultInjector, FaultPlan};
 use heteroos::guest::kernel::{GuestConfig, GuestKernel};
 use heteroos::guest::kswapd::Kswapd;
@@ -101,6 +101,62 @@ fn bulk_dispatch_preserves_fault_traces_exactly() {
         assert_eq!(
             bulk, scalar,
             "seed {seed}: bulk vs scalar fault trace diverged"
+        );
+    }
+}
+
+// ----------------------------------------------- layered sanitizer soak
+
+fn sanitized_soak(seed: u64, policy: Policy, audit: AuditLevel) -> (String, String) {
+    let cfg = SimConfig::paper_default()
+        .with_capacity_ratio(1, 4)
+        .with_seed(seed)
+        .with_audit(audit);
+    let mut spec = apps::graphchi();
+    spec.total_instructions /= 20;
+    let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+    let mut sim = SingleVmSim::new(cfg, policy, wl);
+    sim.set_fault_injector(FaultInjector::new(FaultPlan::for_seed(seed)));
+    while sim.step() {}
+    assert!(
+        sim.violations().is_empty(),
+        "seed {seed} {policy:?}: sanitizer violations under faults: {:?}",
+        sim.violations()
+    );
+    let trace = sim
+        .fault_injector()
+        .expect("injector stays armed")
+        .trace()
+        .to_text();
+    (trace, sim.report().to_json())
+}
+
+#[test]
+fn epoch_sanitizer_stays_clean_and_invisible_under_fault_soak() {
+    // The layered sanitizer (PR 5) across every seed and every
+    // migration-charging path (guest LRU, VMM full scan, coordinated
+    // tracked scan), with faults armed. Two properties per cell: the
+    // differential oracle finds nothing even while transient failures
+    // pepper the run, and turning the audit on changes neither the fault
+    // trace nor a single exported report byte.
+    let policies = [
+        Policy::HeteroLru,
+        Policy::VmmExclusive,
+        Policy::HeteroCoordinated,
+    ];
+    let matrix: Vec<(u64, Policy)> = SEEDS
+        .flat_map(|seed| policies.into_iter().map(move |p| (seed, p)))
+        .collect();
+    let results = Runner::new(0).run(matrix.clone(), |(seed, policy)| {
+        (
+            sanitized_soak(seed, policy, AuditLevel::Off),
+            sanitized_soak(seed, policy, AuditLevel::Epoch),
+        )
+    });
+    for ((seed, policy), (off, epoch)) in matrix.into_iter().zip(results) {
+        assert_eq!(
+            off, epoch,
+            "seed {seed} {policy:?}: epoch audit changed the fault trace or report bytes"
         );
     }
 }
