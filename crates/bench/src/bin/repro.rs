@@ -1,13 +1,16 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--jobs N] [--audit LEVEL] [--json-out DIR] <target>...
+//! repro [--quick] [--seed N] [--jobs N] [--audit LEVEL] [--persist MODE]
+//!       [--faults KIND] [--json-out DIR] <target>...
 //! repro all                      # every table and figure
 //! repro ablations                # the design-choice ablations
 //! repro fig9 fig10               # specific targets
 //! repro --json-out out/ all      # also write machine-readable exports
 //! repro --jobs 8 all             # spread runs over 8 OS threads
 //! repro --audit epoch fig9       # cross-check invariants every epoch
+//! repro recovery                 # the crash-consistency experiments
+//! repro --persist epoch --faults host-power-loss rec-ablation
 //! ```
 //!
 //! `--jobs N` spreads the work over `N` OS threads (default: available
@@ -19,6 +22,12 @@
 //! observational — exports stay byte-identical — but any violation makes
 //! the offending run panic instead of silently reporting wrong numbers.
 //!
+//! `--persist MODE` (`off`, `eager`, `epoch` or `on-evict`) selects the
+//! NVM write-behind flush policy for the `recovery` experiment family, and
+//! `--faults KIND` (`host-power-loss` or `guest-crash-persist`) picks the
+//! crash its fault-arming drivers inject mid-run. Every other target
+//! ignores both flags, so its exports are unchanged by them.
+//!
 //! With `--json-out DIR`, every target additionally writes machine-readable
 //! files into `DIR`: `<target>.json` for all targets, plus `<target>.csv`
 //! for figures and `<target>.txt` for text tables. A `telemetry.json`
@@ -28,8 +37,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{run_artifacts, ABLATIONS, EXTENSIONS, TARGETS};
+use bench::{run_artifacts, ABLATIONS, EXTENSIONS, RECOVERY, TARGETS};
 use hetero_core::experiments::ExpOptions;
+use hetero_faults::FaultKind;
 use hetero_core::{Policy, SimConfig, SingleVmSim};
 use hetero_workloads::{apps, AppWorkload};
 
@@ -58,7 +68,21 @@ fn write_file(dir: &std::path::Path, name: &str, body: &str) -> Result<(), Strin
 
 /// Is `target` one of the names `run_artifact` accepts?
 fn is_known_target(target: &str) -> bool {
-    TARGETS.contains(&target) || ABLATIONS.contains(&target) || EXTENSIONS.contains(&target)
+    TARGETS.contains(&target)
+        || ABLATIONS.contains(&target)
+        || EXTENSIONS.contains(&target)
+        || RECOVERY.contains(&target)
+}
+
+/// Parses a `--faults` crash kind by its display name.
+fn parse_crash_kind(s: &str) -> Result<FaultKind, String> {
+    match s {
+        "host-power-loss" | "power-loss" => Ok(FaultKind::HostPowerLoss),
+        "guest-crash-persist" | "crash-persist" => Ok(FaultKind::GuestCrashPersist),
+        other => Err(format!(
+            "unknown crash kind '{other}' (expected host-power-loss or guest-crash-persist)"
+        )),
+    }
 }
 
 fn main() -> ExitCode {
@@ -104,17 +128,53 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--persist" => match args.next().map(|s| s.parse()) {
+                Some(Ok(policy)) => opts.persist = policy,
+                Some(Err(e)) => {
+                    eprintln!("--persist: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--persist requires a mode (off, eager, epoch or on-evict)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--faults" => match args.next().as_deref().map(parse_crash_kind) {
+                Some(Ok(kind)) => opts.faults = Some(kind),
+                Some(Err(e)) => {
+                    eprintln!("--faults: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!(
+                        "--faults requires a crash kind \
+                         (host-power-loss or guest-crash-persist)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
             "ablations" => targets.extend(ABLATIONS.iter().map(|s| s.to_string())),
             "extensions" => targets.extend(EXTENSIONS.iter().map(|s| s.to_string())),
+            "recovery" => targets.extend(RECOVERY.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--seed N] [--jobs N] [--audit LEVEL] \
-                     [--json-out DIR] <target>..."
+                     [--persist MODE] [--faults KIND] [--json-out DIR] <target>..."
                 );
                 println!("audit levels: off epoch paranoid");
-                println!("targets: all ablations extensions {}", TARGETS.join(" "));
-                println!("         {} {}", ABLATIONS.join(" "), EXTENSIONS.join(" "));
+                println!("persist modes: off eager epoch on-evict");
+                println!("fault kinds: host-power-loss guest-crash-persist");
+                println!(
+                    "targets: all ablations extensions recovery {}",
+                    TARGETS.join(" ")
+                );
+                println!(
+                    "         {} {} {}",
+                    ABLATIONS.join(" "),
+                    EXTENSIONS.join(" "),
+                    RECOVERY.join(" ")
+                );
                 return ExitCode::SUCCESS;
             }
             other => targets.push(other.to_string()),
@@ -133,8 +193,16 @@ fn main() -> ExitCode {
         .collect();
     if !unknown.is_empty() {
         eprintln!("unknown experiment target(s): {}", unknown.join(", "));
-        eprintln!("valid targets: all ablations extensions {}", TARGETS.join(" "));
-        eprintln!("               {} {}", ABLATIONS.join(" "), EXTENSIONS.join(" "));
+        eprintln!(
+            "valid targets: all ablations extensions recovery {}",
+            TARGETS.join(" ")
+        );
+        eprintln!(
+            "               {} {} {}",
+            ABLATIONS.join(" "),
+            EXTENSIONS.join(" "),
+            RECOVERY.join(" ")
+        );
         return ExitCode::FAILURE;
     }
     if let Some(dir) = &json_out {

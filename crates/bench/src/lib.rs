@@ -15,7 +15,7 @@
 
 use hetero_core::experiments::{
     ablations, capacity, coordinated, distribution, extensions, micro, overhead, placement,
-    sensitivity, sharing, tables, ExpOptions,
+    recovery, sensitivity, sharing, tables, ExpOptions,
 };
 use hetero_sim::export::json_string;
 use hetero_sim::{Runner, SeriesSet};
@@ -52,6 +52,11 @@ pub const ABLATIONS: [&str; 4] = [
 /// §4.3 extension experiments (the paper's future work, built out).
 pub const EXTENSIONS: [&str; 4] =
     ["ext-multitier", "ext-wear", "ext-baremetal", "ext-hints"];
+
+/// Crash-consistency and recovery experiments over the NVM tier
+/// (see `hetero_core::experiments::recovery`; honors `--persist` and
+/// `--faults`).
+pub const RECOVERY: [&str; 3] = ["rec-time", "rec-overhead", "rec-ablation"];
 
 /// A structured experiment result: either a rendered text table or a
 /// figure's underlying data series (plot-ready, exportable as JSON/CSV).
@@ -125,6 +130,9 @@ pub fn run_artifact(target: &str, opts: &ExpOptions) -> Result<Artifact, String>
         "ext-wear" => Figure(extensions::ext_wear(opts)),
         "ext-baremetal" => Figure(extensions::ext_baremetal(opts)),
         "ext-hints" => Figure(extensions::ext_hints(opts)),
+        "rec-time" => Figure(recovery::rec_time(opts)),
+        "rec-overhead" => Table(recovery::rec_overhead(opts)),
+        "rec-ablation" => Table(recovery::rec_ablation(opts)),
         other => return Err(format!("unknown experiment target '{other}'")),
     };
     Ok(out)

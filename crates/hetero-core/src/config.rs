@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use hetero_faults::AuditLevel;
-use hetero_mem::{CostModel, LlcModel, ThrottleConfig};
+use hetero_mem::{CostModel, FlushPolicy, LlcModel, ThrottleConfig};
 use hetero_sim::Nanos;
 
 /// Full configuration of one simulated guest + policy run.
@@ -132,6 +132,14 @@ pub struct SimConfig {
     /// the event trace are byte-identical with it on or off. Off by
     /// default (zero cost).
     pub telemetry: bool,
+    /// NVM persistence domain write-behind policy for the slow tier
+    /// (crash-consistency). `Off` (the default) maintains no persistence
+    /// state and charges nothing — runs are byte-identical to builds
+    /// without the subsystem. Any other policy tracks per-frame
+    /// dirty/flushed state, charges `clflush`/`sfence` costs through
+    /// [`CostModel::flush_cost`], and makes `HostPowerLoss` /
+    /// `GuestCrashPersist` faults survivable via `SingleVmSim::recover`.
+    pub persist: FlushPolicy,
 }
 
 impl SimConfig {
@@ -179,6 +187,7 @@ impl SimConfig {
             audit_invariants: false,
             audit: AuditLevel::Off,
             telemetry: false,
+            persist: FlushPolicy::Off,
         }
     }
 
@@ -257,6 +266,12 @@ impl SimConfig {
     /// Toggles structured telemetry (metrics registry + spans).
     pub fn with_telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
+        self
+    }
+
+    /// Selects the NVM persistence write-behind policy.
+    pub fn with_persist(mut self, policy: FlushPolicy) -> Self {
+        self.persist = policy;
         self
     }
 
@@ -346,6 +361,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_ratio_rejected() {
         SimConfig::paper_default().with_capacity_ratio(0, 8);
+    }
+
+    #[test]
+    fn persistence_defaults_off() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.persist, FlushPolicy::Off);
+        assert_eq!(
+            c.with_persist(FlushPolicy::EpochBatched).persist,
+            FlushPolicy::EpochBatched
+        );
     }
 
     #[test]

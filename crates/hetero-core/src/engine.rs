@@ -15,12 +15,12 @@
 //! The result is a [`RunReport`]; slowdowns and gains come from comparing
 //! reports across policies, exactly as the paper compares runs.
 
-use hetero_faults::{AuditLevel, EpochCosts, FaultInjector, Sanitizer, Violation};
+use hetero_faults::{AuditLevel, EpochCosts, FaultInjector, FaultKind, Sanitizer, Violation};
 use hetero_guest::kernel::{AllocFailed, GuestConfig, MigrateError};
-use hetero_guest::page::{Gfn, Page, PageType};
+use hetero_guest::page::{Gfn, Page, PageFlags, PageType, RMap};
 use hetero_guest::pagecache::FileId;
 use hetero_guest::{GuestKernel, SlabClass};
-use hetero_mem::{MemKind, NodeParams};
+use hetero_mem::{MemKind, NodeParams, PersistDomain};
 use hetero_sim::telemetry::{SpanId, Telemetry};
 use hetero_sim::{Clock, CostCategory, EventKind, EventLog, Nanos, SimRng};
 use hetero_workloads::spec::{EpochDemand, Workload};
@@ -76,6 +76,11 @@ const LAZY_RECLAIM_SLACK: f64 = 0.25;
 /// Disk service time for swapping one *simulated* page in (multi-VM
 /// overcommit only — single-VM runs never swap).
 const SWAP_SERVICE: Nanos = Nanos::from_micros(100);
+/// Write heat above which an NVM-resident page counts as continuously
+/// re-dirtied for the persistence domain: its stores outrun any write-behind
+/// flusher, so it never ages clean. Matches the `> 50` write-hot threshold
+/// `assign_heap_write_heats` assigns (read-mostly pages get `heat / 8 ≤ 31`).
+const PERSIST_WRITE_HOT: u8 = 50;
 
 /// One application run in progress.
 pub struct SingleVmSim<W: Workload = AppWorkload> {
@@ -160,32 +165,32 @@ pub struct SingleVmSim<W: Workload = AppWorkload> {
     /// every epoch — the engine may never charge for a migration the
     /// kernel didn't perform, nor the kernel move a page unbilled.
     migrations_tallied: u64,
+    /// NVM persistence domain tracking per-frame flush state
+    /// (`SimConfig::persist`). `None` when the flush policy is `Off`: in
+    /// that mode the engine draws no extra randomness, charges no flush
+    /// traffic and emits no persistence telemetry, so every export stays
+    /// byte-identical to a build without the subsystem.
+    persist: Option<PersistDomain>,
+    /// Crash injected at the top of this epoch, consumed by `step` before
+    /// any guest work runs.
+    pending_crash: Option<FaultKind>,
+    /// Crash→recover cycles performed so far.
+    recoveries: u64,
+    /// Frames reconstructed from surviving NVM across all recoveries.
+    recovered_frames: u64,
+    /// Frames lost to crashes: volatile-tier residents plus torn NVM writes.
+    lost_frames: u64,
 }
 
 impl<W: Workload> SingleVmSim<W> {
     /// Prepares a run. The guest's tier reservations come from `cfg`;
     /// `FastMem-only` gets an effectively unlimited fast tier.
     pub fn new(cfg: SimConfig, policy: Policy, workload: W) -> Self {
-        let (fast_frames, slow_frames) = match policy {
-            Policy::FastMemOnly => (
-                cfg.guest_frames_fast() + cfg.guest_frames_slow() * 2,
-                cfg.guest_frames_slow().min(64),
-            ),
-            _ => (cfg.guest_frames_fast(), cfg.guest_frames_slow()),
-        };
         let medium_frames = match policy {
             Policy::FastMemOnly => 0,
             _ => cfg.guest_frames_medium(),
         };
-        let mut frames = vec![(MemKind::Fast, fast_frames), (MemKind::Slow, slow_frames)];
-        if medium_frames > 0 {
-            frames.push((MemKind::Medium, medium_frames));
-        }
-        let kernel = GuestKernel::new(GuestConfig {
-            frames,
-            cpus: cfg.cpus,
-            page_size: cfg.page_size,
-        });
+        let kernel = GuestKernel::new(Self::guest_config(&cfg, policy));
         let fast_params = NodeParams::new(MemKind::Fast, cfg.fast_bytes.max(1), cfg.fast_throttle);
         let slow_params = if cfg.nvm_slow {
             NodeParams::nvm_like(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle)
@@ -260,10 +265,45 @@ impl<W: Workload> SingleVmSim<W> {
                 level.is_enabled().then(|| Sanitizer::new(level))
             },
             migrations_tallied: 0,
+            persist: cfg
+                .persist
+                .is_enabled()
+                .then(|| PersistDomain::new(cfg.persist)),
+            pending_crash: None,
+            recoveries: 0,
+            recovered_frames: 0,
+            lost_frames: 0,
             kernel,
             workload,
             cfg,
             policy,
+        }
+    }
+
+    /// The guest's tier reservations for this config/policy pair — shared
+    /// between initial boot ([`SingleVmSim::new`]) and the post-crash
+    /// reboot in [`SingleVmSim::recover`], which must rebuild an identical
+    /// (empty) kernel.
+    fn guest_config(cfg: &SimConfig, policy: Policy) -> GuestConfig {
+        let (fast_frames, slow_frames) = match policy {
+            Policy::FastMemOnly => (
+                cfg.guest_frames_fast() + cfg.guest_frames_slow() * 2,
+                cfg.guest_frames_slow().min(64),
+            ),
+            _ => (cfg.guest_frames_fast(), cfg.guest_frames_slow()),
+        };
+        let medium_frames = match policy {
+            Policy::FastMemOnly => 0,
+            _ => cfg.guest_frames_medium(),
+        };
+        let mut frames = vec![(MemKind::Fast, fast_frames), (MemKind::Slow, slow_frames)];
+        if medium_frames > 0 {
+            frames.push((MemKind::Medium, medium_frames));
+        }
+        GuestConfig {
+            frames,
+            cpus: cfg.cpus,
+            page_size: cfg.page_size,
         }
     }
 
@@ -496,8 +536,17 @@ impl<W: Workload> SingleVmSim<W> {
         inj.begin_step();
         let storm = inj.storm_factor();
         let degraded = inj.fail_alloc(MemKind::Fast);
+        let power_loss = inj.host_power_loss();
+        let guest_crash = inj.crash_guest_persist();
         self.storm_factor = storm;
         self.degraded = degraded;
+        // Power loss dominates when both crash kinds fire the same epoch:
+        // the host going dark subsumes the guest dying.
+        if power_loss {
+            self.pending_crash = Some(FaultKind::HostPowerLoss);
+        } else if guest_crash {
+            self.pending_crash = Some(FaultKind::GuestCrashPersist);
+        }
         if degraded {
             self.trace(EventKind::Fault, || {
                 "FastMem allocation failed; placement degraded to slower tiers".to_string()
@@ -516,6 +565,9 @@ impl<W: Workload> SingleVmSim<W> {
             return false;
         }
         self.begin_fault_step();
+        if let Some(kind) = self.pending_crash.take() {
+            self.recover(kind);
+        }
         let Some(demand) = self.workload.next_epoch(&mut self.rng) else {
             self.done = true;
             return false;
@@ -530,6 +582,7 @@ impl<W: Workload> SingleVmSim<W> {
         self.span_close(guest_span);
         self.roll_stats_window();
         self.run_management();
+        self.update_persistence();
         self.epochs += 1;
         self.span_close(epoch_span);
         if self.telemetry.is_some() {
@@ -580,6 +633,265 @@ impl<W: Workload> SingleVmSim<W> {
         self.violations.extend(found);
     }
 
+    // ------------------------------------------------- persistence/recovery
+
+    /// The NVM persistence domain, when `SimConfig::persist` enables one.
+    pub fn persist_domain(&self) -> Option<&PersistDomain> {
+        self.persist.as_ref()
+    }
+
+    /// Crash→recover cycles performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Frames reconstructed from surviving NVM across all recoveries.
+    pub fn recovered_frames(&self) -> u64 {
+        self.recovered_frames
+    }
+
+    /// Frames lost to crashes (volatile residents plus torn NVM writes).
+    pub fn lost_frames(&self) -> u64 {
+        self.lost_frames
+    }
+
+    /// End-of-epoch write-behind pass over the NVM tier: observes every
+    /// SlowMem-resident frame's write activity, retires frames that left
+    /// the tier, and charges the flush policy's `clflush`/`sfence` traffic
+    /// for whatever the policy drains this epoch. A no-op (zero cost, zero
+    /// telemetry, zero RNG draws) when the flush policy is `Off`.
+    fn update_persistence(&mut self) {
+        let Some(mut dom) = self.persist.take() else {
+            return;
+        };
+        let mut resident: Vec<u64> = Vec::new();
+        {
+            let mm = self.kernel.memmap();
+            for gfn in mm.iter_kind(MemKind::Slow) {
+                let p = mm.page(gfn);
+                if !p.is_present() {
+                    continue;
+                }
+                resident.push(gfn.0);
+                // Write-hot pages re-dirty faster than any flusher drains
+                // them; a set dirty bit marks an unflushed buffered write
+                // even on read-mostly pages.
+                let written = p.write_heat > PERSIST_WRITE_HOT
+                    || p.flags.contains(PageFlags::DIRTY);
+                dom.observe(gfn.0, written);
+            }
+        }
+        dom.retain_resident(&resident);
+        let to_flush = dom.end_epoch(self.epochs);
+        if to_flush > 0 {
+            let span = self.span_open("persist-flush");
+            let cost = self.cfg.costs.flush_cost(self.cfg.real_pages(to_flush));
+            self.charge_management(cost);
+            self.span_close(span);
+        }
+        self.persist = Some(dom);
+    }
+
+    /// Tears the stack down after a crash and reboots it from the NVM
+    /// survivors, exactly as a post-crash kernel replaying its persistent
+    /// tier would:
+    ///
+    /// * [`FaultKind::HostPowerLoss`] — the volatile tiers (FastMem and
+    ///   MediumMem) vanish; NVM frames the flush policy had persisted
+    ///   survive; unflushed NVM writes are torn and discarded. With
+    ///   persistence off nothing is durable, so nothing survives.
+    /// * [`FaultKind::GuestCrashPersist`] — the guest dies but the host
+    ///   (and the CPU caches in front of the NVM DIMMs) stay up: every
+    ///   NVM-resident frame survives, flushed or not.
+    ///
+    /// Disk state survives both kinds: swap slots are replayed into the
+    /// rebooted kernel and unbacked heap allocations stay on swap. Slab,
+    /// network-buffer, page-table and DMA pages are kernel-internal state
+    /// that is rebuilt from scratch, never recovered. Survivors are
+    /// replayed in ascending frame order and placed back on SlowMem, and
+    /// the whole path draws no randomness — recovery is a pure function of
+    /// the pre-crash state, so crashy runs stay byte-identical across
+    /// repeats and `--jobs` counts.
+    ///
+    /// When auditing is enabled the sanitizer is re-seeded (a reboot resets
+    /// its counter baselines) and run once against the recovered kernel:
+    /// the [`hetero_faults::ShadowModel`] full walk is the recovery oracle,
+    /// and any violation it reports — a residency drift, a broken
+    /// page-cache bijection — is collected and fails the run loudly.
+    pub fn recover(&mut self, kind: FaultKind) {
+        let span = self.span_open("recovery");
+        let torn_lost = !matches!(kind, FaultKind::GuestCrashPersist);
+        // Which NVM frames survive the crash.
+        let survivors: Vec<u64> = match (self.persist.as_mut(), torn_lost) {
+            (Some(dom), torn) => dom.survivors(torn),
+            (None, false) => {
+                let mm = self.kernel.memmap();
+                mm.iter_kind(MemKind::Slow)
+                    .filter(|&g| mm.page(g).is_present())
+                    .map(|g| g.0)
+                    .collect()
+            }
+            (None, true) => Vec::new(),
+        };
+        // Snapshot the survivors' identities and the disk-resident swap
+        // slots before the old kernel is dropped.
+        let mut heap: Vec<(u8, u8)> = Vec::new();
+        let mut cache: Vec<(u64, u8)> = Vec::new();
+        let mut buffer: Vec<(u64, u8)> = Vec::new();
+        let mut resident_before = 0u64;
+        {
+            let mm = self.kernel.memmap();
+            for tier in [MemKind::Fast, MemKind::Medium, MemKind::Slow] {
+                resident_before +=
+                    mm.iter_kind(tier).filter(|&g| mm.page(g).is_present()).count() as u64;
+            }
+            for &f in &survivors {
+                let p = mm.page(Gfn(f));
+                if !p.is_present() {
+                    continue;
+                }
+                match (p.page_type, p.rmap) {
+                    (PageType::HeapAnon, RMap::Anon(_)) => heap.push((p.heat, p.write_heat)),
+                    (PageType::PageCache, RMap::File(file, off)) if file == CACHE_FILE.0 => {
+                        cache.push((off, p.heat));
+                    }
+                    (PageType::BufferCache, RMap::File(file, off)) if file == BUFFER_FILE.0 => {
+                        buffer.push((off, p.heat));
+                    }
+                    // Kernel-internal pages (slab, netbuf, page tables,
+                    // DMA) are rebuilt from scratch, not recovered.
+                    _ => {}
+                }
+            }
+        }
+        let swap_slots: Vec<(u8, u8)> = self
+            .kernel
+            .swap_map()
+            .iter()
+            .map(|(_, e)| (e.heat, e.write_heat))
+            .collect();
+        let recovered = (heap.len() + cache.len() + buffer.len()) as u64;
+        let lost = resident_before.saturating_sub(recovered);
+        self.trace(EventKind::Fault, || {
+            format!(
+                "{kind}: {lost} resident frames lost, {recovered} NVM survivors, \
+                 {} swap slots on disk",
+                swap_slots.len()
+            )
+        });
+        // Reboot: a fresh kernel with the same tier reservations, and
+        // fresh volatile engine bookkeeping.
+        self.kernel = GuestKernel::new(Self::guest_config(&self.cfg, self.policy));
+        self.heap_chunks.clear();
+        self.hot_vpns.clear();
+        self.cache_live.clear();
+        self.cache_lazy.clear();
+        self.buffer_live.clear();
+        self.buffer_lazy.clear();
+        // cache_next/buffer_next keep advancing: file offsets are stable
+        // disk coordinates, and reusing one would alias a dead page.
+        self.tracker = HotnessTracker::new(1);
+        self.scan_scratch = ScanOutcome::default();
+        self.prioritized = None;
+        self.interval = IntervalController::new(
+            self.cfg.scan_interval,
+            self.cfg.adaptive_bounds.0,
+            self.cfg.adaptive_bounds.1,
+        );
+        self.next_scan = self.clock.now() + self.cfg.scan_interval;
+        self.next_window = self.clock.now() + self.cfg.stats_window;
+        self.next_demote = self.clock.now();
+        self.last_scan_yield = u64::MAX;
+        // Replay the disk-resident swap population first (the empty kernel
+        // has frames to stage each page through), then the NVM survivors,
+        // placed back where they survived: SlowMem.
+        for &(h, wh) in &swap_slots {
+            let Ok((vma, _)) = self.kernel.mmap_heap(1, [h], &[MemKind::Slow]) else {
+                continue;
+            };
+            self.heap_chunks.push_back((vma.start, vma.pages));
+            if let Some(gfn) = self.kernel.page_table().translate(vma.start) {
+                if wh > 0 {
+                    self.kernel.set_page_write_heat(gfn, wh);
+                }
+                let _ = self.kernel.swap_out(gfn);
+            }
+        }
+        if !heap.is_empty() {
+            if let Ok((vma, _)) = self.kernel.mmap_heap(
+                heap.len() as u64,
+                heap.iter().map(|&(h, _)| h),
+                &[MemKind::Slow],
+            ) {
+                self.heap_chunks.push_back((vma.start, vma.pages));
+                for (i, &(h, wh)) in heap.iter().enumerate() {
+                    let vpn = vma.start + i as u64;
+                    if wh > 0 {
+                        if let Some(gfn) = self.kernel.page_table().translate(vpn) {
+                            self.kernel.set_page_write_heat(gfn, wh);
+                        }
+                    }
+                    if h > 50 && h < 200 {
+                        self.hot_vpns.push_back(vpn);
+                    }
+                }
+            }
+        }
+        for &(off, h) in &cache {
+            if self.kernel.page_in(CACHE_FILE, off, h, &[MemKind::Slow]).is_ok() {
+                self.cache_live.push_back(off);
+            }
+        }
+        for &(off, h) in &buffer {
+            if self
+                .kernel
+                .buffer_page_in(BUFFER_FILE, off, h, &[MemKind::Slow])
+                .is_ok()
+            {
+                self.buffer_live.push_back(off);
+            }
+        }
+        // The migration tally is a lifetime run statistic carried across
+        // the reboot; the differential oracle demands the kernel counter
+        // match the engine's bill.
+        self.kernel.migrations = self.migrations_tallied;
+        self.recoveries += 1;
+        self.recovered_frames += recovered;
+        self.lost_frames += lost;
+        // Recovery time: one sequential scan over the whole NVM tier to
+        // find survivors, then per-survivor page-table/page-cache rebuild
+        // priced like a migration's walk + copy.
+        let scanned = self.cfg.real_pages(self.kernel.total_frames(MemKind::Slow));
+        let rebuilt = self.cfg.real_pages(recovered + swap_slots.len() as u64);
+        let cost = self
+            .cfg
+            .costs
+            .scan_per_page
+            .saturating_mul(scanned)
+            + self
+                .cfg
+                .costs
+                .page_walk_per_page(rebuilt)
+                .saturating_mul(rebuilt)
+            + self
+                .cfg
+                .costs
+                .page_move_per_page(rebuilt)
+                .saturating_mul(rebuilt);
+        self.charge_management(cost);
+        self.trace(EventKind::Note, || {
+            format!("recovery rebuilt {recovered} frames on SlowMem")
+        });
+        // Recovery oracle: reboot the sanitizer (fresh counter baselines)
+        // and audit the recovered kernel immediately. Any violation here is
+        // a recovery bug and fails the run loudly like every other finding.
+        if self.sanitizer.is_some() {
+            self.sanitizer = Some(Sanitizer::new(self.cfg.effective_audit()));
+            self.audit_epoch();
+        }
+        self.span_close(span);
+    }
+
     /// Samples the cumulative subsystem counters into the telemetry
     /// registry and records the epoch's simulated duration. `counter_set`
     /// keeps re-sampling idempotent; nothing here draws randomness or
@@ -599,6 +911,20 @@ impl<W: Workload> SingleVmSim<W> {
         let scan_passes = self.tracker.total_scans();
         let scan_frames = self.tracker.total_scanned_frames();
         let tracked = self.tracker.tracked_pages() as u64;
+        // Persistence/recovery counters are emitted only when the subsystem
+        // is live, keeping disabled-mode exports byte-identical.
+        let persist_stats = self.persist.as_ref().map(|d| {
+            (
+                d.flushes,
+                d.fences,
+                d.evict_flushes,
+                d.torn_discards,
+                d.dirty_frames(),
+                d.flushed_frames(),
+            )
+        });
+        let recovery_stats =
+            (self.recoveries > 0).then_some((self.recoveries, self.recovered_frames, self.lost_frames));
         let Some(t) = self.telemetry.as_mut() else {
             return;
         };
@@ -612,6 +938,19 @@ impl<W: Workload> SingleVmSim<W> {
         reg.counter_set("vmm.scan.passes", scan_passes);
         reg.counter_set("vmm.scan.frames", scan_frames);
         reg.counter_set("vmm.scan.tracked_pages", tracked);
+        if let Some((flushes, fences, evict, torn, dirty, flushed)) = persist_stats {
+            reg.counter_set("persist.flushes", flushes);
+            reg.counter_set("persist.fences", fences);
+            reg.counter_set("persist.evict_flushes", evict);
+            reg.counter_set("persist.torn_discards", torn);
+            reg.gauge_set("persist.dirty_frames", dirty as f64);
+            reg.gauge_set("persist.flushed_frames", flushed as f64);
+        }
+        if let Some((recoveries, recovered, lost)) = recovery_stats {
+            reg.counter_set("engine.recoveries", recoveries);
+            reg.counter_set("engine.recovered_frames", recovered);
+            reg.counter_set("engine.lost_frames", lost);
+        }
         self.kernel.export_telemetry(reg);
     }
 
@@ -1792,5 +2131,94 @@ mod tests {
         let expected = spec.epochs();
         let r = run_app(&cfg, Policy::SlowMemOnly, spec);
         assert_eq!(r.epochs, expected);
+    }
+
+    #[test]
+    fn eager_persistence_flushes_and_costs_time() {
+        let spec = short_spec(apps::graphchi());
+        let cfg = quick_cfg().with_persist(hetero_mem::FlushPolicy::Eager);
+        let wl = AppWorkload::new(spec.clone(), cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(cfg, Policy::HeapOd, wl);
+        while sim.step() {}
+        let dom = sim.persist_domain().expect("eager policy arms the domain");
+        assert!(dom.flushes > 0, "NVM residents must be flushed");
+        assert!(dom.fences > 0);
+        let eager = sim.report();
+        let off = run_app(&quick_cfg(), Policy::HeapOd, spec);
+        assert!(
+            eager.runtime >= off.runtime,
+            "flush traffic cannot make the run faster: {} vs {}",
+            eager.runtime,
+            off.runtime
+        );
+    }
+
+    #[test]
+    fn crash_recovery_is_deterministic_and_audit_clean() {
+        let run = || {
+            let cfg = quick_cfg()
+                .with_persist(hetero_mem::FlushPolicy::EpochBatched)
+                .with_audit(AuditLevel::Epoch);
+            let spec = short_spec(apps::redis());
+            let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+            let mut sim = SingleVmSim::new(cfg, Policy::HeteroLru, wl);
+            sim.set_fault_injector(FaultInjector::new(
+                hetero_faults::FaultPlan::power_loss(11, 0.05),
+            ));
+            while sim.step() {}
+            assert!(
+                sim.violations().is_empty(),
+                "recovery oracle found: {:?}",
+                sim.violations()
+            );
+            assert!(sim.recoveries() > 0, "the armed crash must fire");
+            let trace = sim.fault_injector().unwrap().trace().to_text();
+            (sim.report(), trace)
+        };
+        let (a, ta) = run();
+        let (b, tb) = run();
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(ta, tb, "fault traces must be byte-identical");
+    }
+
+    #[test]
+    fn guest_crash_preserves_nvm_power_loss_without_persistence_loses_all() {
+        let slow_resident = |sim: &SingleVmSim| -> u64 {
+            let mm = sim.kernel().memmap();
+            mm.iter_kind(MemKind::Slow)
+                .filter(|&g| mm.page(g).is_present())
+                .count() as u64
+        };
+        // Guest crash with NVM survival: SlowMem residents are rebuilt.
+        let cfg = quick_cfg()
+            .with_persist(hetero_mem::FlushPolicy::Eager)
+            .with_audit(AuditLevel::Epoch);
+        let spec = short_spec(apps::graphchi());
+        let wl = AppWorkload::new(spec.clone(), cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(cfg, Policy::SlowMemOnly, wl);
+        for _ in 0..20 {
+            if !sim.step() {
+                break;
+            }
+        }
+        assert!(slow_resident(&sim) > 0, "workload must populate SlowMem");
+        sim.recover(hetero_faults::FaultKind::GuestCrashPersist);
+        assert!(sim.recovered_frames() > 0, "NVM residents survive a guest crash");
+        assert!(slow_resident(&sim) > 0);
+        assert!(sim.violations().is_empty(), "{:?}", sim.violations());
+        // Power loss with persistence off: nothing is durable.
+        let cfg = quick_cfg().with_audit(AuditLevel::Epoch);
+        let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(cfg, Policy::SlowMemOnly, wl);
+        for _ in 0..20 {
+            if !sim.step() {
+                break;
+            }
+        }
+        sim.recover(hetero_faults::FaultKind::HostPowerLoss);
+        assert_eq!(sim.recovered_frames(), 0, "no flush policy, no survivors");
+        assert!(sim.lost_frames() > 0);
+        assert!(sim.violations().is_empty(), "{:?}", sim.violations());
     }
 }

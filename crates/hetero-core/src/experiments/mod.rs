@@ -8,7 +8,8 @@
 //! [`ExpOptions::quick`] shortens every run ~8× for tests and benches; the
 //! published numbers use the full-length runs.
 
-use hetero_faults::AuditLevel;
+use hetero_faults::{AuditLevel, FaultKind};
+use hetero_mem::FlushPolicy;
 use hetero_sim::Runner;
 use hetero_workloads::WorkloadSpec;
 
@@ -20,6 +21,7 @@ pub mod extensions;
 pub mod micro;
 pub mod overhead;
 pub mod placement;
+pub mod recovery;
 pub mod sensitivity;
 pub mod sharing;
 pub mod tables;
@@ -43,6 +45,15 @@ pub struct ExpOptions {
     /// Observational (results are byte-identical at any level), but a
     /// violation makes the offending run panic instead of reporting.
     pub audit: AuditLevel,
+    /// NVM flush policy for the recovery experiment family (`repro
+    /// --persist MODE`). `Off` lets each recovery driver pick its own
+    /// default (eager); every non-recovery experiment ignores this, so
+    /// their exports stay byte-identical whatever the value.
+    pub persist: FlushPolicy,
+    /// Crash kind the fault-arming recovery drivers inject (`repro
+    /// --faults KIND`). `None` leaves each driver's default
+    /// ([`FaultKind::HostPowerLoss`]) in place.
+    pub faults: Option<FaultKind>,
 }
 
 impl Default for ExpOptions {
@@ -52,6 +63,8 @@ impl Default for ExpOptions {
             seed: 42,
             jobs: 1,
             audit: AuditLevel::Off,
+            persist: FlushPolicy::Off,
+            faults: None,
         }
     }
 }
@@ -74,6 +87,18 @@ impl ExpOptions {
     /// Sets the invariant-sanitizer level for every run.
     pub fn with_audit(mut self, audit: AuditLevel) -> Self {
         self.audit = audit;
+        self
+    }
+
+    /// Sets the NVM flush policy for the recovery experiments.
+    pub fn with_persist(mut self, persist: FlushPolicy) -> Self {
+        self.persist = persist;
+        self
+    }
+
+    /// Arms a crash kind for the fault-arming recovery experiments.
+    pub fn with_faults(mut self, kind: FaultKind) -> Self {
+        self.faults = Some(kind);
         self
     }
 

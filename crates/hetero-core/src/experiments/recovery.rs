@@ -1,0 +1,324 @@
+//! Crash-consistency and recovery experiments over the NVM tier.
+//!
+//! Three drivers probe the persistence subsystem the way the paper's
+//! evaluation probes placement:
+//!
+//! * [`rec_time`] — post-crash rebuild time versus hot-set placement: the
+//!   more of the working set tiering keeps on (volatile) FastMem, the less
+//!   survives a power loss and the less there is to rebuild — recovery
+//!   speed and data survival pull in opposite directions.
+//! * [`rec_overhead`] — persistence overhead versus tiering benefit: what
+//!   eager flush traffic costs each policy, and whether the tiering gains
+//!   over SlowMem-only survive the cost.
+//! * [`rec_ablation`] — flush-policy ablation under a seeded mid-run power
+//!   loss: flush/fence counts, survivors and losses for every
+//!   [`FlushPolicy`], with the ShadowModel-audited recovery path exercised
+//!   end to end.
+//!
+//! All three honor `ExpOptions::persist` (`repro --persist MODE`) and the
+//! fault-arming driver honors `ExpOptions::faults` (`repro --faults KIND`).
+//! Every driver is deterministic given the seed, byte-identical across
+//! `--jobs` counts, and draws nothing from wall clocks.
+
+use hetero_faults::{FaultInjector, FaultKind, FaultPlan};
+use hetero_mem::FlushPolicy;
+use hetero_sim::SeriesSet;
+use hetero_workloads::{apps, AppWorkload};
+
+use crate::engine::run_app;
+use crate::experiments::ExpOptions;
+use crate::{Policy, SimConfig, SingleVmSim};
+
+/// Per-epoch crash probability the fault-arming drivers use — low enough
+/// that runs mostly make progress, high enough that every quick run sees
+/// at least one crash→recover cycle.
+const CRASH_PROBABILITY: f64 = 0.05;
+
+/// The flush policy a recovery driver should use: the CLI's `--persist`
+/// choice when one was given, else eager (the strictest durability).
+fn effective_persist(opts: &ExpOptions) -> FlushPolicy {
+    if opts.persist.is_enabled() {
+        opts.persist
+    } else {
+        FlushPolicy::Eager
+    }
+}
+
+/// The NVM-flavored base config shared by the recovery drivers.
+fn base_cfg(opts: &ExpOptions, den: u64) -> SimConfig {
+    SimConfig {
+        nvm_slow: true,
+        ..SimConfig::paper_default()
+            .with_capacity_ratio(1, den)
+            .with_seed(opts.seed)
+            .with_audit(opts.audit)
+    }
+}
+
+/// The seeded plan for the CLI-selected (or default) crash kind.
+fn crash_plan(kind: FaultKind, seed: u64) -> FaultPlan {
+    match kind {
+        FaultKind::GuestCrashPersist => FaultPlan::crash_persist(seed, CRASH_PROBABILITY),
+        _ => FaultPlan::power_loss(seed, CRASH_PROBABILITY),
+    }
+}
+
+/// Recovery time vs. hot-set placement. Sweeps the FastMem:SlowMem ratio
+/// (1/2 → 1/16): the scarcer FastMem gets, the more of the hot set tiering
+/// leaves on NVM — so more survives a power loss and the rebuild takes
+/// longer. SlowMem-only is the all-NVM bound; the coordinated policy shows
+/// how promotion trades durable bytes for speed.
+pub fn rec_time(opts: &ExpOptions) -> SeriesSet {
+    let mut set = SeriesSet::new(
+        "Recovery — rebuild time vs hot-set placement (power loss mid-run)",
+        "slowmem-ratio-denominator",
+    );
+    let persist = effective_persist(opts);
+    let dens = [2u64, 4, 8, 16];
+    let rows = opts.runner().run(dens.to_vec(), |den| {
+        [Policy::SlowMemOnly, Policy::HeteroCoordinated].map(|policy| {
+            let cfg = base_cfg(opts, den).with_persist(persist);
+            let spec = opts.tune(apps::graphchi());
+            let half = spec.epochs() / 2;
+            let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+            let mut sim = SingleVmSim::new(cfg, policy, wl);
+            for _ in 0..half {
+                if !sim.step() {
+                    break;
+                }
+            }
+            let before = sim.now();
+            sim.recover(FaultKind::HostPowerLoss);
+            assert!(
+                sim.violations().is_empty(),
+                "recovery oracle: {:?}",
+                sim.violations()
+            );
+            let rebuild_us = sim
+                .now()
+                .checked_sub(before)
+                .expect("recovery only moves time forward")
+                .as_nanos() as f64
+                / 1_000.0;
+            let survived = sim.recovered_frames() as f64;
+            let lost = sim.lost_frames() as f64;
+            let survived_frac = if survived + lost > 0.0 {
+                survived / (survived + lost)
+            } else {
+                0.0
+            };
+            (rebuild_us, survived_frac)
+        })
+    });
+    for (den, [slow, coord]) in dens.iter().zip(rows) {
+        let x = *den as f64;
+        set.record("slowmem-only-rebuild-us", x, slow.0);
+        set.record("coordinated-rebuild-us", x, coord.0);
+        set.record("slowmem-only-survived-frac", x, slow.1);
+        set.record("coordinated-survived-frac", x, coord.1);
+    }
+    set
+}
+
+/// Persistence overhead vs. tiering benefit: each policy's runtime with
+/// flushing off and on, the flush overhead in percent, and the gain over
+/// SlowMem-only in both modes — does the tiering win survive durability?
+pub fn rec_overhead(opts: &ExpOptions) -> String {
+    use std::fmt::Write as _;
+    let persist = effective_persist(opts);
+    let policies = [
+        Policy::SlowMemOnly,
+        Policy::HeapOd,
+        Policy::HeteroLru,
+        Policy::HeteroCoordinated,
+    ];
+    let rows = opts.runner().run(policies.to_vec(), |policy| {
+        let spec = opts.tune(apps::graphchi());
+        let off_cfg = base_cfg(opts, 4);
+        let on_cfg = base_cfg(opts, 4).with_persist(persist);
+        let off = run_app(&off_cfg, policy, spec.clone());
+        let on = run_app(&on_cfg, policy, spec);
+        (off, on)
+    });
+    let slow_off = rows[0].0.runtime;
+    let slow_on = rows[0].1.runtime;
+    let mut out = format!(
+        "# Recovery — persistence overhead vs tiering benefit \
+         (graphchi, 1/4 ratio, {persist} flush)\n\
+         policy                 runtime-off(ms)  runtime-on(ms)  overhead(%)  \
+         gain-off(%)  gain-on(%)\n"
+    );
+    for (policy, (off, on)) in policies.iter().zip(&rows) {
+        let overhead = if off.runtime.as_nanos() > 0 {
+            (on.runtime.as_nanos() as f64 / off.runtime.as_nanos() as f64 - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let gain = |mine: hetero_sim::Nanos, base: hetero_sim::Nanos| {
+            if base.as_nanos() > 0 {
+                (1.0 - mine.as_nanos() as f64 / base.as_nanos() as f64) * 100.0
+            } else {
+                0.0
+            }
+        };
+        writeln!(
+            out,
+            "{:<22} {:>15.1} {:>15.1} {:>12.2} {:>12.1} {:>11.1}",
+            policy.name(),
+            off.runtime.as_millis_f64(),
+            on.runtime.as_millis_f64(),
+            overhead,
+            gain(off.runtime, slow_off),
+            gain(on.runtime, slow_on),
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+/// Flush-policy ablation under seeded mid-run crashes: every
+/// [`FlushPolicy`] runs the same workload with the same armed crash plan,
+/// recovering through the ShadowModel-audited path each time. Reports the
+/// durability/cost frontier: flush and fence counts, crash cycles, frames
+/// recovered and frames lost (torn or volatile).
+pub fn rec_ablation(opts: &ExpOptions) -> String {
+    use std::fmt::Write as _;
+    let kind = opts.faults.unwrap_or(FaultKind::HostPowerLoss);
+    let policies = FlushPolicy::ALL;
+    let rows = opts.runner().run(policies.to_vec(), |persist| {
+        let cfg = base_cfg(opts, 4).with_persist(persist);
+        let spec = opts.tune(apps::graphchi());
+        let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(cfg, Policy::HeteroLru, wl);
+        sim.set_fault_injector(FaultInjector::new(crash_plan(kind, opts.seed)));
+        while sim.step() {}
+        assert!(
+            sim.violations().is_empty(),
+            "recovery oracle ({persist}): {:?}",
+            sim.violations()
+        );
+        let (flushes, fences) = sim
+            .persist_domain()
+            .map_or((0, 0), |d| (d.flushes, d.fences));
+        (
+            sim.report().runtime,
+            flushes,
+            fences,
+            sim.recoveries(),
+            sim.recovered_frames(),
+            sim.lost_frames(),
+        )
+    });
+    let mut out = format!(
+        "# Recovery — flush-policy ablation under seeded {kind} \
+         (graphchi, hetero-lru, 1/4 ratio)\n\
+         flush-policy   runtime(ms)    flushes     fences  crashes  recovered       lost\n"
+    );
+    for (persist, (runtime, flushes, fences, crashes, recovered, lost)) in
+        policies.iter().zip(&rows)
+    {
+        writeln!(
+            out,
+            "{:<14} {:>11.1} {:>10} {:>10} {:>8} {:>10} {:>10}",
+            persist.to_string(),
+            runtime.as_millis_f64(),
+            flushes,
+            fences,
+            crashes,
+            recovered,
+            lost,
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(set: &SeriesSet, series: &str, x: f64) -> f64 {
+        set.get(series)
+            .and_then(|s| {
+                s.points()
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-9)
+                    .map(|&(_, y)| y)
+            })
+            .unwrap_or_else(|| panic!("{series}@{x} missing"))
+    }
+
+    #[test]
+    fn scarcer_fastmem_means_more_survives_a_power_loss() {
+        let set = rec_time(&ExpOptions::quick());
+        // SlowMem-only keeps everything on NVM: survival dominates the
+        // coordinated policy's at every ratio.
+        for den in [2.0, 4.0, 8.0, 16.0] {
+            let slow = at(&set, "slowmem-only-survived-frac", den);
+            let coord = at(&set, "coordinated-survived-frac", den);
+            assert!(
+                slow >= coord - 1e-9,
+                "den {den}: all-NVM survival {slow:.3} vs coordinated {coord:.3}"
+            );
+            assert!(slow > 0.5, "den {den}: most of an all-NVM VM survives");
+        }
+        // Scarcer FastMem leaves more on NVM under the coordinated policy.
+        let rich = at(&set, "coordinated-survived-frac", 2.0);
+        let scarce = at(&set, "coordinated-survived-frac", 16.0);
+        assert!(
+            scarce >= rich - 1e-9,
+            "1/16 survival {scarce:.3} must be >= 1/2 survival {rich:.3}"
+        );
+    }
+
+    #[test]
+    fn rebuild_time_tracks_survivor_count() {
+        let set = rec_time(&ExpOptions::quick());
+        for den in [2.0, 4.0, 8.0, 16.0] {
+            let slow_t = at(&set, "slowmem-only-rebuild-us", den);
+            let coord_t = at(&set, "coordinated-rebuild-us", den);
+            assert!(slow_t > 0.0);
+            // More survivors, more rebuild work.
+            let slow_s = at(&set, "slowmem-only-survived-frac", den);
+            let coord_s = at(&set, "coordinated-survived-frac", den);
+            if slow_s > coord_s + 0.05 {
+                assert!(
+                    slow_t >= coord_t,
+                    "den {den}: rebuilding more frames cannot be faster \
+                     ({slow_t:.0}us vs {coord_t:.0}us)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiering_benefit_survives_persistence_overhead() {
+        let table = rec_overhead(&ExpOptions::quick());
+        assert!(table.contains("SlowMem-only"));
+        assert!(table.contains("HeteroOS-coordinated"));
+        // Structural check: header plus one row per policy.
+        assert_eq!(table.lines().count(), 2 + 4, "{table}");
+    }
+
+    #[test]
+    fn ablation_covers_every_flush_policy_and_recovers_cleanly() {
+        let opts = ExpOptions::quick().with_audit(hetero_faults::AuditLevel::Epoch);
+        let table = rec_ablation(&opts);
+        for p in FlushPolicy::ALL {
+            assert!(
+                table.contains(&p.to_string()),
+                "missing {p} row in:\n{table}"
+            );
+        }
+        assert_eq!(table.lines().count(), 2 + FlushPolicy::ALL.len(), "{table}");
+    }
+
+    #[test]
+    fn drivers_are_deterministic() {
+        let opts = ExpOptions::quick();
+        assert_eq!(rec_overhead(&opts), rec_overhead(&opts));
+        let a = rec_time(&opts);
+        let b = rec_time(&opts);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+}

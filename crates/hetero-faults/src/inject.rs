@@ -18,7 +18,7 @@ use hetero_mem::{MachineMemory, MemKind, Mfn, ThrottleConfig};
 use hetero_sim::SimRng;
 use hetero_vmm::channel::{BackMsg, FrontMsg, RingFull, SharedRing};
 
-use crate::plan::{FaultKind, FaultPlan};
+use crate::plan::{FaultKind, FaultPlan, PlanError};
 
 /// Where in the stack a fault was injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +37,8 @@ pub enum FaultSite {
     RingBack,
     /// `hetero-vmm`: whole-guest lifecycle.
     Guest,
+    /// Whole-host lifecycle (power).
+    Host,
 }
 
 impl fmt::Display for FaultSite {
@@ -49,6 +51,7 @@ impl fmt::Display for FaultSite {
             FaultSite::RingFront => "vmm/ring-front",
             FaultSite::RingBack => "vmm/ring-back",
             FaultSite::Guest => "vmm/guest",
+            FaultSite::Host => "host/power",
         };
         f.write_str(s)
     }
@@ -142,9 +145,30 @@ pub struct FaultInjector {
 
 impl FaultInjector {
     /// Builds an injector from a plan, seeding its private RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] — an out-of-range
+    /// probability or zero duration bound would otherwise misbehave (or
+    /// panic) deep inside an RNG draw far from where it was written. Use
+    /// [`FaultInjector::try_new`] to handle the error, or
+    /// [`FaultPlan::clamped`] to force fields into range.
     pub fn new(plan: FaultPlan) -> Self {
+        match Self::try_new(plan) {
+            Ok(inj) => inj,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`FaultInjector::new`], surfacing an invalid plan as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError`] from [`FaultPlan::validate`].
+    pub fn try_new(plan: FaultPlan) -> Result<Self, PlanError> {
+        plan.validate()?;
         let rng = SimRng::seed_from(plan.seed);
-        FaultInjector {
+        Ok(FaultInjector {
             plan,
             rng,
             step: 0,
@@ -153,7 +177,7 @@ impl FaultInjector {
             stall_left: 0,
             delayed_front: Vec::new(),
             delayed_back: Vec::new(),
-        }
+        })
     }
 
     /// The plan this injector runs.
@@ -417,6 +441,29 @@ impl FaultInjector {
     pub fn crash_guest(&mut self) -> bool {
         if self.rng.chance(self.plan.guest_crash) {
             self.record(FaultSite::Guest, FaultKind::GuestCrash);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the host lose power this step? Volatile tiers are lost; the
+    /// NVM persistence domain decides which slow-tier frames survive
+    /// (flushed) versus tear (dirty-in-cache).
+    pub fn host_power_loss(&mut self) -> bool {
+        if self.rng.chance(self.plan.host_power_loss) {
+            self.record(FaultSite::Host, FaultKind::HostPowerLoss);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does the guest crash this step with the host (and its caches) still
+    /// up? Every NVM-resident frame survives, flushed or not.
+    pub fn crash_guest_persist(&mut self) -> bool {
+        if self.rng.chance(self.plan.guest_crash_persist) {
+            self.record(FaultSite::Guest, FaultKind::GuestCrashPersist);
             true
         } else {
             false

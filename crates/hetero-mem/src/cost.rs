@@ -62,6 +62,12 @@ pub struct CostModel {
     /// Fixed validity-check cost per page examined at migration time in the
     /// guest (page mapped? marked for deletion? dirty I/O page?).
     pub validity_check_per_page: Nanos,
+    /// Cost of one `clflush`/`clwb` of a cache line to the NVM persistence
+    /// domain (media write + controller round-trip; Optane DC measurements
+    /// put an evicting flush near 100 ns).
+    pub clflush_per_line: Nanos,
+    /// Cost of one `sfence` ordering point closing a flush batch.
+    pub sfence: Nanos,
 }
 
 impl Default for CostModel {
@@ -70,9 +76,14 @@ impl Default for CostModel {
             scan_per_page: Nanos::from_nanos(1_250),
             tlb_flush: Nanos::from_micros(30),
             validity_check_per_page: Nanos::from_nanos(180),
+            clflush_per_line: Nanos::from_nanos(100),
+            sfence: Nanos::from_nanos(50),
         }
     }
 }
+
+/// Cache lines per 4 KiB page (64-byte lines) — the unit `clflush` works in.
+pub const CACHE_LINES_PER_PAGE: u64 = 4096 / 64;
 
 fn interp_table6(batch_pages: u64, select: impl Fn(&(u64, u64, u64)) -> u64) -> Nanos {
     let b = batch_pages.max(1);
@@ -132,6 +143,18 @@ impl CostModel {
     pub fn validity_cost(&self, pages: u64) -> Nanos {
         self.validity_check_per_page.saturating_mul(pages)
     }
+
+    /// Cost of flushing `pages` dirty pages to the NVM persistence domain:
+    /// one `clflush` per cache line, plus a single `sfence` closing the
+    /// batch. Zero pages are free (no fence is issued for an empty batch).
+    pub fn flush_cost(&self, pages: u64) -> Nanos {
+        if pages == 0 {
+            return Nanos::ZERO;
+        }
+        self.clflush_per_line
+            .saturating_mul(pages.saturating_mul(CACHE_LINES_PER_PAGE))
+            + self.sfence
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +207,18 @@ mod tests {
         assert_eq!(m.migration_cost(MigrationBatch::new(0)), Nanos::ZERO);
         assert_eq!(m.scan_cost(0), Nanos::ZERO);
         assert_eq!(m.validity_cost(0), Nanos::ZERO);
+        assert_eq!(m.flush_cost(0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn flush_cost_is_lines_plus_one_fence() {
+        let m = CostModel::default();
+        // One page: 64 lines × 100 ns + one 50 ns fence.
+        assert_eq!(m.flush_cost(1), Nanos::from_nanos(64 * 100 + 50));
+        // Batching shares the fence, never the line flushes.
+        let ten = m.flush_cost(10);
+        assert_eq!(ten, Nanos::from_nanos(10 * 64 * 100 + 50));
+        assert!(ten < m.flush_cost(1).saturating_mul(10));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   emulator, Figs 1–2),
 //! * [`cost`] — the software cost model for scans, walks, copies and TLB
 //!   flushes (Table 6, Fig 8),
+//! * [`persist`] — the NVM persistence domain: per-frame flush state,
+//!   `clflush`/`sfence` write-behind policies, crash survivors,
 //! * [`machine`] — a whole machine: a set of nodes with frame accounting.
 //!
 //! # Examples
@@ -41,10 +43,12 @@ pub mod kind;
 pub mod llc;
 pub mod machine;
 pub mod node;
+pub mod persist;
 pub mod tech;
 pub mod throttle;
 
 pub use cost::{CostModel, MigrationBatch};
+pub use persist::{FlushPolicy, PersistDomain};
 pub use frames::{FramePool, Mfn};
 pub use kind::{MemKind, NodeId};
 pub use llc::LlcModel;

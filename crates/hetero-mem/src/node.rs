@@ -9,7 +9,12 @@ use crate::throttle::ThrottleConfig;
 /// cost 2×–4× its loads). The *throttling* emulation of §2.1 is symmetric,
 /// so [`NodeParams::new`] uses factor 1; [`NodeParams::nvm_like`] applies
 /// this asymmetry for technology studies.
-pub const NVM_STORE_FACTOR: f64 = 2.0;
+///
+/// Kept as an integer so the latency path multiplies `Nanos` exactly: a
+/// float factor would have to round through `mul_f64`, and the old
+/// `NVM_STORE_FACTOR as u64` cast would silently truncate any non-integral
+/// calibration (e.g. 2.5 → 2) where the two paths disagree.
+pub const NVM_STORE_FACTOR: u64 = 2;
 
 /// Resolved timing parameters of one memory node.
 ///
@@ -61,7 +66,7 @@ impl NodeParams {
     /// Table 1 applied ([`NVM_STORE_FACTOR`]).
     pub fn nvm_like(kind: MemKind, capacity_bytes: u64, throttle: ThrottleConfig) -> Self {
         let mut p = Self::new(kind, capacity_bytes, throttle);
-        p.store_latency = p.store_latency.mul_f64(NVM_STORE_FACTOR);
+        p.store_latency = p.store_latency.saturating_mul(NVM_STORE_FACTOR);
         p
     }
 
@@ -124,8 +129,22 @@ mod tests {
         let n = NodeParams::nvm_like(MemKind::Slow, 1 << 30, ThrottleConfig::slow_mem_default());
         assert_eq!(
             n.store_latency,
-            n.load_latency.saturating_mul(NVM_STORE_FACTOR as u64)
+            n.load_latency.saturating_mul(NVM_STORE_FACTOR)
         );
+    }
+
+    #[test]
+    fn nvm_slow_tier_store_latency_is_pinned() {
+        // The paper's main SlowMem point (L:5, B:9) resolves to a 700 ns
+        // load; the PCM store asymmetry doubles it exactly. This pins the
+        // integer latency path — a lossy float→int conversion anywhere in
+        // it would shift these values.
+        let n = NodeParams::nvm_like(MemKind::Slow, 1 << 30, ThrottleConfig::slow_mem_default());
+        assert_eq!(n.load_latency, Nanos::from_nanos(700));
+        assert_eq!(n.store_latency, Nanos::from_nanos(1_400));
+        // And the Table 3 (L:5, B:12) anchor: 960 ns load → 1920 ns store.
+        let a = NodeParams::nvm_like(MemKind::Slow, 1 << 30, ThrottleConfig::from_factors(5.0, 12.0));
+        assert_eq!(a.store_latency, Nanos::from_nanos(1_920));
     }
 
     #[test]

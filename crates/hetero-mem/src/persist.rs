@@ -1,0 +1,392 @@
+//! NVM persistence domain: per-frame flush state and write-behind policies.
+//!
+//! The paper's SlowMem tier is NVM-like (PCM projections, Table 1), which
+//! means frames resident there can *survive a crash* — but only the portion
+//! of a frame's data that has actually reached the media. A store that is
+//! still sitting in a volatile CPU cache at power-loss is lost, leaving the
+//! frame *torn*. Real persistent-memory software closes that window with
+//! `clflush`/`clwb` + `sfence` sequences; this module models the same
+//! contract at page granularity:
+//!
+//! * every write to an NVM-resident frame makes it **dirty-in-cache**,
+//! * an explicit flush (costed through [`crate::CostModel::flush_cost`])
+//!   moves it to **flushed**,
+//! * at a [`power-loss`](PersistDomain::survivors) event, flushed frames
+//!   survive byte-exact, dirty frames are torn and must be discarded.
+//!
+//! Three write-behind policies trade flush traffic against the size of the
+//! torn window (selected via `SimConfig::persist` in `hetero-core`):
+//! eager (flush every epoch), epoch-batched (amortise the fence over
+//! [`FLUSH_BATCH_EPOCHS`] epochs), and on-evict (free-riding on natural
+//! cache eviction: a frame not re-written for [`ON_EVICT_AGE`] epochs is
+//! assumed to have left the cache hierarchy on its own — zero flush cost,
+//! but recently-written frames stay vulnerable).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Epoch interval at which [`FlushPolicy::EpochBatched`] drains the dirty
+/// set (the batch shares one `sfence`).
+pub const FLUSH_BATCH_EPOCHS: u64 = 4;
+
+/// Epochs a frame must go un-written before [`FlushPolicy::OnEvict`]
+/// considers it naturally evicted from the cache hierarchy (and therefore
+/// durable without an explicit flush).
+pub const ON_EVICT_AGE: u32 = 2;
+
+/// Write-behind flush policy for the NVM persistence domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FlushPolicy {
+    /// No persistence domain: a crash loses the slow tier too (the
+    /// pre-persistence behaviour; zero overhead).
+    #[default]
+    Off,
+    /// Flush every dirty frame at the end of every epoch. Smallest torn
+    /// window, highest flush traffic.
+    Eager,
+    /// Flush the accumulated dirty set every [`FLUSH_BATCH_EPOCHS`] epochs.
+    /// Amortises fences; frames dirtied since the last drain are torn.
+    EpochBatched,
+    /// Never flush explicitly: frames age to durable once un-written for
+    /// [`ON_EVICT_AGE`] epochs. Free, but the write-hot set is always torn.
+    OnEvict,
+}
+
+impl FlushPolicy {
+    /// Every policy, in ablation presentation order.
+    pub const ALL: [FlushPolicy; 4] = [
+        FlushPolicy::Off,
+        FlushPolicy::Eager,
+        FlushPolicy::EpochBatched,
+        FlushPolicy::OnEvict,
+    ];
+
+    /// True when a persistence domain should be maintained at all.
+    #[inline]
+    pub fn is_enabled(self) -> bool {
+        self != FlushPolicy::Off
+    }
+}
+
+impl fmt::Display for FlushPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlushPolicy::Off => "off",
+            FlushPolicy::Eager => "eager",
+            FlushPolicy::EpochBatched => "epoch",
+            FlushPolicy::OnEvict => "on-evict",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for FlushPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(FlushPolicy::Off),
+            "eager" => Ok(FlushPolicy::Eager),
+            "epoch" | "epoch-batched" => Ok(FlushPolicy::EpochBatched),
+            "on-evict" | "onevict" => Ok(FlushPolicy::OnEvict),
+            other => Err(format!(
+                "unknown flush policy '{other}' (expected off|eager|epoch|on-evict)"
+            )),
+        }
+    }
+}
+
+/// Persistence state of one NVM-resident frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameState {
+    /// Written since the last flush: cache lines may still be volatile.
+    /// `clean_epochs` counts consecutive epochs without a (re)write.
+    Dirty {
+        /// Consecutive epochs the frame has gone un-written.
+        clean_epochs: u32,
+    },
+    /// All lines reached the media: survives power loss byte-exact.
+    Flushed,
+}
+
+/// The persistence domain of the NVM tier: tracks which resident frames are
+/// dirty-in-cache versus flushed, drives the write-behind policy, and
+/// answers the crash-time question "which frames survive?".
+///
+/// Frames are identified by their raw guest-frame index (`Gfn.0`); the
+/// domain is deliberately ignorant of page types and reverse maps — the
+/// engine owns that interpretation. All iteration orders are ascending
+/// frame index, so every consumer is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::persist::{FlushPolicy, PersistDomain};
+///
+/// let mut d = PersistDomain::new(FlushPolicy::Eager);
+/// d.observe(7, true); // frame 7 written this epoch
+/// assert_eq!(d.dirty_frames(), 1);
+/// let flushed = d.end_epoch(0);
+/// assert_eq!(flushed, 1); // eager drains every epoch
+/// assert_eq!(d.survivors(true), vec![7]); // now survives power loss
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersistDomain {
+    policy: FlushPolicy,
+    states: BTreeMap<u64, FrameState>,
+    /// Frames explicitly flushed (costed through the cost model).
+    pub flushes: u64,
+    /// `sfence` ordering points issued.
+    pub fences: u64,
+    /// Frames that aged to durable under [`FlushPolicy::OnEvict`] (free).
+    pub evict_flushes: u64,
+    /// Frames discarded as torn at the most recent crash.
+    pub torn_discards: u64,
+}
+
+impl PersistDomain {
+    /// Creates an empty domain under `policy`.
+    pub fn new(policy: FlushPolicy) -> Self {
+        PersistDomain {
+            policy,
+            states: BTreeMap::new(),
+            flushes: 0,
+            fences: 0,
+            evict_flushes: 0,
+            torn_discards: 0,
+        }
+    }
+
+    /// The active write-behind policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Observes one resident NVM frame for this epoch. A frame seen for the
+    /// first time is dirty (its initial fill was a write); `written` marks a
+    /// (re)write this epoch, which re-opens the torn window even for a
+    /// previously flushed frame.
+    pub fn observe(&mut self, frame: u64, written: bool) {
+        match self.states.get_mut(&frame) {
+            None => {
+                self.states.insert(frame, FrameState::Dirty { clean_epochs: 0 });
+            }
+            Some(state) => {
+                if written {
+                    *state = FrameState::Dirty { clean_epochs: 0 };
+                } else if let FrameState::Dirty { clean_epochs } = state {
+                    *clean_epochs = clean_epochs.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// A frame left the NVM tier (freed, or migrated away): its persistence
+    /// state dies with it.
+    pub fn retire(&mut self, frame: u64) {
+        self.states.remove(&frame);
+    }
+
+    /// Drops state for every frame not in the (ascending) resident set —
+    /// the bulk form of [`PersistDomain::retire`] the engine uses after
+    /// reclaim storms.
+    pub fn retain_resident(&mut self, resident: &[u64]) {
+        let keep: std::collections::BTreeSet<u64> = resident.iter().copied().collect();
+        self.states.retain(|f, _| keep.contains(f));
+    }
+
+    /// Ends an epoch: runs the write-behind policy and returns how many
+    /// frames were *explicitly* flushed (the caller charges
+    /// [`crate::CostModel::flush_cost`] for exactly that count).
+    /// `epoch` is the engine's epoch index, used by the batched policy.
+    pub fn end_epoch(&mut self, epoch: u64) -> u64 {
+        match self.policy {
+            FlushPolicy::Off => 0,
+            FlushPolicy::Eager => self.drain_dirty(),
+            FlushPolicy::EpochBatched => {
+                if (epoch + 1).is_multiple_of(FLUSH_BATCH_EPOCHS) {
+                    self.drain_dirty()
+                } else {
+                    0
+                }
+            }
+            FlushPolicy::OnEvict => {
+                let mut aged = 0;
+                for state in self.states.values_mut() {
+                    if matches!(state, FrameState::Dirty { clean_epochs } if *clean_epochs >= ON_EVICT_AGE)
+                    {
+                        *state = FrameState::Flushed;
+                        aged += 1;
+                    }
+                }
+                self.evict_flushes += aged;
+                0
+            }
+        }
+    }
+
+    fn drain_dirty(&mut self) -> u64 {
+        let mut drained = 0;
+        for state in self.states.values_mut() {
+            if matches!(state, FrameState::Dirty { .. }) {
+                *state = FrameState::Flushed;
+                drained += 1;
+            }
+        }
+        if drained > 0 {
+            self.flushes += drained;
+            self.fences += 1;
+        }
+        drained
+    }
+
+    /// Frames currently dirty-in-cache.
+    pub fn dirty_frames(&self) -> u64 {
+        self.states
+            .values()
+            .filter(|s| matches!(s, FrameState::Dirty { .. }))
+            .count() as u64
+    }
+
+    /// Frames currently flushed (durable).
+    pub fn flushed_frames(&self) -> u64 {
+        self.states
+            .values()
+            .filter(|s| matches!(s, FrameState::Flushed))
+            .count() as u64
+    }
+
+    /// Crash: returns the frames that survive, ascending. With
+    /// `torn_lost = true` (host power loss) only flushed frames survive and
+    /// dirty frames are counted into
+    /// [`torn_discards`](PersistDomain::torn_discards); with `false` (guest
+    /// crash under a live host, whose caches survive) every tracked frame
+    /// survives. Either way the domain resets to empty — recovery re-seeds
+    /// it from the recovered residency.
+    pub fn survivors(&mut self, torn_lost: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (&frame, state) in &self.states {
+            match state {
+                FrameState::Flushed => out.push(frame),
+                FrameState::Dirty { .. } => {
+                    if torn_lost {
+                        self.torn_discards += 1;
+                    } else {
+                        out.push(frame);
+                    }
+                }
+            }
+        }
+        self.states.clear();
+        out
+    }
+
+    /// Frames tracked (resident on the NVM tier as far as the domain knows).
+    pub fn tracked(&self) -> u64 {
+        self.states.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sight_is_dirty_and_eager_flushes_every_epoch() {
+        let mut d = PersistDomain::new(FlushPolicy::Eager);
+        d.observe(3, false);
+        d.observe(1, false);
+        assert_eq!(d.dirty_frames(), 2);
+        assert_eq!(d.end_epoch(0), 2);
+        assert_eq!(d.flushed_frames(), 2);
+        assert_eq!(d.fences, 1);
+        // No new writes: nothing to flush, no fence.
+        d.observe(3, false);
+        d.observe(1, false);
+        assert_eq!(d.end_epoch(1), 0);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn rewrite_reopens_the_torn_window() {
+        let mut d = PersistDomain::new(FlushPolicy::Eager);
+        d.observe(5, true);
+        d.end_epoch(0);
+        assert_eq!(d.flushed_frames(), 1);
+        d.observe(5, true);
+        assert_eq!(d.dirty_frames(), 1);
+        assert_eq!(d.flushed_frames(), 0);
+    }
+
+    #[test]
+    fn epoch_batched_drains_on_the_interval() {
+        let mut d = PersistDomain::new(FlushPolicy::EpochBatched);
+        d.observe(9, true);
+        for e in 0..FLUSH_BATCH_EPOCHS - 1 {
+            assert_eq!(d.end_epoch(e), 0, "no drain before the interval");
+        }
+        assert_eq!(d.end_epoch(FLUSH_BATCH_EPOCHS - 1), 1);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn on_evict_ages_clean_frames_to_durable_for_free() {
+        let mut d = PersistDomain::new(FlushPolicy::OnEvict);
+        d.observe(2, true);
+        assert_eq!(d.end_epoch(0), 0);
+        // Two clean epochs age it out of the cache hierarchy.
+        d.observe(2, false);
+        assert_eq!(d.end_epoch(1), 0);
+        d.observe(2, false);
+        assert_eq!(d.end_epoch(2), 0);
+        assert_eq!(d.flushed_frames(), 1);
+        assert_eq!(d.evict_flushes, 1);
+        assert_eq!(d.flushes, 0, "aging is free");
+    }
+
+    #[test]
+    fn power_loss_tears_dirty_frames_only() {
+        let mut d = PersistDomain::new(FlushPolicy::Eager);
+        d.observe(1, true);
+        d.observe(2, true);
+        d.end_epoch(0);
+        d.observe(3, true); // dirty at crash time
+        assert_eq!(d.survivors(true), vec![1, 2]);
+        assert_eq!(d.torn_discards, 1);
+        assert_eq!(d.tracked(), 0, "domain resets at crash");
+    }
+
+    #[test]
+    fn guest_crash_preserves_dirty_frames() {
+        let mut d = PersistDomain::new(FlushPolicy::OnEvict);
+        d.observe(4, true);
+        d.observe(8, true);
+        assert_eq!(d.survivors(false), vec![4, 8]);
+        assert_eq!(d.torn_discards, 0);
+    }
+
+    #[test]
+    fn retire_and_retain_drop_state() {
+        let mut d = PersistDomain::new(FlushPolicy::Eager);
+        for f in [1, 2, 3, 4] {
+            d.observe(f, true);
+        }
+        d.retire(2);
+        assert_eq!(d.tracked(), 3);
+        d.retain_resident(&[1, 4]);
+        assert_eq!(d.tracked(), 2);
+        assert_eq!(d.survivors(false), vec![1, 4]);
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for p in FlushPolicy::ALL {
+            assert_eq!(p.to_string().parse::<FlushPolicy>().unwrap(), p);
+        }
+        assert_eq!("epoch-batched".parse::<FlushPolicy>().unwrap(), FlushPolicy::EpochBatched);
+        assert!("warm".parse::<FlushPolicy>().is_err());
+        assert!(!FlushPolicy::Off.is_enabled());
+        assert!(FlushPolicy::OnEvict.is_enabled());
+    }
+}

@@ -122,6 +122,11 @@ pub struct Vmm {
     /// Cumulative fair-share ledger mutations (register/unregister, grants,
     /// reclaims, releases) — telemetry.
     ledger_ops: u64,
+    /// In-flight channel messages destroyed by guest teardown: requests and
+    /// responses still on the rings plus parked `pending_back` retries at
+    /// `unregister_guest` time. A crash mid-conversation must account for
+    /// the conversation it killed, not lose it silently.
+    events_dropped: u64,
 }
 
 impl fmt::Debug for Vmm {
@@ -144,6 +149,7 @@ impl Vmm {
             guests: HashMap::new(),
             hot_threshold: 2,
             ledger_ops: 0,
+            events_dropped: 0,
         }
     }
 
@@ -152,11 +158,17 @@ impl Vmm {
         self.ledger_ops
     }
 
+    /// In-flight channel messages destroyed by guest teardown so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
     /// Samples the VMM's cumulative statistics into a telemetry registry
     /// under the `vmm.*` namespace. Idempotent (uses `counter_set`);
     /// purely observational.
     pub fn export_telemetry(&self, reg: &mut hetero_sim::telemetry::Registry) {
         reg.counter_set("vmm.ledger.ops", self.ledger_ops);
+        reg.counter_set("vmm.events.dropped", self.events_dropped);
         reg.counter_set("vmm.guests", self.guests.len() as u64);
         let (mut scans, mut frames, mut tracked) = (0u64, 0u64, 0u64);
         for e in self.guests.values() {
@@ -236,13 +248,19 @@ impl Vmm {
 
     /// Unregisters a guest (shutdown or crash): every frame backing it goes
     /// back to the machine and its share is forgotten. Returns the pages
-    /// that were reclaimed per tier.
+    /// that were reclaimed per tier. In-flight conversation state dies with
+    /// the guest — unanswered ring messages in both directions and parked
+    /// `pending_back` retries — and is counted into
+    /// [`Vmm::events_dropped`] rather than vanishing silently.
     ///
     /// # Errors
     ///
     /// Returns [`VmmError::UnknownGuest`] for unregistered ids.
     pub fn unregister_guest(&mut self, id: GuestId) -> Result<KindMap<u64>, VmmError> {
         let entry = self.guests.remove(&id).ok_or(VmmError::UnknownGuest(id))?;
+        self.events_dropped += entry.ring.front_pending() as u64
+            + entry.ring.back_pending() as u64
+            + entry.pending_back.len() as u64;
         let mut reclaimed = KindMap::default();
         for (kind, frames) in entry.frames.iter() {
             reclaimed[kind] = frames.len() as u64;
@@ -751,6 +769,40 @@ mod tests {
                 pages: 4
             })
         );
+    }
+
+    #[test]
+    fn crash_with_pending_responses_counts_dropped_events() {
+        let mut vmm = Vmm::new(machine(100, 100), SharePolicy::paper_drf());
+        vmm.register_guest(GuestId(0), spec(0, 100, 0, 100)).unwrap();
+        assert_eq!(vmm.events_dropped(), 0);
+        {
+            let ring = vmm.ring_mut(GuestId(0)).unwrap();
+            // Jam the back ring so the grant response parks in pending_back…
+            while ring.post_back(BackMsg::HotPages(Vec::new())).is_ok() {}
+            ring.post_front(FrontMsg::OnDemand {
+                kind: MemKind::Fast,
+                pages: 4,
+                fallback: None,
+            })
+            .unwrap();
+        }
+        vmm.process_guest_requests(GuestId(0)).unwrap();
+        assert_eq!(vmm.pending_responses(GuestId(0)).unwrap(), 1);
+        let jammed = vmm.ring_mut(GuestId(0)).unwrap().back_pending() as u64;
+        // …and leave one unprocessed request on the front ring too.
+        vmm.ring_mut(GuestId(0))
+            .unwrap()
+            .post_front(FrontMsg::MigrationDone(7))
+            .unwrap();
+        // Crash: everything in flight dies with the guest, but is counted.
+        vmm.unregister_guest(GuestId(0)).unwrap();
+        assert_eq!(vmm.events_dropped(), jammed + 1 + 1);
+        // A clean teardown with empty rings drops nothing further.
+        vmm.register_guest(GuestId(1), spec(0, 10, 0, 10)).unwrap();
+        let before = vmm.events_dropped();
+        vmm.unregister_guest(GuestId(1)).unwrap();
+        assert_eq!(vmm.events_dropped(), before);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use heteroos::core::{AuditLevel, Policy, SimConfig, SingleVmSim};
 use heteroos::faults::{audit_kernel, audit_vmm, FaultInjector, FaultPlan};
+use heteroos::mem::FlushPolicy;
 use heteroos::guest::kernel::{GuestConfig, GuestKernel};
 use heteroos::guest::kswapd::Kswapd;
 use heteroos::guest::page::PageType;
@@ -159,6 +160,116 @@ fn epoch_sanitizer_stays_clean_and_invisible_under_fault_soak() {
             "seed {seed} {policy:?}: epoch audit changed the fault trace or report bytes"
         );
     }
+}
+
+// ---------------------------------------------------- crash→recover soak
+
+/// One crashy persistent run: the NVM flush policy armed at `persist`,
+/// seeded host-power-loss and guest-crash faults enabled, the run driven
+/// to completion through however many crash→recover cycles fire. Returns
+/// the full observable surface — fault trace, exported report JSON and the
+/// recovery count — so callers can assert byte-identity across reruns and
+/// audit levels.
+fn crash_soak(
+    seed: u64,
+    policy: Policy,
+    persist: FlushPolicy,
+    audit: AuditLevel,
+) -> (String, String, u64) {
+    let cfg = SimConfig::paper_default()
+        .with_capacity_ratio(1, 4)
+        .with_seed(seed)
+        .with_persist(persist)
+        .with_audit(audit);
+    let mut spec = apps::graphchi();
+    spec.total_instructions /= 20;
+    let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+    let mut sim = SingleVmSim::new(cfg, policy, wl);
+    let mut plan = FaultPlan::power_loss(seed, 0.03);
+    plan.guest_crash_persist = 0.02;
+    sim.set_fault_injector(FaultInjector::new(plan));
+    while sim.step() {}
+    assert!(
+        sim.violations().is_empty(),
+        "seed {seed} {persist} {policy:?}: recovery oracle violations: {:?}",
+        sim.violations()
+    );
+    let trace = sim
+        .fault_injector()
+        .expect("injector stays armed")
+        .trace()
+        .to_text();
+    (trace, sim.report().to_json(), sim.recoveries())
+}
+
+#[test]
+fn crash_recover_cycles_stay_deterministic_across_flush_policies() {
+    // The tentpole soak: every flush policy, every seed, crashes armed,
+    // the ShadowModel-audited recovery path exercised end to end. Rerunning
+    // a cell must reproduce the fault trace and report byte for byte.
+    let policies = [
+        FlushPolicy::Eager,
+        FlushPolicy::EpochBatched,
+        FlushPolicy::OnEvict,
+    ];
+    let matrix: Vec<(u64, FlushPolicy)> = SEEDS
+        .flat_map(|seed| policies.into_iter().map(move |p| (seed, p)))
+        .collect();
+    let results = Runner::new(0).run(matrix.clone(), |(seed, persist)| {
+        (
+            crash_soak(seed, Policy::HeteroLru, persist, AuditLevel::Epoch),
+            crash_soak(seed, Policy::HeteroLru, persist, AuditLevel::Epoch),
+        )
+    });
+    let mut recoveries = 0u64;
+    for ((seed, persist), (a, b)) in matrix.into_iter().zip(results) {
+        assert_eq!(
+            a, b,
+            "seed {seed} {persist}: crashy run must be byte-identical across reruns"
+        );
+        recoveries += a.2;
+    }
+    assert!(
+        recoveries > 0,
+        "soak is vacuous: no crash→recover cycle fired"
+    );
+}
+
+#[test]
+fn paranoid_audit_is_invisible_under_crash_restarts() {
+    // Crash-restart cycles under the strictest oracle: `Paranoid` finds
+    // nothing across every seed, and stepping the audit Off → Epoch →
+    // Paranoid changes neither the fault trace nor one report byte — the
+    // recovery path draws no randomness and the sanitizer never leaks into
+    // simulated state, even while the stack is being killed mid-run.
+    let seeds: Vec<u64> = SEEDS.collect();
+    let results = Runner::new(0).run(seeds.clone(), |seed| {
+        let run = |audit| {
+            crash_soak(
+                seed,
+                Policy::HeteroCoordinated,
+                FlushPolicy::EpochBatched,
+                audit,
+            )
+        };
+        (run(AuditLevel::Off), run(AuditLevel::Epoch), run(AuditLevel::Paranoid))
+    });
+    let mut any_crash = false;
+    for (seed, (off, epoch, paranoid)) in seeds.into_iter().zip(results) {
+        any_crash |= off.2 > 0;
+        assert_eq!(
+            off, epoch,
+            "seed {seed}: the epoch audit perturbed a crashy run"
+        );
+        assert_eq!(
+            epoch, paranoid,
+            "seed {seed}: the paranoid audit perturbed a crashy run"
+        );
+    }
+    assert!(
+        any_crash,
+        "soak is vacuous: no crash fired under the audit matrix"
+    );
 }
 
 // ------------------------------------------------------------ kernel soak
