@@ -13,13 +13,15 @@
 //!
 //! Flags (after `--`):
 //! * `--smoke` — reduced iteration counts for CI smoke runs;
-//! * `--check` — compare the measured object-traffic microbench against
-//!   the committed `BENCH_substrate.json` and exit non-zero on a >2x
-//!   regression. Does **not** rewrite the committed baseline.
+//! * `--check` — compare the measured gate benches (object traffic,
+//!   `repro_epochs`, `idle_fleet`) against the committed
+//!   `BENCH_substrate.json` and exit non-zero on a >2x regression. Does
+//!   **not** rewrite the committed baseline.
 
 use std::time::Instant;
 
 use hetero_core::experiments::{placement, ExpOptions};
+use hetero_core::multivm::{MultiVmSim, VmSetup};
 use hetero_core::{Policy, SimConfig, SingleVmSim};
 use hetero_guest::buddy::BuddyAllocator;
 use hetero_guest::kernel::{GuestConfig, GuestKernel};
@@ -27,7 +29,7 @@ use hetero_guest::page::Gfn;
 use hetero_guest::SlabClass;
 use hetero_mem::MemKind;
 use hetero_vmm::hotness::ScanOutcome;
-use hetero_vmm::HotnessTracker;
+use hetero_vmm::{HotnessTracker, SharePolicy};
 use hetero_workloads::{apps, AppWorkload};
 
 /// Committed baseline path: `<repo root>/BENCH_substrate.json`.
@@ -177,6 +179,48 @@ fn bench_object_traffic_bulk(iters: u64) -> BenchResult {
     })
 }
 
+/// A datacenter-shaped fleet: `active` guests run a real workload slice
+/// while `idle` guests finish theirs within the first few epochs and go
+/// quiescent. The event scheduler's runnable set drops finished guests, so
+/// fleet cost should track the busy guests, not the booted count — the
+/// `idle_fleet` / `idle_fleet_busy` pair is the committed evidence that
+/// cost is sub-linear in idle-VM count. Construction and boot-ballooning
+/// run untimed; `run()` is timed end-to-end. Ops = VM-epochs stepped.
+fn bench_idle_fleet(name: &'static str, active: usize, idle: usize) -> BenchResult {
+    const GB: u64 = 1 << 30;
+    let mut setups = Vec::with_capacity(active + idle);
+    for i in 0..active + idle {
+        let mut spec = apps::graphchi();
+        if i < active {
+            spec.total_instructions /= 20;
+        } else {
+            // A short-lived batch job: tiny instruction budget and a
+            // matching tiny footprint, so it finishes (and goes quiescent)
+            // within its first few epochs.
+            spec.total_instructions /= 50_000;
+            spec.footprint.heap /= 100;
+            spec.footprint.page_cache /= 100;
+            spec.footprint.buffer_cache /= 100;
+            spec.footprint.slab /= 100;
+            spec.footprint.net_buf /= 100;
+            spec.hot_wss_bytes /= 100;
+        }
+        setups.push(VmSetup::new(spec, GB / 16, GB / 8, GB / 8, GB / 4));
+    }
+    let cfg = SimConfig::paper_default()
+        .with_fast_bytes(8 * GB)
+        .with_slow_bytes(24 * GB)
+        .with_seed(42);
+    let sim = MultiVmSim::new(cfg, SharePolicy::paper_drf(), Policy::HeteroCoordinated, setups);
+    let start = Instant::now();
+    let reports = sim.run();
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let ops: u64 = reports.iter().map(|r| r.epochs).sum::<u64>().max(1);
+    let ns_per_op = elapsed / ops as f64;
+    println!("{name:<24} {ns_per_op:>10.1} ns/op  ({ops} ops)");
+    BenchResult { name, ns_per_op, ops }
+}
+
 /// One full quick-mode Fig 9 sweep on `jobs` worker threads, timed
 /// end-to-end (a single iteration — the sweep is seconds, not nanos). The
 /// `jobs = 1` / `jobs = 0` (available parallelism) pair is the committed
@@ -224,7 +268,12 @@ fn check_regression(results: &[BenchResult]) -> bool {
         return true;
     };
     let mut ok = true;
-    for name in ["object_traffic_bulk", "object_traffic_scalar"] {
+    for name in [
+        "object_traffic_bulk",
+        "object_traffic_scalar",
+        "repro_epochs",
+        "idle_fleet",
+    ] {
         let Some(committed) = baseline_ns_per_op(&json, name) else {
             eprintln!("--check: baseline has no entry for {name}; skipping");
             continue;
@@ -262,10 +311,12 @@ fn main() {
         bench_repro_epochs("repro_epochs_scalar", (10 / scale).max(1), false),
         bench_object_traffic_scalar(20_000 / scale),
         bench_object_traffic_bulk(20_000 / scale),
+        bench_idle_fleet("idle_fleet", 6, 58),
+        bench_idle_fleet("idle_fleet_busy", 6, 0),
     ];
     // The end-to-end Fig 9 sweep takes seconds per iteration; only the
-    // full (baseline-writing) mode pays for it. `--check` gates CI on the
-    // object-traffic entries alone, so smoke runs lose nothing.
+    // full (baseline-writing) mode pays for it. `--check` never gates on
+    // the fig9 entries, so smoke runs lose nothing.
     if !smoke {
         results.push(bench_fig9_jobs("fig9_jobs1", 1));
         results.push(bench_fig9_jobs("fig9_jobsN", 0));
@@ -285,6 +336,19 @@ fn main() {
     println!(
         "repro_epochs speedup:   {:.2}x (scalar/bulk)",
         ns_of("repro_epochs_scalar") / ns_of("repro_epochs")
+    );
+    // Wall-clock growth from +58 idle guests; linear scheduling would cost
+    // ~(64/6)x, the runnable set should keep this near 1x.
+    let wall = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.ns_per_op * r.ops as f64)
+            .expect("bench always runs")
+    };
+    println!(
+        "idle_fleet cost:        {:.2}x of busy-only wall clock (+58 idle VMs; linear ~10.7x)",
+        wall("idle_fleet") / wall("idle_fleet_busy")
     );
     if !smoke {
         println!(

@@ -1,13 +1,14 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--jobs N] [--audit LEVEL] [--persist MODE]
-//!       [--faults KIND] [--json-out DIR] <target>...
+//! repro [--quick] [--seed N] [--jobs N] [--sched MODE] [--audit LEVEL]
+//!       [--persist MODE] [--faults KIND] [--json-out DIR] <target>...
 //! repro all                      # every table and figure
 //! repro ablations                # the design-choice ablations
 //! repro fig9 fig10               # specific targets
 //! repro --json-out out/ all      # also write machine-readable exports
 //! repro --jobs 8 all             # spread runs over 8 OS threads
+//! repro --sched dense fig9       # force the dense per-epoch scheduler
 //! repro --audit epoch fig9       # cross-check invariants every epoch
 //! repro recovery                 # the crash-consistency experiments
 //! repro --persist epoch --faults host-power-loss rec-ablation
@@ -16,6 +17,13 @@
 //! `--jobs N` spreads the work over `N` OS threads (default: available
 //! parallelism; `--jobs 1` forces sequential). Output is byte-identical
 //! for every job count — parallelism only changes the wall-clock.
+//!
+//! `--sched MODE` (`event` or `dense`) selects the epoch scheduler: `event`
+//! (the default) pops management work off a deterministic timer queue and
+//! skips epochs with nothing due, `dense` re-checks every subsystem each
+//! epoch. Exports are byte-identical either way — the mode is a pure
+//! performance lever, and the equivalence is pinned by the scheduler
+//! test matrix.
 //!
 //! `--audit LEVEL` (`off`, `epoch` or `paranoid`) runs the invariant
 //! sanitizer and shadow reference model over every simulation. Auditing is
@@ -121,6 +129,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--sched" => match args.next().map(|s| s.parse()) {
+                Some(Ok(mode)) => opts.sched = mode,
+                Some(Err(e)) => {
+                    eprintln!("--sched: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--sched requires a mode (event or dense)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--json-out" => match args.next() {
                 Some(dir) => json_out = Some(PathBuf::from(dir)),
                 None => {
@@ -159,9 +178,11 @@ fn main() -> ExitCode {
             "recovery" => targets.extend(RECOVERY.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--seed N] [--jobs N] [--audit LEVEL] \
-                     [--persist MODE] [--faults KIND] [--json-out DIR] <target>..."
+                    "usage: repro [--quick] [--seed N] [--jobs N] [--sched MODE] \
+                     [--audit LEVEL] [--persist MODE] [--faults KIND] \
+                     [--json-out DIR] <target>..."
                 );
+                println!("sched modes: event dense");
                 println!("audit levels: off epoch paranoid");
                 println!("persist modes: off eager epoch on-evict");
                 println!("fault kinds: host-power-loss guest-crash-persist");

@@ -1,8 +1,51 @@
 //! Simulation configuration.
 
+use std::fmt;
+use std::str::FromStr;
+
 use hetero_faults::AuditLevel;
 use hetero_mem::{CostModel, FlushPolicy, LlcModel, ThrottleConfig};
 use hetero_sim::Nanos;
+
+/// How the epoch engine schedules its periodic management work.
+///
+/// Both modes produce **byte-identical** reports, traces and exports for
+/// the same configuration (pinned by `tests/sched_equivalence.rs`); they
+/// differ only in wall-clock cost. `Dense` re-evaluates every subsystem's
+/// internal guard every epoch; `Event` keeps each subsystem's next
+/// deadline in an [`EventQueue`](crate::eventq::EventQueue) and skips the
+/// management phase outright when nothing is due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Walk every management subsystem every epoch (the reference
+    /// scheduler; each subsystem no-ops off its own internal guard).
+    Dense,
+    /// Event-driven: management runs only when a queued deadline has
+    /// arrived or the cold-page ledger reports pending LRU aging work.
+    #[default]
+    Event,
+}
+
+impl fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedMode::Dense => write!(f, "dense"),
+            SchedMode::Event => write!(f, "event"),
+        }
+    }
+}
+
+impl FromStr for SchedMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(SchedMode::Dense),
+            "event" => Ok(SchedMode::Event),
+            other => Err(format!("unknown sched mode '{other}' (expected dense or event)")),
+        }
+    }
+}
 
 /// Full configuration of one simulated guest + policy run.
 ///
@@ -132,6 +175,11 @@ pub struct SimConfig {
     /// the event trace are byte-identical with it on or off. Off by
     /// default (zero cost).
     pub telemetry: bool,
+    /// Management scheduler: `Event` (the default) runs scans, reclaim
+    /// windows and statistics rolls off a deterministic event queue and
+    /// skips idle epochs; `Dense` re-walks every subsystem every epoch.
+    /// Byte-identical output either way — only wall-clock differs.
+    pub sched: SchedMode,
     /// NVM persistence domain write-behind policy for the slow tier
     /// (crash-consistency). `Off` (the default) maintains no persistence
     /// state and charges nothing — runs are byte-identical to builds
@@ -187,6 +235,7 @@ impl SimConfig {
             audit_invariants: false,
             audit: AuditLevel::Off,
             telemetry: false,
+            sched: SchedMode::Event,
             persist: FlushPolicy::Off,
         }
     }
@@ -272,6 +321,13 @@ impl SimConfig {
     /// Selects the NVM persistence write-behind policy.
     pub fn with_persist(mut self, policy: FlushPolicy) -> Self {
         self.persist = policy;
+        self
+    }
+
+    /// Selects the management scheduler (`Dense` reference walker or the
+    /// default event-driven skipper).
+    pub fn with_sched(mut self, sched: SchedMode) -> Self {
+        self.sched = sched;
         self
     }
 
@@ -361,6 +417,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_ratio_rejected() {
         SimConfig::paper_default().with_capacity_ratio(0, 8);
+    }
+
+    #[test]
+    fn sched_defaults_to_event_and_parses() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.sched, SchedMode::Event);
+        assert_eq!(c.with_sched(SchedMode::Dense).sched, SchedMode::Dense);
+        assert_eq!("dense".parse::<SchedMode>(), Ok(SchedMode::Dense));
+        assert_eq!("event".parse::<SchedMode>(), Ok(SchedMode::Event));
+        assert!("wheel".parse::<SchedMode>().is_err());
+        assert_eq!(SchedMode::Event.to_string(), "event");
+        assert_eq!(SchedMode::Dense.to_string(), "dense");
     }
 
     #[test]

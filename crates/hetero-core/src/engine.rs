@@ -27,7 +27,8 @@ use hetero_workloads::spec::{EpochDemand, Workload};
 use hetero_workloads::AppWorkload;
 
 use crate::adaptive::IntervalController;
-use crate::config::SimConfig;
+use crate::config::{SchedMode, SimConfig};
+use crate::eventq::{EngineEvent, EventQueue};
 use crate::metrics::RunReport;
 use crate::policy::{Policy, Tracking};
 use hetero_vmm::hotness::ScanOutcome;
@@ -171,6 +172,18 @@ pub struct SingleVmSim<W: Workload = AppWorkload> {
     /// traffic and emits no persistence telemetry, so every export stays
     /// byte-identical to a build without the subsystem.
     persist: Option<PersistDomain>,
+    /// Deadline-ordered timer queue driving [`SchedMode::Event`] dispatch.
+    /// Unused (empty, zero-cost) under [`SchedMode::Dense`].
+    timerq: EventQueue,
+    /// Epochs whose management point had nothing due and no cold-ledger
+    /// pressure, so the whole management phase was skipped.
+    epochs_skipped: u64,
+    /// Pages deactivated by LRU aging across the run (lazy cold-ledger
+    /// walks and dense fallbacks both count here).
+    aging_touches: u64,
+    /// Scratch: frames of the most recent heap chunk, in VPN order
+    /// (capacity reused across epochs).
+    heap_gfns: Vec<Gfn>,
     /// Crash injected at the top of this epoch, consumed by `step` before
     /// any guest work runs.
     pending_crash: Option<FaultKind>,
@@ -190,7 +203,11 @@ impl<W: Workload> SingleVmSim<W> {
             Policy::FastMemOnly => 0,
             _ => cfg.guest_frames_medium(),
         };
-        let kernel = GuestKernel::new(Self::guest_config(&cfg, policy));
+        let mut kernel = GuestKernel::new(Self::guest_config(&cfg, policy));
+        // The cold-page ledger lets LRU aging walk only the active lists
+        // (and lets event dispatch prove an epoch's aging is a no-op)
+        // instead of recounting the heap densely every epoch.
+        kernel.configure_cold_ledger(cfg.lru_cold_heat);
         let fast_params = NodeParams::new(MemKind::Fast, cfg.fast_bytes.max(1), cfg.fast_throttle);
         let slow_params = if cfg.nvm_slow {
             NodeParams::nvm_like(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle)
@@ -217,7 +234,7 @@ impl<W: Workload> SingleVmSim<W> {
             cfg.adaptive_bounds.0,
             cfg.adaptive_bounds.1,
         );
-        SingleVmSim {
+        let mut sim = SingleVmSim {
             rng: SimRng::seed_from(cfg.seed),
             clock: Clock::new(),
             // Threshold 1: a page is promotion-hot when its access bit was
@@ -269,6 +286,10 @@ impl<W: Workload> SingleVmSim<W> {
                 .persist
                 .is_enabled()
                 .then(|| PersistDomain::new(cfg.persist)),
+            timerq: EventQueue::new(),
+            epochs_skipped: 0,
+            aging_touches: 0,
+            heap_gfns: Vec::new(),
             pending_crash: None,
             recoveries: 0,
             recovered_frames: 0,
@@ -277,7 +298,11 @@ impl<W: Workload> SingleVmSim<W> {
             workload,
             cfg,
             policy,
+        };
+        if sim.cfg.sched == SchedMode::Event {
+            sim.arm_management_events();
         }
+        sim
     }
 
     /// The guest's tier reservations for this config/policy pair — shared
@@ -580,8 +605,13 @@ impl<W: Workload> SingleVmSim<W> {
         self.cool_heap();
         self.price_epoch(&demand);
         self.span_close(guest_span);
-        self.roll_stats_window();
-        self.run_management();
+        match self.cfg.sched {
+            SchedMode::Dense => {
+                self.roll_stats_window();
+                self.run_management();
+            }
+            SchedMode::Event => self.event_management(),
+        }
         self.update_persistence();
         self.epochs += 1;
         self.span_close(epoch_span);
@@ -590,6 +620,92 @@ impl<W: Workload> SingleVmSim<W> {
         }
         self.audit_epoch();
         true
+    }
+
+    /// The management point under [`SchedMode::Event`]: drain the timer
+    /// queue and run the (single, shared) management pass only when a
+    /// management deadline has arrived or the cold ledger reports pending
+    /// LRU work. Skipping is exact: when neither holds, the dense pass is
+    /// provably a no-op — `roll_stats_window`'s window guard fails, LRU
+    /// aging finds zero cold-active pages (zero cost via the ledger fast
+    /// path), the demotion watermark check sees no shortage, and the
+    /// tracking catch-up loop runs zero iterations. The only divergence is
+    /// a telemetry-only `guest-lru` span the dense walk would open, which
+    /// never touches results.
+    fn event_management(&mut self) {
+        let now = self.clock.now();
+        // Per-epoch work — workload phase processing, fault-plan stepping,
+        // persistence write-behind — is modelled as events due immediately,
+        // so the queue's fired counter stays an honest measure of what each
+        // epoch actually executed.
+        self.timerq.arm(EngineEvent::PhaseChange, now);
+        if self.injector.is_some() {
+            self.timerq.arm(EngineEvent::FaultArm, now);
+        }
+        if self.persist.is_some() {
+            self.timerq.arm(EngineEvent::PersistFlush, now);
+        }
+        let mut mgmt_due = false;
+        while let Some(ev) = self.timerq.pop_due(now) {
+            mgmt_due |= ev.is_management();
+        }
+        if mgmt_due || self.lru_pressure() {
+            self.roll_stats_window();
+            self.run_management();
+            self.arm_management_events();
+        } else {
+            self.epochs_skipped += 1;
+        }
+    }
+
+    /// True when the dense guest-LRU walk would do observable work right
+    /// now: cold pages sit on the Fast active list (aging would deactivate
+    /// and bill them), or the demotion window is open and a managed tier
+    /// is below its low watermark.
+    fn lru_pressure(&self) -> bool {
+        if !self.policy.uses_guest_lru() {
+            return false;
+        }
+        if self.kernel.cold_active(MemKind::Fast) > 0 {
+            return true;
+        }
+        if self.clock.now() < self.next_demote {
+            return false;
+        }
+        let tiers: &[MemKind] = if self.medium_params.is_some() {
+            &[MemKind::Fast, MemKind::Medium]
+        } else {
+            &[MemKind::Fast]
+        };
+        tiers.iter().any(|&tier| {
+            let total = self.kernel.total_frames(tier);
+            let low = (self.cfg.fast_low_watermark * total as f64) as u64;
+            self.kernel.free_frames(tier) < low
+        })
+    }
+
+    /// (Re-)arms the management deadlines after a management pass updated
+    /// them. The demotion deadline is only armed while its hysteresis
+    /// window is in the future — an expired window means demotion is purely
+    /// watermark-driven, which [`SingleVmSim::lru_pressure`] watches.
+    fn arm_management_events(&mut self) {
+        self.timerq.arm(EngineEvent::StatsWindow, self.next_window);
+        if self.policy.tracking() != Tracking::None {
+            self.timerq.arm(EngineEvent::Scan, self.next_scan);
+        }
+        if self.policy.uses_guest_lru() && self.next_demote > self.clock.now() {
+            self.timerq.arm(EngineEvent::Reclaim, self.next_demote);
+        }
+    }
+
+    /// Events popped from the timer queue so far (Event mode only).
+    pub fn events_fired(&self) -> u64 {
+        self.timerq.fired()
+    }
+
+    /// Epochs whose management phase was skipped outright (Event mode only).
+    pub fn epochs_skipped(&self) -> u64 {
+        self.epochs_skipped
     }
 
     /// Runs every per-epoch sanitizer layer (no-op when auditing is off).
@@ -782,6 +898,7 @@ impl<W: Workload> SingleVmSim<W> {
         // Reboot: a fresh kernel with the same tier reservations, and
         // fresh volatile engine bookkeeping.
         self.kernel = GuestKernel::new(Self::guest_config(&self.cfg, self.policy));
+        self.kernel.configure_cold_ledger(self.cfg.lru_cold_heat);
         self.heap_chunks.clear();
         self.hot_vpns.clear();
         self.cache_live.clear();
@@ -802,6 +919,11 @@ impl<W: Workload> SingleVmSim<W> {
         self.next_window = self.clock.now() + self.cfg.stats_window;
         self.next_demote = self.clock.now();
         self.last_scan_yield = u64::MAX;
+        if self.cfg.sched == SchedMode::Event {
+            // Stale pre-crash deadlines in the heap are lazily dropped;
+            // re-arming records the rebooted schedule.
+            self.arm_management_events();
+        }
         // Replay the disk-resident swap population first (the empty kernel
         // has frames to stage each page through), then the NVM survivors,
         // placed back where they survived: SlowMem.
@@ -933,6 +1055,9 @@ impl<W: Workload> SingleVmSim<W> {
         reg.counter_set("engine.epochs", epochs);
         reg.counter_set("engine.scans", scans);
         reg.counter_set("engine.scanned_pages", scanned);
+        reg.counter_set("engine.events_fired", self.timerq.fired());
+        reg.counter_set("engine.epochs_skipped", self.epochs_skipped);
+        reg.counter_set("engine.aging_touches", self.aging_touches);
         reg.gauge_set("engine.misses", misses);
         reg.gauge_set("engine.slow_writes", slow_writes);
         reg.counter_set("vmm.scan.passes", scan_passes);
@@ -1097,6 +1222,21 @@ impl<W: Workload> SingleVmSim<W> {
         }
     }
 
+    /// Registers a freshly mapped heap chunk: records the chunk, assigns
+    /// write heats over its frames, and queues its transiently hot pages
+    /// for cooling. The super-hot tier (255) is the stable working-set
+    /// core and never cools; only transient fresh heat (96) enters the
+    /// cooling queue.
+    fn register_heap_chunk(&mut self, vma: &hetero_guest::vma::Vma, gfns: &[Gfn], heats: &[u8]) {
+        self.heap_chunks.push_back((vma.start, vma.pages));
+        self.assign_heap_write_heats(gfns, heats);
+        for (i, &h) in heats.iter().enumerate() {
+            if h > 50 && h < 200 {
+                self.hot_vpns.push_back(vma.start + i as u64);
+            }
+        }
+    }
+
     fn apply_allocations(&mut self, d: &EpochDemand) {
         if d.heap_alloc > 0 {
             let pref = self.preference(PageType::HeapAnon);
@@ -1112,6 +1252,7 @@ impl<W: Workload> SingleVmSim<W> {
             let heats: Vec<u8> = (0..d.heap_alloc)
                 .map(|_| spec.sample_heat_with(&mut self.rng, PageType::HeapAnon, hot_p))
                 .collect();
+            let mut gfns = std::mem::take(&mut self.heap_gfns);
             if self.cfg.app_hints {
                 // §3.1's extended mmap() flag: the application maps its hot
                 // buffers with an explicit FastMem hint and its cold data
@@ -1131,38 +1272,25 @@ impl<W: Workload> SingleVmSim<W> {
                     if group.is_empty() {
                         continue;
                     }
-                    if let Ok((vma, _)) = self.kernel.mmap_heap(
+                    if let Ok((vma, _)) = self.kernel.mmap_heap_collect(
                         group.len() as u64,
                         group.iter().copied(),
                         chain.as_slice(),
+                        &mut gfns,
                     ) {
-                        self.heap_chunks.push_back((vma.start, vma.pages));
-                        self.assign_heap_write_heats(&vma, &group);
-                        for (i, &h) in group.iter().enumerate() {
-                            if h > 50 && h < 200 {
-                                self.hot_vpns.push_back(vma.start + i as u64);
-                            }
-                        }
+                        self.register_heap_chunk(&vma, &gfns, &group);
                     }
                 }
+                self.heap_gfns = gfns;
                 return self.apply_io_and_slab_allocations(d);
             }
-            match self
-                .kernel
-                .mmap_heap(d.heap_alloc, heats.iter().copied(), pref.as_slice())
-            {
-                Ok((vma, _)) => {
-                    self.heap_chunks.push_back((vma.start, vma.pages));
-                    self.assign_heap_write_heats(&vma, &heats);
-                    for (i, &h) in heats.iter().enumerate() {
-                        // The super-hot tier (255) is the stable working-set
-                        // core and never cools; only transient fresh heat
-                        // (96) enters the cooling queue.
-                        if h > 50 && h < 200 {
-                            self.hot_vpns.push_back(vma.start + i as u64);
-                        }
-                    }
-                }
+            match self.kernel.mmap_heap_collect(
+                d.heap_alloc,
+                heats.iter().copied(),
+                pref.as_slice(),
+                &mut gfns,
+            ) {
+                Ok((vma, _)) => self.register_heap_chunk(&vma, &gfns, &heats),
                 Err(AllocFailed { .. }) => {
                     // Total memory pressure: force the lazy queues out and
                     // retry once.
@@ -1170,19 +1298,13 @@ impl<W: Workload> SingleVmSim<W> {
                     let heats: Vec<u8> = (0..d.heap_alloc)
                         .map(|_| spec.sample_heat_with(&mut self.rng, PageType::HeapAnon, hot_p))
                         .collect();
-                    match self
-                        .kernel
-                        .mmap_heap(d.heap_alloc, heats.iter().copied(), pref.as_slice())
-                    {
-                        Ok((vma, _)) => {
-                            self.heap_chunks.push_back((vma.start, vma.pages));
-                            self.assign_heap_write_heats(&vma, &heats);
-                            for (i, &h) in heats.iter().enumerate() {
-                                if h > 50 && h < 200 {
-                                    self.hot_vpns.push_back(vma.start + i as u64);
-                                }
-                            }
-                        }
+                    match self.kernel.mmap_heap_collect(
+                        d.heap_alloc,
+                        heats.iter().copied(),
+                        pref.as_slice(),
+                        &mut gfns,
+                    ) {
+                        Ok((vma, _)) => self.register_heap_chunk(&vma, &gfns, &heats),
                         Err(_) => {
                             // Memory truly exhausted (multi-VM balloon
                             // pressure): the pages live on swap instead.
@@ -1191,6 +1313,7 @@ impl<W: Workload> SingleVmSim<W> {
                     }
                 }
             }
+            self.heap_gfns = gfns;
         }
         self.apply_io_and_slab_allocations(d);
     }
@@ -1422,13 +1545,9 @@ impl<W: Workload> SingleVmSim<W> {
     /// `write_fraction`-sized subset of the hot pages is write-hot (their
     /// stores dominate), the rest are read-mostly. This is the §4.3
     /// read/write-imbalance structure write-aware migration exploits.
-    fn assign_heap_write_heats(&mut self, vma: &hetero_guest::vma::Vma, heats: &[u8]) {
+    fn assign_heap_write_heats(&mut self, gfns: &[Gfn], heats: &[u8]) {
         let wf = self.workload.spec().write_fraction.clamp(0.0, 1.0);
-        for (i, &h) in heats.iter().enumerate() {
-            let vpn = vma.start + i as u64;
-            let Some(gfn) = self.kernel.page_table().translate(vpn) else {
-                continue;
-            };
+        for (&gfn, &h) in gfns.iter().zip(heats) {
             let write_heat = if h > 50 && self.rng.chance(wf) {
                 h // write-hot: stores track its access intensity
             } else {
@@ -1445,6 +1564,17 @@ impl<W: Workload> SingleVmSim<W> {
     /// pages until the resident hot fraction settles back at
     /// `hot_page_fraction`. The resulting recency gradient is what lets
     /// on-demand recycling and LRU demotion separate hot from cold.
+    /// Estimates the number of currently-hot resident heap pages from the
+    /// tier-aggregate heat counters, inverting
+    /// `heat ≈ hot·E[hot heat] + (pages−hot)·cold`. Saturates at zero when
+    /// the aggregate sits at or below the all-cold floor `cold·pages`, so
+    /// a fully cooled heap (or an empty one) reads as zero hot pages.
+    fn hot_pages_estimate(heat: u64, pages: u64) -> u64 {
+        let cold = hetero_workloads::WorkloadSpec::COLD_HEAT as u64;
+        let hot_heat = hetero_workloads::WorkloadSpec::expected_hot_heat();
+        (heat.saturating_sub(cold * pages) as f64 / (hot_heat - cold as f64)) as u64
+    }
+
     fn cool_heap(&mut self) {
         let spec = self.workload.spec();
         let target_frac = spec.hot_page_fraction;
@@ -1456,12 +1586,13 @@ impl<W: Workload> SingleVmSim<W> {
         let heat: u64 = mm.heat_on(PageType::HeapAnon, MemKind::Fast)
             + mm.heat_on(PageType::HeapAnon, MemKind::Medium)
             + mm.heat_on(PageType::HeapAnon, MemKind::Slow);
-        // heat ≈ hot·E[hot heat] + (pages−hot)·cold.
-        let cold = hetero_workloads::WorkloadSpec::COLD_HEAT as u64;
-        let hot_heat = hetero_workloads::WorkloadSpec::expected_hot_heat();
-        let hot_now =
-            (heat.saturating_sub(cold * pages) as f64 / (hot_heat - cold as f64)) as u64;
+        let hot_now = Self::hot_pages_estimate(heat, pages);
         let target = (target_frac * pages as f64) as u64;
+        // Each cooling pass is one hotness generation: pages cooled here
+        // drop to the cold floor (a full `heatgen::decay` collapse), and
+        // the ledger's generation stamp is what lazy consumers compare
+        // against instead of re-walking the heap.
+        self.kernel.bump_cold_generation();
         if hot_now <= target {
             return;
         }
@@ -1682,6 +1813,7 @@ impl<W: Workload> SingleVmSim<W> {
             self.cfg.lru_cold_heat,
         );
         if aged > 0 {
+            self.aging_touches += aged;
             self.charge_management(LRU_AGE_COST.saturating_mul(aged));
         }
         // Memory-type-specific threshold: demote inactive pages when a
@@ -2131,6 +2263,96 @@ mod tests {
         let expected = spec.epochs();
         let r = run_app(&cfg, Policy::SlowMemOnly, spec);
         assert_eq!(r.epochs, expected);
+    }
+
+    #[test]
+    fn hot_pages_estimate_boundaries() {
+        let est = SingleVmSim::<AppWorkload>::hot_pages_estimate;
+        let cold = hetero_workloads::WorkloadSpec::COLD_HEAT as u64;
+        // No resident pages, no heat: nothing can be hot.
+        assert_eq!(est(0, 0), 0);
+        // Aggregate heat at or below the all-cold floor `cold·pages`
+        // saturates at zero instead of underflowing.
+        assert_eq!(est(cold * 100, 100), 0);
+        assert_eq!(est(cold * 100 - 1, 100), 0);
+        assert_eq!(est(0, 100), 0);
+        // Above the floor the estimate grows with aggregate heat.
+        let lo = est(cold * 100 + 1_000, 100);
+        let hi = est(cold * 100 + 10_000, 100);
+        assert!(hi > lo, "estimate must grow with heat: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn event_sched_matches_dense_sched() {
+        for policy in [
+            Policy::HeteroCoordinated,
+            Policy::HeteroLru,
+            Policy::VmmExclusive,
+        ] {
+            let spec = short_spec(apps::graphchi());
+            let dense = run_app(
+                &quick_cfg().with_sched(SchedMode::Dense),
+                policy,
+                spec.clone(),
+            );
+            let event = run_app(&quick_cfg().with_sched(SchedMode::Event), policy, spec);
+            assert_eq!(
+                dense.to_json(),
+                event.to_json(),
+                "{} reports must be byte-identical across schedulers",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn event_sched_skips_idle_management_epochs() {
+        // VmmExclusive runs no guest LRU, so with the scan/window cadence
+        // stretched past the ~570 ms epoch length the management point has
+        // genuinely nothing to do most epochs.
+        let mut cfg = quick_cfg().with_sched(SchedMode::Event);
+        cfg.scan_interval = Nanos::from_secs(2);
+        cfg.stats_window = Nanos::from_secs(2);
+        let spec = short_spec(apps::graphchi());
+        let wl = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(cfg, Policy::VmmExclusive, wl);
+        while sim.step() {}
+        assert!(sim.events_fired() > 0, "queued deadlines must fire");
+        assert!(
+            sim.epochs_skipped() > 0,
+            "a quiet run must skip some management epochs"
+        );
+    }
+
+    #[test]
+    fn engine_counters_are_observational_and_sampled() {
+        // Telemetry (and the engine.* scheduler counters it samples) must
+        // never perturb the run: the exported report is byte-identical
+        // with the registry off and on.
+        let run = |telemetry: bool| {
+            let cfg = quick_cfg()
+                .with_sched(SchedMode::Event)
+                .with_telemetry(telemetry);
+            let wl = AppWorkload::new(short_spec(apps::graphchi()), cfg.page_size, cfg.scale);
+            let mut sim = SingleVmSim::new(cfg, Policy::HeteroCoordinated, wl);
+            while sim.step() {}
+            sim
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(
+            off.report().to_json(),
+            on.report().to_json(),
+            "telemetry must not perturb the run"
+        );
+        assert!(off.telemetry().is_none());
+        let reg = &on.telemetry().expect("registry was enabled").registry;
+        assert_eq!(reg.counter("engine.events_fired"), on.events_fired());
+        assert_eq!(reg.counter("engine.epochs_skipped"), on.epochs_skipped());
+        assert!(
+            reg.counter("engine.events_fired") > 0,
+            "an event-mode run must fire deadlines"
+        );
     }
 
     #[test]

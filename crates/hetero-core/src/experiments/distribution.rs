@@ -37,7 +37,7 @@ pub fn fig4(opts: &ExpOptions) -> Vec<PageMix> {
     opts.runner().run(specs, |spec| {
         let cfg = SimConfig::paper_default()
             .with_capacity_ratio(1, 4)
-            .with_seed(opts.seed).with_audit(opts.audit);
+            .with_seed(opts.seed).with_audit(opts.audit).with_sched(opts.sched);
         let name = spec.name;
         let workload = AppWorkload::new(spec, cfg.page_size, cfg.scale);
         let mut sim = SingleVmSim::new(cfg.clone(), Policy::SlowMemOnly, workload);

@@ -27,7 +27,7 @@ fn micro_cfg(opts: &ExpOptions) -> SimConfig {
     SimConfig::paper_default()
         .with_fast_bytes(GB / 2)
         .with_slow_bytes(3 * GB + GB / 2)
-        .with_seed(opts.seed).with_audit(opts.audit)
+        .with_seed(opts.seed).with_audit(opts.audit).with_sched(opts.sched)
 }
 
 /// Figure 6: average memory latency (cycles) versus working-set size.

@@ -13,6 +13,8 @@ use hetero_mem::FlushPolicy;
 use hetero_sim::Runner;
 use hetero_workloads::WorkloadSpec;
 
+use crate::config::SchedMode;
+
 pub mod ablations;
 pub mod capacity;
 pub mod coordinated;
@@ -54,6 +56,11 @@ pub struct ExpOptions {
     /// --faults KIND`). `None` leaves each driver's default
     /// ([`FaultKind::HostPowerLoss`]) in place.
     pub faults: Option<FaultKind>,
+    /// Epoch scheduler for every run a driver launches (`repro --sched
+    /// MODE`). [`SchedMode::Event`] (the default) and [`SchedMode::Dense`]
+    /// produce byte-identical exports — the mode only changes how the
+    /// engine finds due management work.
+    pub sched: SchedMode,
 }
 
 impl Default for ExpOptions {
@@ -65,6 +72,7 @@ impl Default for ExpOptions {
             audit: AuditLevel::Off,
             persist: FlushPolicy::Off,
             faults: None,
+            sched: SchedMode::default(),
         }
     }
 }
@@ -99,6 +107,12 @@ impl ExpOptions {
     /// Arms a crash kind for the fault-arming recovery experiments.
     pub fn with_faults(mut self, kind: FaultKind) -> Self {
         self.faults = Some(kind);
+        self
+    }
+
+    /// Selects the epoch scheduler for every run.
+    pub fn with_sched(mut self, sched: SchedMode) -> Self {
+        self.sched = sched;
         self
     }
 

@@ -52,6 +52,7 @@ fn base_cfg(opts: &ExpOptions, den: u64) -> SimConfig {
             .with_capacity_ratio(1, den)
             .with_seed(opts.seed)
             .with_audit(opts.audit)
+            .with_sched(opts.sched)
     }
 }
 

@@ -67,7 +67,7 @@ fn host_cfg(opts: &ExpOptions) -> SimConfig {
     SimConfig::paper_default()
         .with_fast_bytes(4 * GB)
         .with_slow_bytes(8 * GB)
-        .with_seed(opts.seed).with_audit(opts.audit)
+        .with_seed(opts.seed).with_audit(opts.audit).with_sched(opts.sched)
 }
 
 /// Per-VM SlowMem-only baseline: the VM alone on the host.

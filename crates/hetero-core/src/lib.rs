@@ -31,12 +31,14 @@
 pub mod adaptive;
 pub mod config;
 pub mod engine;
+pub mod eventq;
 pub mod experiments;
 pub mod metrics;
 pub mod multivm;
 pub mod policy;
 
-pub use config::SimConfig;
+pub use config::{SchedMode, SimConfig};
+pub use eventq::{EngineEvent, EventQueue};
 pub use engine::{run_app, SingleVmSim};
 pub use hetero_faults::AuditLevel;
 pub use metrics::RunReport;

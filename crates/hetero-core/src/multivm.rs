@@ -8,16 +8,20 @@
 //! exactly the failure mode the paper demonstrates for single-resource
 //! max-min in §5.5.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use hetero_faults::{audit_fair_share, AuditLevel, Violation};
 use hetero_guest::GuestKernel;
 use hetero_mem::kind::KindMap;
 use hetero_mem::MemKind;
+use hetero_sim::runner::Runner;
 use hetero_sim::Nanos;
 use hetero_vmm::drf::{FairShare, Grant, GuestId};
 use hetero_vmm::SharePolicy;
 use hetero_workloads::{AppWorkload, WorkloadSpec};
 
-use crate::config::SimConfig;
+use crate::config::{SchedMode, SimConfig};
 use crate::engine::SingleVmSim;
 use crate::metrics::RunReport;
 use crate::policy::Policy;
@@ -82,6 +86,30 @@ impl MultiVmSim {
     ///
     /// Panics if the reserved minima oversubscribe the machine.
     pub fn new(cfg: SimConfig, share: SharePolicy, policy: Policy, setups: Vec<VmSetup>) -> Self {
+        MultiVmSim::new_with_jobs(cfg, share, policy, setups, 1)
+    }
+
+    /// As [`MultiVmSim::new`], building and boot-ballooning the guests on
+    /// `jobs` worker threads.
+    ///
+    /// Registration with the fair-share ledger stays sequential in setup
+    /// order — it is shared state. Everything after it is VM-local: each
+    /// guest derives its RNG stream from its own descriptor seed, builds
+    /// its kernel against its own maximum reservation, and inflates its
+    /// boot balloon without touching the ledger. The [`Runner`]'s
+    /// descriptor-order merge therefore makes the fleet byte-identical for
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reserved minima oversubscribe the machine.
+    pub fn new_with_jobs(
+        cfg: SimConfig,
+        share: SharePolicy,
+        policy: Policy,
+        setups: Vec<VmSetup>,
+        jobs: usize,
+    ) -> Self {
         let to_pages = |bytes: u64| (bytes / cfg.scale / cfg.page_size).max(1);
         let totals = KindMap::from_fn(|k| match k {
             MemKind::Fast => to_pages(cfg.fast_bytes),
@@ -90,19 +118,33 @@ impl MultiVmSim {
         });
         let mut fair = FairShare::new(share, totals);
         let bw_share = 1.0 / setups.len().max(1) as f64;
-        let mut vms = Vec::new();
-        for (i, setup) in setups.into_iter().enumerate() {
-            let id = GuestId(i as u32);
-            let min = KindMap::from_fn(|k| to_pages(setup.min_bytes[k]).min(totals[k]));
-            fair.register(id, min);
+        let mins: Vec<KindMap<u64>> = setups
+            .iter()
+            .map(|s| KindMap::from_fn(|k| to_pages(s.min_bytes[k]).min(totals[k])))
+            .collect();
+        for (i, min) in mins.iter().enumerate() {
+            fair.register(GuestId(i as u32), *min);
+        }
+        let items: Vec<(usize, VmSetup, KindMap<u64>)> = setups
+            .into_iter()
+            .zip(mins)
+            .enumerate()
+            .map(|(i, (s, m))| (i, s, m))
+            .collect();
+        let cfg_ref = &cfg;
+        let vms = Runner::new(jobs).run(items, |(i, setup, min)| {
             // The guest's frame space is its maximum; pages beyond the
             // reserved minimum start ballooned out.
-            let vm_cfg = cfg
+            let vm_cfg = cfg_ref
                 .clone()
-                .with_fast_bytes(setup.max_bytes[MemKind::Fast].max(cfg.page_size * cfg.scale))
-                .with_slow_bytes(setup.max_bytes[MemKind::Slow].max(cfg.page_size * cfg.scale))
-                .with_seed(cfg.seed.wrapping_add(i as u64 * 7919));
-            let workload = AppWorkload::new(setup.spec, cfg.page_size, cfg.scale);
+                .with_fast_bytes(
+                    setup.max_bytes[MemKind::Fast].max(cfg_ref.page_size * cfg_ref.scale),
+                )
+                .with_slow_bytes(
+                    setup.max_bytes[MemKind::Slow].max(cfg_ref.page_size * cfg_ref.scale),
+                )
+                .with_seed(cfg_ref.seed.wrapping_add(i as u64 * 7919));
+            let workload = AppWorkload::new(setup.spec, cfg_ref.page_size, cfg_ref.scale);
             let mut sim = SingleVmSim::new(vm_cfg, policy, workload);
             sim.set_bandwidth_share(bw_share);
             for k in [MemKind::Fast, MemKind::Slow] {
@@ -111,13 +153,13 @@ impl MultiVmSim {
                 let yielded = sim.yield_pages(k, ballooned);
                 debug_assert_eq!(yielded, ballooned, "boot balloon must succeed");
             }
-            vms.push(VmState {
-                id,
+            VmState {
+                id: GuestId(i as u32),
                 sim,
                 min,
                 done: false,
-            });
-        }
+            }
+        });
         MultiVmSim {
             cfg,
             fair,
@@ -160,32 +202,82 @@ impl MultiVmSim {
     pub fn run_audited(mut self) -> (Vec<RunReport>, Vec<Violation>) {
         let audited = self.cfg.effective_audit().is_enabled();
         let mut violations = Vec::new();
-        loop {
-            // Advance the VM that is furthest behind in simulated time —
-            // round-robin co-scheduling on the shared host.
-            let next = self
-                .vms
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| !v.done)
-                .min_by_key(|(_, v)| v.sim.now())
-                .map(|(i, _)| i);
-            let Some(i) = next else { break };
-            if !self.vms[i].sim.step() {
-                self.vms[i].done = true;
-                self.release_all(i);
-            } else {
-                self.grow_if_pressured(i);
-            }
-            if audited {
-                self.audit_ledger(&mut violations);
-            }
+        match self.cfg.sched {
+            SchedMode::Dense => self.drive_dense(audited, &mut violations),
+            SchedMode::Event => self.drive_event(audited, &mut violations),
         }
         let reports = self.vms.iter().map(|v| v.sim.report()).collect();
         for vm in &self.vms {
             violations.extend_from_slice(vm.sim.violations());
         }
         (reports, violations)
+    }
+
+    /// Advances VM `i` one epoch. Returns `false` once it has finished,
+    /// after releasing its surplus grant so the survivors can grow into it.
+    fn step_vm(&mut self, i: usize) -> bool {
+        if !self.vms[i].sim.step() {
+            self.vms[i].done = true;
+            self.release_all(i);
+            false
+        } else {
+            self.grow_if_pressured(i);
+            true
+        }
+    }
+
+    /// Dense co-scheduling: each step advances the live VM furthest behind
+    /// in simulated time. Finished VMs leave the live-index list outright
+    /// instead of being re-filtered on every step, so a mostly-done fleet
+    /// scans only its stragglers. `live` stays in ascending index order,
+    /// making the first minimum the lowest-index VM among ties — the same
+    /// choice the full filtered scan made.
+    fn drive_dense(&mut self, audited: bool, violations: &mut Vec<Violation>) {
+        let mut live: Vec<usize> = (0..self.vms.len()).collect();
+        while !live.is_empty() {
+            let pos = live
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &i)| self.vms[i].sim.now())
+                .map(|(p, _)| p)
+                .expect("live is non-empty");
+            let i = live[pos];
+            if !self.step_vm(i) {
+                live.remove(pos);
+            }
+            if audited {
+                self.audit_ledger(violations);
+            }
+        }
+    }
+
+    /// Event co-scheduling: a min-heap keyed `(now, index)` replaces the
+    /// per-step scan, so selecting the next VM costs `O(log live)` instead
+    /// of `O(fleet)`. Keys go stale when a *donor*'s clock advances while
+    /// it balloons pages to a neighbour; since clocks only move forward, a
+    /// stale key always pops **early**, never late, and is lazily re-keyed
+    /// at its true time. Every entry's key is therefore a lower bound on
+    /// its VM's clock, so the first *verified* pop is exactly the dense
+    /// scan's first minimum (lowest index among time ties — `Reverse`
+    /// orders `(t, i)` tuples lexicographically). Finished VMs simply
+    /// never re-enter the heap.
+    fn drive_event(&mut self, audited: bool, violations: &mut Vec<Violation>) {
+        let mut heap: BinaryHeap<Reverse<(Nanos, usize)>> = (0..self.vms.len())
+            .map(|i| Reverse((self.vms[i].sim.now(), i)))
+            .collect();
+        while let Some(Reverse((t, i))) = heap.pop() {
+            let now = self.vms[i].sim.now();
+            if t != now {
+                heap.push(Reverse((now, i)));
+                continue;
+            }
+            if self.step_vm(i) {
+                heap.push(Reverse((self.vms[i].sim.now(), i)));
+            }
+            if audited {
+                self.audit_ledger(violations);
+            }
+        }
     }
 
     /// One pass of the machine-level conservation audit: per-guest grants
@@ -415,6 +507,44 @@ mod tests {
     #[test]
     fn makespan_of_nothing_is_none() {
         assert_eq!(MultiVmSim::makespan(&[]), None);
+    }
+
+    #[test]
+    fn dense_and_event_schedulers_are_byte_identical() {
+        let run = |sched: SchedMode| {
+            MultiVmSim::new(
+                host_cfg().with_sched(sched),
+                SharePolicy::paper_drf(),
+                Policy::HeteroCoordinated,
+                paper_setups(),
+            )
+            .run()
+        };
+        let dense = run(SchedMode::Dense);
+        let event = run(SchedMode::Event);
+        assert_eq!(dense.len(), event.len());
+        for (d, e) in dense.iter().zip(event.iter()) {
+            assert_eq!(d.to_json(), e.to_json(), "schedulers must not diverge");
+        }
+    }
+
+    #[test]
+    fn parallel_boot_matches_sequential_boot() {
+        let boot = |jobs: usize| {
+            MultiVmSim::new_with_jobs(
+                host_cfg(),
+                SharePolicy::paper_drf(),
+                Policy::HeteroCoordinated,
+                paper_setups(),
+                jobs,
+            )
+            .run()
+        };
+        let seq = boot(1);
+        let par = boot(4);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.to_json(), b.to_json(), "thread count must not perturb the fleet");
+        }
     }
 
     #[test]

@@ -179,6 +179,17 @@ pub enum Violation {
         /// The full walk's recount.
         walked: u64,
     },
+    /// The cold-active ledger's incremental per-tier count disagrees with
+    /// a dense recount of ACTIVE pages below the cold threshold (the
+    /// lazy-aging oracle).
+    ColdLedgerDrift {
+        /// Tier checked.
+        kind: MemKind,
+        /// The ledger's incremental count.
+        tracked: u64,
+        /// Cold-active pages found by the dense walk.
+        walked: u64,
+    },
     /// The allocator's free-frame total disagrees with a naive recount of
     /// non-present frames (shadow reference model).
     FreeFrameDrift {
@@ -332,6 +343,14 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "{kind}/{page_type:?} {field}: incremental {tracked} but walk found {walked}"
+            ),
+            Violation::ColdLedgerDrift {
+                kind,
+                tracked,
+                walked,
+            } => write!(
+                f,
+                "{kind}: cold ledger tracks {tracked} cold-active but walk found {walked}"
             ),
             Violation::FreeFrameDrift { kind, free, walked } => write!(
                 f,

@@ -148,6 +148,7 @@ impl Sanitizer {
     ) -> Vec<Violation> {
         let mut out = audit_kernel(kernel);
         audit_residency(kernel, &mut out);
+        audit_cold_ledger(kernel, &mut out);
         if let Some(tracker) = tracker {
             audit_tracker(kernel, tracker, &mut out);
         }
@@ -305,6 +306,28 @@ pub fn audit_residency(kernel: &GuestKernel, out: &mut Vec<Violation>) {
     }
 }
 
+/// Dense oracle for the lazy cold-active ledger: recounts ACTIVE pages
+/// below the configured cold threshold on every tier and compares against
+/// the ledger's incremental counts. A no-op when the ledger was never
+/// configured (engines that run no guest LRU leave it inert).
+pub fn audit_cold_ledger(kernel: &GuestKernel, out: &mut Vec<Violation>) {
+    let mm = kernel.memmap();
+    if mm.cold_ledger().threshold().is_none() {
+        return;
+    }
+    let walked = mm.recount_cold_active();
+    for &kind in MemKind::ALL.iter() {
+        let tracked = mm.cold_active(kind);
+        if tracked != walked[kind] {
+            out.push(Violation::ColdLedgerDrift {
+                kind,
+                tracked,
+                walked: walked[kind],
+            });
+        }
+    }
+}
+
 /// Cross-checks the hotness tracker against the guest it scans: the O(1)
 /// tracked count must equal the known bits actually set, and no known
 /// frame may lie beyond the guest's frame space.
@@ -415,6 +438,41 @@ mod tests {
         };
         let violations = san.check_epoch(&k, Some(&tracker), &costs);
         assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn configured_cold_ledger_passes_after_churn() {
+        let mut k = kernel();
+        k.configure_cold_ledger(48);
+        // Mixed hot/cold allocations, then aging deactivates the cold ones.
+        k.mmap_heap(
+            32,
+            (0..32u8).map(|i| if i % 2 == 0 { 16 } else { 200 }),
+            &[MemKind::Fast, MemKind::Slow],
+        )
+        .unwrap();
+        k.age_lru(MemKind::Fast, 64, 48);
+        let mut out = Vec::new();
+        audit_cold_ledger(&k, &mut out);
+        assert!(out.is_empty(), "unexpected drift: {out:?}");
+        // Unconfigured kernels skip the oracle entirely.
+        let plain = kernel();
+        let mut out = Vec::new();
+        audit_cold_ledger(&plain, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cold_ledger_drift_renders_readably() {
+        let v = Violation::ColdLedgerDrift {
+            kind: MemKind::Fast,
+            tracked: 3,
+            walked: 5,
+        };
+        assert_eq!(
+            v.to_string(),
+            "FastMem: cold ledger tracks 3 cold-active but walk found 5"
+        );
     }
 
     #[test]

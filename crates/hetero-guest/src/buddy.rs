@@ -7,8 +7,17 @@
 //!
 //! The implementation is a faithful buddy system: per-order free lists,
 //! block splitting on allocation, and eager buddy coalescing on free.
+//!
+//! Free lists are per-order **bitmaps** (one bit per aligned block slot)
+//! rather than ordered sets: membership, insert and remove are single word
+//! operations, and "lowest free offset" — the allocation order the rest of
+//! the stack depends on for determinism — is a word scan from a
+//! monotonically maintained hint. The observable allocation sequence is
+//! identical to an ordered-set implementation; only the constant factor
+//! changes, which matters because every page the engine churns passes
+//! through here (split on alloc, 11-order double-free probe and coalesce
+//! walk on free).
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::page::Gfn;
@@ -56,9 +65,71 @@ impl std::error::Error for OutOfMemory {}
 pub struct BuddyAllocator {
     base: u64,
     frames: u64,
-    /// Free block *offsets* (relative to `base`), one set per order.
-    free_lists: Vec<BTreeSet<u64>>,
+    /// Free block slots (offset `>> order`, relative to `base`), one
+    /// bitmap per order.
+    free_lists: Vec<OrderBits>,
     free_frames: u64,
+}
+
+/// A bitmap of free block slots at one order: bit `i` set ⇔ the block at
+/// offset `i << order` is free.
+#[derive(Debug, Clone)]
+struct OrderBits {
+    words: Vec<u64>,
+    /// Free blocks at this order.
+    len: usize,
+    /// Word-index lower bound on the first set bit. Inserts below it pull
+    /// it down; removes leave it valid (the first set bit only moves up),
+    /// so [`OrderBits::first`]'s scan restarts where the last one ended.
+    hint: usize,
+}
+
+impl OrderBits {
+    fn new(slots: u64) -> Self {
+        OrderBits {
+            words: vec![0; (slots as usize).div_ceil(64)],
+            len: 0,
+            hint: 0,
+        }
+    }
+
+    fn contains(&self, slot: u64) -> bool {
+        self.words[(slot >> 6) as usize] & (1u64 << (slot & 63)) != 0
+    }
+
+    /// Sets `slot`'s bit; must not already be set.
+    fn insert(&mut self, slot: u64) {
+        let w = (slot >> 6) as usize;
+        debug_assert_eq!(self.words[w] & (1u64 << (slot & 63)), 0);
+        self.words[w] |= 1u64 << (slot & 63);
+        self.len += 1;
+        if w < self.hint {
+            self.hint = w;
+        }
+    }
+
+    /// Clears `slot`'s bit if set; returns whether it was.
+    fn remove(&mut self, slot: u64) -> bool {
+        let w = (slot >> 6) as usize;
+        let mask = 1u64 << (slot & 63);
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        self.len -= 1;
+        true
+    }
+
+    /// Lowest set slot, advancing the scan hint past cleared words.
+    fn first(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.words[self.hint] == 0 {
+            self.hint += 1;
+        }
+        Some(((self.hint as u64) << 6) + u64::from(self.words[self.hint].trailing_zeros()))
+    }
 }
 
 impl BuddyAllocator {
@@ -68,7 +139,9 @@ impl BuddyAllocator {
         let mut a = BuddyAllocator {
             base,
             frames,
-            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
+            free_lists: (0..=MAX_ORDER)
+                .map(|o| OrderBits::new((frames >> o).max(1)))
+                .collect(),
             free_frames: 0,
         };
         // Greedily carve the range into maximal aligned blocks.
@@ -82,7 +155,7 @@ impl BuddyAllocator {
             if off + (1 << order) > frames {
                 break; // fewer frames than one page — cannot happen with order 0
             }
-            a.free_lists[order as usize].insert(off);
+            a.free_lists[order as usize].insert(off >> order);
             a.free_frames += 1 << order;
             off += 1 << order;
         }
@@ -101,9 +174,7 @@ impl BuddyAllocator {
 
     /// Number of free blocks at one order (diagnostic / fragmentation view).
     pub fn free_blocks(&self, order: u8) -> usize {
-        self.free_lists
-            .get(order as usize)
-            .map_or(0, BTreeSet::len)
+        self.free_lists.get(order as usize).map_or(0, |b| b.len)
     }
 
     /// Allocates a block of `2^order` contiguous pages.
@@ -117,11 +188,12 @@ impl BuddyAllocator {
     /// Panics if `order > MAX_ORDER`.
     pub fn alloc(&mut self, order: u8) -> Result<Gfn, OutOfMemory> {
         assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
-        // Find the smallest order with a free block.
+        // Find the smallest order with a free block, taking its lowest
+        // offset — the same choice an ordered free list makes.
         let mut found = None;
         for o in order..=MAX_ORDER {
-            if let Some(&off) = self.free_lists[o as usize].iter().next() {
-                found = Some((o, off));
+            if let Some(slot) = self.free_lists[o as usize].first() {
+                found = Some((o, slot << o));
                 break;
             }
         }
@@ -129,12 +201,12 @@ impl BuddyAllocator {
             order,
             free_frames: self.free_frames,
         })?;
-        self.free_lists[o as usize].remove(&off);
+        self.free_lists[o as usize].remove(off >> o);
         // Split down to the requested order, returning the upper halves.
         while o > order {
             o -= 1;
             let buddy = off + (1 << o);
-            self.free_lists[o as usize].insert(buddy);
+            self.free_lists[o as usize].insert(buddy >> o);
         }
         self.free_frames -= 1 << order;
         Ok(Gfn(self.base + off))
@@ -171,9 +243,8 @@ impl BuddyAllocator {
         // Double-free detection: the block (or a coalesced ancestor
         // covering it) must not already be free at any order.
         for o in order..=MAX_ORDER {
-            let aligned = off & !((1u64 << o) - 1);
             assert!(
-                !self.free_lists[o as usize].contains(&aligned),
+                !self.free_lists[o as usize].contains(off >> o),
                 "double free of {block} at order {order}"
             );
         }
@@ -181,14 +252,14 @@ impl BuddyAllocator {
         // Coalesce upwards while the buddy is free.
         while o < MAX_ORDER {
             let buddy = off ^ (1 << o);
-            if buddy + (1 << o) <= self.frames && self.free_lists[o as usize].remove(&buddy) {
+            if buddy + (1 << o) <= self.frames && self.free_lists[o as usize].remove(buddy >> o) {
                 off = off.min(buddy);
                 o += 1;
             } else {
                 break;
             }
         }
-        self.free_lists[o as usize].insert(off);
+        self.free_lists[o as usize].insert(off >> o);
         self.free_frames += 1 << order;
     }
 
@@ -231,7 +302,7 @@ impl BuddyAllocator {
     pub fn max_free_order(&self) -> Option<u8> {
         (0..=MAX_ORDER)
             .rev()
-            .find(|&o| !self.free_lists[o as usize].is_empty())
+            .find(|&o| self.free_lists[o as usize].len > 0)
     }
 }
 

@@ -192,6 +192,26 @@ impl GuestKernel {
         &self.mm
     }
 
+    /// Arms the memmap's cold-active ledger with the LRU aging threshold,
+    /// switching [`GuestKernel::age_lru`] from its dense candidate walk to
+    /// the O(1)-gated lazy path. Call at boot, before the first
+    /// allocation; unconfigured kernels keep the legacy dense behaviour.
+    pub fn configure_cold_ledger(&mut self, threshold: u8) {
+        self.mm.configure_cold_ledger(threshold);
+    }
+
+    /// Cold-active pages currently on `kind` (zero when the ledger is
+    /// unconfigured — callers gate on
+    /// [`MemMap::cold_ledger`]`().is_configured()`).
+    pub fn cold_active(&self, kind: MemKind) -> u64 {
+        self.mm.cold_active(kind)
+    }
+
+    /// Advances the cold ledger's hotness generation (one cooling pass).
+    pub fn bump_cold_generation(&mut self) {
+        self.mm.cold_ledger_mut().bump_generation();
+    }
+
     /// Shared view of the LRU registry.
     pub fn lru(&self) -> &LruRegistry {
         &self.lru
@@ -263,6 +283,15 @@ impl GuestKernel {
         let cpu = self.next_cpu;
         self.next_cpu = (self.next_cpu + 1) % self.pcp.cpus();
         cpu
+    }
+
+    /// First frame available along a preference chain, with the tier it
+    /// came from — the allocation half of [`GuestKernel::alloc_page`].
+    #[inline]
+    fn raw_alloc_chain(&mut self, preference: &[MemKind]) -> Option<(Gfn, MemKind)> {
+        preference
+            .iter()
+            .find_map(|&kind| self.raw_alloc(kind).map(|gfn| (gfn, kind)))
     }
 
     fn raw_alloc(&mut self, kind: MemKind) -> Option<Gfn> {
@@ -373,34 +402,88 @@ impl GuestKernel {
         heats: impl IntoIterator<Item = u8>,
         preference: &[MemKind],
     ) -> Result<(Vma, KindMap<u64>), AllocFailed> {
+        let mut gfns = Vec::new();
+        self.mmap_heap_collect(pages, heats, preference, &mut gfns)
+    }
+
+    /// As [`GuestKernel::mmap_heap`], additionally depositing the backing
+    /// frames into `out` in VPN order (`out[i]` backs `vma.start + i`).
+    ///
+    /// This is the engine's hot allocation path: handing the frames back
+    /// lets the caller assign write heats without re-walking the page
+    /// table, and batching the whole range through
+    /// [`PageTable::map_range`] descends each leaf table once per 512-page
+    /// block instead of once per page. End state is identical to the
+    /// historical per-page `map` loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocFailed`] if virtual space or every tier is
+    /// exhausted; partially allocated pages are rolled back and `out` is
+    /// left empty.
+    pub fn mmap_heap_collect(
+        &mut self,
+        pages: u64,
+        heats: impl IntoIterator<Item = u8>,
+        preference: &[MemKind],
+        out: &mut Vec<Gfn>,
+    ) -> Result<(Vma, KindMap<u64>), AllocFailed> {
         let vma = self
             .space
             .mmap(pages, VmaKind::Anon, None)
             .map_err(|_| AllocFailed {
                 page_type: PageType::HeapAnon,
             })?;
+        out.clear();
+        out.reserve(pages as usize);
         let mut placed = KindMap::default();
-        let mut mapped = Vec::new();
         let mut heats = heats.into_iter();
+        // Fused per-page sequence: state-equivalent to `alloc_page` (active
+        // insert) plus an rmap store, but each descriptor is written in one
+        // borrow and the LRU transition / allocation statistics are tallied
+        // once per run instead of once per page.
+        if pages > 0 {
+            assert!(!preference.is_empty(), "preference list must be non-empty");
+        }
+        let wanted_fast = preference.first() == Some(&MemKind::Fast);
         for vpn in vma.start..vma.end() {
             let heat = heats.next().unwrap_or(0);
-            match self.alloc_page(PageType::HeapAnon, heat, preference) {
-                Ok((gfn, kind)) => {
-                    self.pt.map(vpn, gfn);
-                    self.mm.page_mut(gfn).rmap = RMap::Anon(vpn);
-                    placed[kind] += 1;
-                    mapped.push(vpn);
+            let Some((gfn, kind)) = self.raw_alloc_chain(preference) else {
+                // Account the collected prefix and the failing attempt
+                // exactly like the scalar loop would have, then roll back.
+                // Nothing is in the page table yet (mapping happens below
+                // in one batch), so rollback is a plain free of the
+                // collected frames — `free_page`'s unmap of a never-mapped
+                // VPN is a no-op.
+                self.lru.note_fresh_inserts(true, out.len() as u64);
+                self.stats.record_run(
+                    PageType::HeapAnon,
+                    wanted_fast,
+                    placed[MemKind::Fast],
+                    out.len() as u64,
+                );
+                self.stats.record(PageType::HeapAnon, wanted_fast, false);
+                for &gfn in out.iter() {
+                    self.free_page(gfn);
                 }
-                Err(e) => {
-                    for vpn in mapped {
-                        let gfn = self.pt.translate(vpn).expect("just mapped");
-                        self.free_page(gfn);
-                    }
-                    self.space.munmap(vma.start, vma.pages);
-                    return Err(e);
-                }
-            }
+                out.clear();
+                self.space.munmap(vma.start, vma.pages);
+                return Err(AllocFailed {
+                    page_type: PageType::HeapAnon,
+                });
+            };
+            let list = self.lru.fresh_list_mut(kind, crate::lru::LruClass::Anon, true);
+            let next = list.peek_front();
+            self.mm
+                .set_allocated_linked(gfn, PageType::HeapAnon, heat, true, next, RMap::Anon(vpn));
+            list.push_front_prelinked(&mut self.mm, gfn);
+            placed[kind] += 1;
+            out.push(gfn);
         }
+        self.lru.note_fresh_inserts(true, pages);
+        self.stats
+            .record_run(PageType::HeapAnon, wanted_fast, placed[MemKind::Fast], pages);
+        self.pt.map_range(vma.start, out);
         self.sync_pagetable_pages(preference);
         Ok((vma, placed))
     }
@@ -443,13 +526,49 @@ impl GuestKernel {
             self.lru.activate(&mut self.mm, gfn);
             return Ok((gfn, true));
         }
-        let (gfn, _) = self.alloc_page(PageType::PageCache, heat, preference)?;
-        self.mm.page_mut(gfn).rmap = RMap::File(file.0, offset_page);
-        self.cache.insert(file, offset_page, gfn);
-        // A page being filled is hot by definition (mark_page_accessed);
-        // it drops to inactive when its I/O completes (§3.3).
-        self.lru.activate(&mut self.mm, gfn);
+        let gfn = self.file_page_in_fresh(PageType::PageCache, file, offset_page, heat, preference)?;
         Ok((gfn, false))
+    }
+
+    /// Fused miss path shared by [`GuestKernel::page_in`] and
+    /// [`GuestKernel::buffer_page_in`]: allocates the frame and writes its
+    /// descriptor (present, active, LRU-linked, file rmap) in one borrow,
+    /// then indexes it in the page cache. State-equivalent to
+    /// [`GuestKernel::alloc_page`] (inactive insert, Linux semantics for
+    /// file pages) followed by an rmap store, a cache insert and
+    /// [`LruRegistry::activate`] — a page being filled is hot by
+    /// definition (`mark_page_accessed`); it drops to inactive when its
+    /// I/O completes (§3.3). Both the inactive-insert and the activation
+    /// are tallied, exactly as the unfused sequence would.
+    fn file_page_in_fresh(
+        &mut self,
+        page_type: PageType,
+        file: FileId,
+        offset_page: u64,
+        heat: u8,
+        preference: &[MemKind],
+    ) -> Result<Gfn, AllocFailed> {
+        assert!(!preference.is_empty(), "preference list must be non-empty");
+        let wanted_fast = preference[0] == MemKind::Fast;
+        let Some((gfn, kind)) = self.raw_alloc_chain(preference) else {
+            self.stats.record(page_type, wanted_fast, false);
+            return Err(AllocFailed { page_type });
+        };
+        let list = self.lru.fresh_list_mut(kind, crate::lru::LruClass::File, true);
+        let next = list.peek_front();
+        self.mm.set_allocated_linked(
+            gfn,
+            page_type,
+            heat,
+            true,
+            next,
+            RMap::File(file.0, offset_page),
+        );
+        list.push_front_prelinked(&mut self.mm, gfn);
+        self.lru.note_fresh_faulted(1);
+        self.stats.record(page_type, wanted_fast, kind == MemKind::Fast);
+        self.cache.insert(file, offset_page, gfn);
+        Ok(gfn)
     }
 
     /// Allocates one buffer-cache page (filesystem journal/metadata block).
@@ -484,10 +603,8 @@ impl GuestKernel {
             self.lru.activate(&mut self.mm, gfn);
             return Ok((gfn, true));
         }
-        let (gfn, _) = self.alloc_page(PageType::BufferCache, heat, preference)?;
-        self.mm.page_mut(gfn).rmap = RMap::File(file.0, offset_page);
-        self.cache.insert(file, offset_page, gfn);
-        self.lru.activate(&mut self.mm, gfn);
+        let gfn =
+            self.file_page_in_fresh(PageType::BufferCache, file, offset_page, heat, preference)?;
         Ok((gfn, false))
     }
 
@@ -1026,14 +1143,51 @@ impl GuestKernel {
     /// below `cold_heat` (the workload stopped using them). Returns pages
     /// deactivated.
     pub fn age_lru(&mut self, kind: MemKind, batch: usize, cold_heat: u8) -> u64 {
-        let victims = self.lru_candidates(kind, batch, |p| {
-            p.heat < cold_heat && p.flags.contains(PageFlags::ACTIVE)
-        });
+        // Lazy-aging fast path (DESIGN.md §13): when the cold-active ledger
+        // is armed with exactly this threshold, its count answers the walk's
+        // question up front. Zero cold-active pages proves the dense
+        // candidate walk would deactivate nothing, and a non-zero count
+        // bounds the walk — every match sits on an active list (the aging
+        // predicate requires `ACTIVE`, which inactive-list pages never
+        // carry), so the walk may stop after `min(batch, count)` matches.
+        let victims = match self.mm.cold_ledger().threshold() {
+            Some(t) if t == cold_heat => {
+                let cold = self.mm.cold_active(kind);
+                if cold == 0 {
+                    return 0;
+                }
+                self.cold_active_candidates(kind, batch.min(cold as usize), cold_heat)
+            }
+            // Unconfigured or differently-configured ledger: legacy dense
+            // walk over all four lists.
+            _ => self.lru_candidates(kind, batch, |p| {
+                p.heat < cold_heat && p.flags.contains(PageFlags::ACTIVE)
+            }),
+        };
         let n = victims.len() as u64;
         for gfn in victims {
             self.lru.deactivate(&mut self.mm, gfn);
         }
         n
+    }
+
+    /// First `limit` active-list pages of a tier with heat below
+    /// `cold_heat`, in the exact order [`GuestKernel::lru_candidates`]
+    /// yields them (anonymous class before file class; inactive lists
+    /// cannot match the aging predicate and are skipped).
+    fn cold_active_candidates(&self, kind: MemKind, limit: usize, cold_heat: u8) -> Vec<Gfn> {
+        let mut out = Vec::with_capacity(limit);
+        for class in [crate::lru::LruClass::Anon, crate::lru::LruClass::File] {
+            for gfn in self.lru.split(kind, class).active.iter(&self.mm) {
+                if out.len() >= limit {
+                    return out;
+                }
+                if self.mm.page(gfn).heat < cold_heat {
+                    out.push(gfn);
+                }
+            }
+        }
+        out
     }
 
     /// Balloon inflation: pulls `n` free pages of a tier out of the guest

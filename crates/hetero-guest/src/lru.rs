@@ -115,6 +115,29 @@ impl LruList {
         self.len -= 1;
     }
 
+    /// The most-recently-used page (head) without removing it.
+    pub fn peek_front(&self) -> Option<Gfn> {
+        self.head
+    }
+
+    /// Completes a head-insert whose descriptor half (`LRU` flag,
+    /// `lru_prev = None`, `lru_next` = this list's head) was pre-written
+    /// by [`MemMap::set_allocated_linked`] — the bulk allocators' fused
+    /// equivalent of [`LruList::push_front`].
+    pub fn push_front_prelinked(&mut self, mm: &mut MemMap, gfn: Gfn) {
+        debug_assert!(mm.page(gfn).flags.contains(PageFlags::LRU));
+        debug_assert_eq!(mm.page(gfn).lru_prev, None);
+        debug_assert_eq!(mm.page(gfn).lru_next, self.head);
+        if let Some(old_head) = self.head {
+            mm.page_mut(old_head).lru_prev = Some(gfn);
+        }
+        self.head = Some(gfn);
+        if self.tail.is_none() {
+            self.tail = Some(gfn);
+        }
+        self.len += 1;
+    }
+
     /// Removes and returns the tail (least-recently-used) page.
     pub fn pop_back(&mut self, mm: &mut MemMap) -> Option<Gfn> {
         let tail = self.tail?;
@@ -221,6 +244,38 @@ impl LruRegistry {
         LruClass::of(page.page_type).map(|c| (page.kind, c))
     }
 
+    /// The list a fresh page of `(kind, class)` joins — bulk-path helper
+    /// paired with [`MemMap::set_allocated_linked`],
+    /// [`LruList::push_front_prelinked`] and the `note_fresh_*`
+    /// transition tallies.
+    pub fn fresh_list_mut(&mut self, kind: MemKind, class: LruClass, active: bool) -> &mut LruList {
+        let split = self.split_mut(kind, class);
+        if active {
+            &mut split.active
+        } else {
+            &mut split.inactive
+        }
+    }
+
+    /// Transition accounting for `n` pages inserted via the fused bulk
+    /// path (equivalent of `n` [`LruRegistry::insert_active`] or
+    /// [`LruRegistry::insert_inactive`] calls).
+    pub fn note_fresh_inserts(&mut self, active: bool, n: u64) {
+        if active {
+            self.transitions.insert_active += n;
+        } else {
+            self.transitions.insert_inactive += n;
+        }
+    }
+
+    /// Transition accounting for the fused miss path of a file fault: the
+    /// page is born inactive and immediately activated by the I/O filling
+    /// it, so a direct active-list insert must tally both transitions.
+    pub fn note_fresh_faulted(&mut self, n: u64) {
+        self.transitions.insert_inactive += n;
+        self.transitions.activations += n;
+    }
+
     /// Inserts a freshly allocated page on its active list (heap pages start
     /// active; Linux starts file pages inactive — see
     /// [`LruRegistry::insert_inactive`]). Unevictable types are ignored.
@@ -228,7 +283,7 @@ impl LruRegistry {
         let Some((kind, class)) = Self::locate(mm.page(gfn)) else {
             return;
         };
-        mm.page_mut(gfn).flags.insert(PageFlags::ACTIVE);
+        mm.set_active(gfn, true);
         self.split_mut(kind, class).active.push_front(mm, gfn);
         self.transitions.insert_active += 1;
     }
@@ -238,7 +293,7 @@ impl LruRegistry {
         let Some((kind, class)) = Self::locate(mm.page(gfn)) else {
             return;
         };
-        mm.page_mut(gfn).flags.remove(PageFlags::ACTIVE);
+        mm.set_active(gfn, false);
         self.split_mut(kind, class).inactive.push_front(mm, gfn);
         self.transitions.insert_inactive += 1;
     }
@@ -256,7 +311,7 @@ impl LruRegistry {
         } else {
             split.inactive.remove(mm, gfn);
         }
-        mm.page_mut(gfn).flags.remove(PageFlags::ACTIVE);
+        mm.set_active(gfn, false);
         self.transitions.removals += 1;
     }
 
@@ -270,7 +325,7 @@ impl LruRegistry {
         let (kind, class) = Self::locate(mm.page(gfn)).expect("listed page has a class");
         let split = self.split_mut(kind, class);
         split.inactive.remove(mm, gfn);
-        mm.page_mut(gfn).flags.insert(PageFlags::ACTIVE);
+        mm.set_active(gfn, true);
         split.active.push_front(mm, gfn);
         self.transitions.activations += 1;
     }
@@ -286,7 +341,7 @@ impl LruRegistry {
         let (kind, class) = Self::locate(mm.page(gfn)).expect("listed page has a class");
         let split = self.split_mut(kind, class);
         split.active.remove(mm, gfn);
-        mm.page_mut(gfn).flags.remove(PageFlags::ACTIVE);
+        mm.set_active(gfn, false);
         split.inactive.push_front(mm, gfn);
         self.transitions.deactivations += 1;
     }
@@ -306,7 +361,9 @@ impl LruRegistry {
             while (out.len() as u64) < n {
                 match self.split_mut(kind, class).inactive.pop_back(mm) {
                     Some(g) => {
-                        mm.page_mut(g).flags.remove(PageFlags::ACTIVE);
+                        // Inactive pages carry no ACTIVE bit; `set_active`
+                        // keeps this a ledger-aware no-op.
+                        mm.set_active(g, false);
                         out.push(g);
                     }
                     None => break,

@@ -6,6 +6,7 @@
 //! boot (the boot allocator "initializes one NUMA node and its related data
 //! structures for each memory type", §3.1), so a `Gfn`'s tier never changes.
 
+use hetero_mem::heatgen::ColdLedger;
 use hetero_mem::kind::KindMap;
 use hetero_mem::MemKind;
 
@@ -41,6 +42,10 @@ pub struct MemMap {
     pages: Vec<Page>,
     ranges: Vec<(MemKind, std::ops::Range<u64>)>,
     residency: [KindMap<Residency>; PageType::COUNT],
+    /// O(1) cold-active page counts (lazy LRU aging, DESIGN.md §13).
+    /// Inert until [`MemMap::configure_cold_ledger`] arms it; every heat
+    /// write and ACTIVE transition below keeps it exact.
+    ledger: ColdLedger,
 }
 
 impl MemMap {
@@ -69,6 +74,74 @@ impl MemMap {
             pages,
             ranges,
             residency: [KindMap::default(); PageType::COUNT],
+            ledger: ColdLedger::new(),
+        }
+    }
+
+    /// Arms the cold-active ledger with the LRU cold-heat threshold.
+    ///
+    /// Call at boot (or right after a crash rebuild), before any page goes
+    /// on an active list — the reset-to-zero counts are exact only for an
+    /// active-free map. Unconfigured maps keep legacy behaviour: the
+    /// ledger stays inert and LRU aging uses its dense walk.
+    pub fn configure_cold_ledger(&mut self, threshold: u8) {
+        self.ledger.configure(threshold);
+    }
+
+    /// The cold-active ledger (threshold, per-tier counts, generation).
+    pub fn cold_ledger(&self) -> &ColdLedger {
+        &self.ledger
+    }
+
+    /// Exclusive access to the ledger's generation counter (the cooling
+    /// pass bumps it; counts are maintained internally).
+    pub fn cold_ledger_mut(&mut self) -> &mut ColdLedger {
+        &mut self.ledger
+    }
+
+    /// Cold-active pages currently on `kind` — exact when the ledger is
+    /// configured with the aging threshold in use, zero otherwise.
+    #[inline]
+    pub fn cold_active(&self, kind: MemKind) -> u64 {
+        self.ledger.cold_active(kind)
+    }
+
+    /// Dense recount of cold-active pages per tier — the audit oracle for
+    /// the incremental ledger. Walks every frame; only the sanitizer
+    /// should call this on hot paths.
+    pub fn recount_cold_active(&self) -> KindMap<u64> {
+        let mut out: KindMap<u64> = KindMap::default();
+        if !self.ledger.is_configured() {
+            return out;
+        }
+        for p in &self.pages {
+            if p.flags.contains(PageFlags::ACTIVE) && self.ledger.is_cold(p.heat) {
+                out[p.kind] += 1;
+            }
+        }
+        out
+    }
+
+    /// Moves a present page on or off an active LRU list, keeping the
+    /// cold-active ledger in sync. The LRU registry routes **every**
+    /// `ACTIVE` transition through here; flipping the flag via
+    /// [`MemMap::page_mut`] desynchronises the ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not present.
+    #[inline]
+    pub fn set_active(&mut self, gfn: Gfn, on: bool) {
+        let p = &mut self.pages[gfn.index()];
+        assert!(p.is_present(), "{gfn} is not allocated");
+        let was = p.flags.contains(PageFlags::ACTIVE);
+        if was == on {
+            return;
+        }
+        p.flags.set(PageFlags::ACTIVE, on);
+        if self.ledger.is_cold(p.heat) {
+            let kind = p.kind;
+            self.ledger.adjust(kind, if on { 1 } else { -1 });
         }
     }
 
@@ -110,7 +183,9 @@ impl MemMap {
     /// Mutating `page_type`, `kind`, `heat` or `PRESENT` through this
     /// reference without going through [`MemMap::set_allocated`] /
     /// [`MemMap::set_free`] / [`MemMap::set_heat`] desynchronises the
-    /// residency accounting; use it for flags, rmap and LRU links only.
+    /// residency accounting, and flipping `ACTIVE` without
+    /// [`MemMap::set_active`] desynchronises the cold-active ledger; use
+    /// it for the remaining flags, rmap and LRU links only.
     ///
     /// # Panics
     ///
@@ -144,6 +219,55 @@ impl MemMap {
         r.heat += heat as u64;
     }
 
+    /// One-borrow fast path for the bulk allocators: marks a free page
+    /// allocated *and* applies the LRU descriptor half of a head-insert
+    /// (`LRU` flag, `lru_prev = None`, `lru_next` = the list's current
+    /// head) plus the reverse map, in a single descriptor access. The
+    /// caller completes the insert with
+    /// [`crate::lru::LruList::push_front_prelinked`].
+    ///
+    /// State-equivalent to [`MemMap::set_allocated`] followed by
+    /// [`MemMap::set_active`]`(gfn, active)` and the descriptor writes of
+    /// an `LruList` head-insert — including the cold-active ledger charge
+    /// an activation of a cold page incurs. Returns the frame's tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already present.
+    pub fn set_allocated_linked(
+        &mut self,
+        gfn: Gfn,
+        page_type: PageType,
+        heat: u8,
+        active: bool,
+        lru_next: Option<Gfn>,
+        rmap: crate::page::RMap,
+    ) -> MemKind {
+        let kind = {
+            let p = &mut self.pages[gfn.index()];
+            assert!(!p.is_present(), "{gfn} is already allocated");
+            let mut flags = PageFlags::PRESENT | PageFlags::LRU;
+            if active {
+                flags.insert(PageFlags::ACTIVE);
+            }
+            p.flags = flags;
+            p.page_type = page_type;
+            p.heat = heat;
+            p.write_heat = 0;
+            p.lru_prev = None;
+            p.lru_next = lru_next;
+            p.rmap = rmap;
+            p.kind
+        };
+        let r = &mut self.residency[page_type.index()][kind];
+        r.pages += 1;
+        r.heat += heat as u64;
+        if active && self.ledger.is_cold(heat) {
+            self.ledger.adjust(kind, 1);
+        }
+        kind
+    }
+
     /// Marks an allocated page free, updating residency accounting.
     ///
     /// # Panics
@@ -154,6 +278,9 @@ impl MemMap {
             let p = &mut self.pages[gfn.index()];
             assert!(p.is_present(), "{gfn} is not allocated");
             let prev = (p.kind, p.page_type, p.heat, p.write_heat);
+            if p.flags.contains(PageFlags::ACTIVE) && self.ledger.is_cold(p.heat) {
+                self.ledger.adjust(p.kind, -1);
+            }
             p.flags = PageFlags::empty();
             p.heat = 0;
             p.write_heat = 0;
@@ -179,6 +306,13 @@ impl MemMap {
             assert!(p.is_present(), "{gfn} is not allocated");
             let old = p.heat;
             p.heat = heat;
+            if p.flags.contains(PageFlags::ACTIVE) {
+                let crossed =
+                    self.ledger.is_cold(heat) as i64 - self.ledger.is_cold(old) as i64;
+                if crossed != 0 {
+                    self.ledger.adjust(p.kind, crossed);
+                }
+            }
             (p.kind, p.page_type, old)
         };
         let r = &mut self.residency[page_type.index()][kind];
@@ -307,6 +441,64 @@ mod tests {
     #[should_panic(expected = "duplicate tier")]
     fn duplicate_tier_rejected() {
         MemMap::new(&[(MemKind::Fast, 4), (MemKind::Fast, 4)]);
+    }
+
+    #[test]
+    fn cold_ledger_tracks_active_transitions_and_heat_crossings() {
+        let mut m = mm();
+        m.configure_cold_ledger(48);
+        m.set_allocated(Gfn(0), PageType::HeapAnon, 100);
+        m.set_allocated(Gfn(1), PageType::HeapAnon, 10);
+        assert_eq!(m.cold_active(MemKind::Fast), 0, "allocation is not activation");
+        m.set_active(Gfn(0), true); // hot-active: not cold
+        m.set_active(Gfn(1), true); // cold-active
+        assert_eq!(m.cold_active(MemKind::Fast), 1);
+        m.set_heat(Gfn(0), 20); // hot page cools below the threshold
+        assert_eq!(m.cold_active(MemKind::Fast), 2);
+        m.set_heat(Gfn(1), 200); // cold page reheats
+        assert_eq!(m.cold_active(MemKind::Fast), 1);
+        m.set_active(Gfn(0), false); // deactivation removes it
+        assert_eq!(m.cold_active(MemKind::Fast), 0);
+        m.set_active(Gfn(0), false); // idempotent
+        assert_eq!(m.cold_active(MemKind::Fast), 0);
+    }
+
+    #[test]
+    fn cold_ledger_decrements_on_free_of_cold_active_page() {
+        let mut m = mm();
+        m.configure_cold_ledger(48);
+        m.set_allocated(Gfn(9), PageType::PageCache, 5);
+        m.set_active(Gfn(9), true);
+        assert_eq!(m.cold_active(MemKind::Slow), 1);
+        m.set_free(Gfn(9));
+        assert_eq!(m.cold_active(MemKind::Slow), 0);
+    }
+
+    #[test]
+    fn unconfigured_ledger_counts_nothing() {
+        let mut m = mm();
+        m.set_allocated(Gfn(0), PageType::HeapAnon, 1);
+        m.set_active(Gfn(0), true);
+        assert_eq!(m.cold_active(MemKind::Fast), 0);
+        assert!(!m.cold_ledger().is_configured());
+        assert_eq!(m.recount_cold_active()[MemKind::Fast], 0);
+    }
+
+    #[test]
+    fn recount_matches_incremental_ledger() {
+        let mut m = mm();
+        m.configure_cold_ledger(48);
+        for (i, heat) in [100u8, 10, 47, 48, 0].iter().enumerate() {
+            m.set_allocated(Gfn(i as u64), PageType::HeapAnon, *heat);
+            m.set_active(Gfn(i as u64), true);
+        }
+        m.set_active(Gfn(4), false);
+        m.set_heat(Gfn(0), 3);
+        let recount = m.recount_cold_active();
+        for k in MemKind::ALL {
+            assert_eq!(recount[k], m.cold_active(k), "{k}");
+        }
+        assert_eq!(m.cold_active(MemKind::Fast), 3, "heats 3, 10, 47 active-cold");
     }
 
     #[test]

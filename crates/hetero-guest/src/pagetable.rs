@@ -145,6 +145,63 @@ impl PageTable {
         prev
     }
 
+    /// Maps the consecutive range `start .. start + gfns.len()` so that
+    /// `start + i` translates to `gfns[i]`, replacing existing mappings.
+    ///
+    /// End state is identical to calling [`PageTable::map`] per page; the
+    /// interior descent is amortised — one walk per 512-entry leaf block
+    /// instead of one per page, which is what makes bulk heap faults cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range reaches `VPN_LIMIT`.
+    pub fn map_range(&mut self, start: u64, gfns: &[Gfn]) {
+        if gfns.is_empty() {
+            return;
+        }
+        let end = start + gfns.len() as u64;
+        assert!(end <= VPN_LIMIT, "vpn range {start:#x}..{end:#x} out of range");
+        let mut i = 0usize;
+        while i < gfns.len() {
+            let vpn = start + i as u64;
+            // Pages sharing this leaf table: up to the next 512-block edge.
+            let block_end = ((vpn >> LEVEL_BITS) + 1) << LEVEL_BITS;
+            let n = ((block_end - vpn) as usize).min(gfns.len() - i);
+            let mut new_tables = 0;
+            let mut table = &mut *self.root;
+            for level in (1..LEVELS).rev() {
+                let idx = Self::index(vpn, level);
+                if matches!(table.entries[idx], Entry::Empty) {
+                    table.entries[idx] = Entry::Table(Box::new(Table::new()));
+                    table.used += 1;
+                    new_tables += 1;
+                }
+                table = match &mut table.entries[idx] {
+                    Entry::Table(t) => t,
+                    _ => unreachable!("interior levels hold tables"),
+                };
+            }
+            let base = Self::index(vpn, 0);
+            for (j, &gfn) in gfns[i..i + n].iter().enumerate() {
+                let leaf = Entry::Leaf(Pte {
+                    gfn,
+                    accessed: false,
+                    dirty: false,
+                });
+                match std::mem::replace(&mut table.entries[base + j], leaf) {
+                    Entry::Empty => {
+                        table.used += 1;
+                        self.mapped += 1;
+                    }
+                    Entry::Leaf(_) => {}
+                    Entry::Table(_) => unreachable!("leaf level holds PTEs"),
+                }
+            }
+            self.table_pages += new_tables;
+            i += n;
+        }
+    }
+
     /// Removes the mapping for `vpn`, returning its PTE.
     ///
     /// Empty intermediate tables are freed (the table-page count drops).
@@ -410,6 +467,52 @@ mod tests {
         }
         let visited = pt.scan_and_reset(5, 15, |_, _, _| {});
         assert_eq!(visited, 10);
+    }
+
+    #[test]
+    fn map_range_matches_per_page_map() {
+        // A range crossing two leaf-table boundaries, mapped both ways,
+        // must produce identical translations and table counts.
+        let start = 500; // crosses the 512 boundary mid-range
+        let gfns: Vec<Gfn> = (0..1040).map(|i| Gfn(10_000 + i)).collect();
+        let mut bulk = PageTable::new();
+        bulk.map_range(start, &gfns);
+        let mut scalar = PageTable::new();
+        for (i, &g) in gfns.iter().enumerate() {
+            scalar.map(start + i as u64, g);
+        }
+        assert_eq!(bulk.mapped_pages(), scalar.mapped_pages());
+        assert_eq!(bulk.table_pages(), scalar.table_pages());
+        for i in 0..gfns.len() as u64 {
+            assert_eq!(bulk.translate(start + i), scalar.translate(start + i));
+        }
+        assert_eq!(bulk.translate(start - 1), None);
+        assert_eq!(bulk.translate(start + gfns.len() as u64), None);
+    }
+
+    #[test]
+    fn map_range_replaces_existing_mappings() {
+        let mut pt = PageTable::new();
+        pt.map(7, Gfn(70));
+        pt.map_range(6, &[Gfn(60), Gfn(71), Gfn(80)]);
+        assert_eq!(pt.translate(6), Some(Gfn(60)));
+        assert_eq!(pt.translate(7), Some(Gfn(71)), "replaced");
+        assert_eq!(pt.translate(8), Some(Gfn(80)));
+        assert_eq!(pt.mapped_pages(), 3, "replacement must not double count");
+    }
+
+    #[test]
+    fn map_range_of_nothing_is_a_noop() {
+        let mut pt = PageTable::new();
+        pt.map_range(0, &[]);
+        assert_eq!(pt.mapped_pages(), 0);
+        assert_eq!(pt.table_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn map_range_beyond_limit_panics() {
+        PageTable::new().map_range(VPN_LIMIT - 1, &[Gfn(0), Gfn(1)]);
     }
 
     #[test]

@@ -82,6 +82,22 @@ impl AllocStats {
         }
     }
 
+    /// Batched [`Stats::record`]: `total` same-type requests with one
+    /// shared `wanted_fast`, of which `got_fast` landed on FastMem.
+    /// Equivalent to `total` scalar calls.
+    pub fn record_run(&mut self, page_type: PageType, wanted_fast: bool, got_fast: u64, total: u64) {
+        for c in [
+            &mut self.window[page_type.index()],
+            &mut self.cumulative[page_type.index()],
+        ] {
+            c.requests += total;
+            if wanted_fast {
+                c.fast_requests += total;
+                c.fast_hits += got_fast;
+            }
+        }
+    }
+
     /// Counters of the current window.
     pub fn window(&self, page_type: PageType) -> TypeCounters {
         self.window[page_type.index()]

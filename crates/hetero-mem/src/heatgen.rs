@@ -1,0 +1,249 @@
+//! Generation-stamped lazy hotness aging.
+//!
+//! The epoch engine cools page heat periodically; tracking which pages
+//! have fallen below the LRU's cold threshold used to require a dense walk
+//! of the active lists every epoch. This module provides the two lazy
+//! primitives that replace the walk (DESIGN.md §13):
+//!
+//! * [`decay`] — the pure aging law: heat halves once per elapsed cooling
+//!   generation, so a page stamped at generation `g` and visited at
+//!   generation `g + k` carries `heat >> k` without any intermediate
+//!   bookkeeping;
+//! * [`ColdLedger`] — an O(1) per-tier count of *cold-active* pages
+//!   (active-list pages whose heat sits below the configured threshold),
+//!   maintained incrementally at every heat write and active-list
+//!   transition. The LRU aging pass consults the ledger instead of walking:
+//!   a zero count proves the walk would find nothing, and a non-zero count
+//!   bounds how many candidates the walk needs before stopping early.
+//!
+//! The ledger is *advisory for scheduling, exact by construction*: the
+//! memmap routes every heat mutation and every ACTIVE transition through
+//! it, and the invariant sanitizer re-derives the counts densely behind
+//! `SimConfig::audit` as the oracle.
+
+use crate::kind::KindMap;
+use crate::MemKind;
+
+/// Maximum generations applied by [`decay`] — beyond this every `u8` heat
+/// has reached zero, so larger gaps clamp instead of shifting further.
+pub const MAX_DECAY_GENS: u64 = 8;
+
+/// The lazy aging law: heat after `gens` elapsed cooling generations.
+///
+/// Heat halves per generation (`heat >> gens`), clamped at
+/// [`MAX_DECAY_GENS`] — an 8-bit heat is extinct after eight halvings, so
+/// arbitrarily stale stamps cost the same single shift.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::heatgen::decay;
+///
+/// assert_eq!(decay(200, 0), 200);
+/// assert_eq!(decay(200, 1), 100);
+/// assert_eq!(decay(200, 3), 25);
+/// assert_eq!(decay(255, 64), 0, "stale stamps clamp, not wrap");
+/// ```
+#[inline]
+pub const fn decay(heat: u8, gens: u64) -> u8 {
+    if gens >= MAX_DECAY_GENS {
+        0
+    } else {
+        heat >> gens
+    }
+}
+
+/// An O(1) ledger of cold-active pages per memory tier.
+///
+/// Unconfigured (no threshold) the ledger is inert: counts stay zero and
+/// [`ColdLedger::is_configured`] lets callers fall back to dense walks.
+/// Once configured with the LRU cold-heat threshold, the owner must report
+/// every relevant transition via [`ColdLedger::adjust`]; the counts then
+/// answer "would an aging walk find anything?" without touching a list.
+///
+/// # Examples
+///
+/// ```
+/// use hetero_mem::heatgen::ColdLedger;
+/// use hetero_mem::MemKind;
+///
+/// let mut ledger = ColdLedger::new();
+/// ledger.configure(48);
+/// assert!(ledger.is_cold(10));
+/// ledger.adjust(MemKind::Fast, 1);
+/// assert_eq!(ledger.cold_active(MemKind::Fast), 1);
+/// ledger.adjust(MemKind::Fast, -1);
+/// assert_eq!(ledger.cold_active(MemKind::Fast), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ColdLedger {
+    /// Heat threshold below which an active page counts as cold;
+    /// `None` = ledger not maintained (dense walks required).
+    threshold: Option<u8>,
+    /// Cold-active page count per tier.
+    cold: KindMap<u64>,
+    /// Cooling generation counter (bumped once per engine cooling pass);
+    /// pairs with [`decay`] for generation-stamped lazy aging.
+    generation: u64,
+}
+
+impl ColdLedger {
+    /// Creates an inert (unconfigured) ledger.
+    pub fn new() -> Self {
+        ColdLedger::default()
+    }
+
+    /// Arms the ledger with the LRU cold-heat threshold and resets the
+    /// counts. Must be called while the owning memmap holds no active
+    /// pages (boot or post-recovery), so zero counts are trivially exact.
+    pub fn configure(&mut self, threshold: u8) {
+        self.threshold = Some(threshold);
+        self.cold = KindMap::default();
+    }
+
+    /// Is the ledger maintained? When `false`, counts are meaningless and
+    /// callers must use their dense fallback.
+    pub fn is_configured(&self) -> bool {
+        self.threshold.is_some()
+    }
+
+    /// The configured threshold, if any.
+    pub fn threshold(&self) -> Option<u8> {
+        self.threshold
+    }
+
+    /// Is `heat` below the configured threshold? Always `false` when
+    /// unconfigured (nothing is tracked as cold).
+    #[inline]
+    pub fn is_cold(&self, heat: u8) -> bool {
+        match self.threshold {
+            Some(t) => heat < t,
+            None => false,
+        }
+    }
+
+    /// Cold-active pages currently on `kind`.
+    #[inline]
+    pub fn cold_active(&self, kind: MemKind) -> u64 {
+        self.cold[kind]
+    }
+
+    /// Applies a cold-active count delta for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow — a negative adjustment without a matching
+    /// positive one is an accounting bug, not a condition to absorb.
+    #[inline]
+    pub fn adjust(&mut self, kind: MemKind, delta: i64) {
+        let c = &mut self.cold[kind];
+        if delta >= 0 {
+            *c += delta as u64;
+        } else {
+            *c = c
+                .checked_sub((-delta) as u64)
+                .expect("cold-active ledger underflow");
+        }
+    }
+
+    /// The current cooling generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances the cooling generation (one engine cooling pass).
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Generations elapsed since `stamp`, saturating at zero for stamps
+    /// from the future (which only a bug can produce).
+    pub fn gens_since(&self, stamp: u64) -> u64 {
+        self.generation.saturating_sub(stamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_halves_per_generation() {
+        assert_eq!(decay(128, 0), 128);
+        assert_eq!(decay(128, 1), 64);
+        assert_eq!(decay(128, 7), 1);
+        assert_eq!(decay(128, 8), 0);
+        assert_eq!(decay(1, 1), 0);
+        assert_eq!(decay(0, 0), 0);
+    }
+
+    #[test]
+    fn decay_clamps_stale_stamps() {
+        for gens in [MAX_DECAY_GENS, 9, 63, 64, 65, u64::MAX] {
+            assert_eq!(decay(255, gens), 0, "gens={gens}");
+        }
+    }
+
+    #[test]
+    fn decay_is_monotone_in_generations() {
+        let mut prev = 255u8;
+        for gens in 0..=MAX_DECAY_GENS {
+            let h = decay(255, gens);
+            assert!(h <= prev, "decay must never increase heat");
+            prev = h;
+        }
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn unconfigured_ledger_is_inert() {
+        let ledger = ColdLedger::new();
+        assert!(!ledger.is_configured());
+        assert!(!ledger.is_cold(0), "nothing is cold without a threshold");
+        assert_eq!(ledger.cold_active(MemKind::Fast), 0);
+    }
+
+    #[test]
+    fn configure_sets_threshold_and_resets_counts() {
+        let mut ledger = ColdLedger::new();
+        ledger.configure(48);
+        assert_eq!(ledger.threshold(), Some(48));
+        assert!(ledger.is_cold(47));
+        assert!(!ledger.is_cold(48), "threshold itself is not cold");
+        ledger.adjust(MemKind::Slow, 3);
+        ledger.configure(50);
+        assert_eq!(ledger.cold_active(MemKind::Slow), 0, "reconfigure resets");
+    }
+
+    #[test]
+    fn adjust_tracks_per_tier_counts() {
+        let mut ledger = ColdLedger::new();
+        ledger.configure(10);
+        ledger.adjust(MemKind::Fast, 2);
+        ledger.adjust(MemKind::Slow, 1);
+        ledger.adjust(MemKind::Fast, -1);
+        assert_eq!(ledger.cold_active(MemKind::Fast), 1);
+        assert_eq!(ledger.cold_active(MemKind::Slow), 1);
+        assert_eq!(ledger.cold_active(MemKind::Medium), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_is_a_bug_not_a_clamp() {
+        let mut ledger = ColdLedger::new();
+        ledger.configure(10);
+        ledger.adjust(MemKind::Fast, -1);
+    }
+
+    #[test]
+    fn generations_advance_and_measure() {
+        let mut ledger = ColdLedger::new();
+        assert_eq!(ledger.generation(), 0);
+        ledger.bump_generation();
+        ledger.bump_generation();
+        assert_eq!(ledger.generation(), 2);
+        assert_eq!(ledger.gens_since(0), 2);
+        assert_eq!(ledger.gens_since(2), 0);
+        assert_eq!(ledger.gens_since(5), 0, "future stamps saturate");
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod cost;
 pub mod frames;
+pub mod heatgen;
 pub mod kind;
 pub mod llc;
 pub mod machine;
@@ -48,6 +49,7 @@ pub mod tech;
 pub mod throttle;
 
 pub use cost::{CostModel, MigrationBatch};
+pub use heatgen::ColdLedger;
 pub use persist::{FlushPolicy, PersistDomain};
 pub use frames::{FramePool, Mfn};
 pub use kind::{MemKind, NodeId};
