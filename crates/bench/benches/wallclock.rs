@@ -14,13 +14,13 @@
 //! Flags (after `--`):
 //! * `--smoke` — reduced iteration counts for CI smoke runs;
 //! * `--check` — compare the measured gate benches (object traffic,
-//!   `repro_epochs`, `idle_fleet`) against the committed
+//!   `repro_epochs`, `idle_fleet`, `cluster_step`) against the committed
 //!   `BENCH_substrate.json` and exit non-zero on a >2x regression. Does
 //!   **not** rewrite the committed baseline.
 
 use std::time::Instant;
 
-use hetero_core::experiments::{placement, ExpOptions};
+use hetero_core::experiments::{cluster, placement, ExpOptions};
 use hetero_core::multivm::{MultiVmSim, VmSetup};
 use hetero_core::{Policy, SimConfig, SingleVmSim};
 use hetero_guest::buddy::BuddyAllocator;
@@ -221,6 +221,23 @@ fn bench_idle_fleet(name: &'static str, active: usize, idle: usize) -> BenchResu
     BenchResult { name, ns_per_op, ops }
 }
 
+/// One quick-mode cluster consolidation run (120 VM arrivals over 4
+/// hosts with the balancer and live migration armed), timed end-to-end
+/// on one worker thread. Ops = guest epochs stepped cluster-wide, so the
+/// committed gate tracks per-epoch stepping cost through the round loop
+/// — admission, sharded stepping, retirement, balancing — rather than
+/// raw fleet size.
+fn bench_cluster_step() -> BenchResult {
+    let opts = ExpOptions::quick().with_jobs(1);
+    let start = Instant::now();
+    let outcome = cluster::fleet_outcome(&opts);
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let ops = outcome.report.epochs.max(1);
+    let ns_per_op = elapsed / ops as f64;
+    println!("{:<24} {ns_per_op:>10.1} ns/op  ({ops} ops)", "cluster_step");
+    BenchResult { name: "cluster_step", ns_per_op, ops }
+}
+
 /// One full quick-mode Fig 9 sweep on `jobs` worker threads, timed
 /// end-to-end (a single iteration — the sweep is seconds, not nanos). The
 /// `jobs = 1` / `jobs = 0` (available parallelism) pair is the committed
@@ -273,6 +290,7 @@ fn check_regression(results: &[BenchResult]) -> bool {
         "object_traffic_scalar",
         "repro_epochs",
         "idle_fleet",
+        "cluster_step",
     ] {
         let Some(committed) = baseline_ns_per_op(&json, name) else {
             eprintln!("--check: baseline has no entry for {name}; skipping");
@@ -313,6 +331,7 @@ fn main() {
         bench_object_traffic_bulk(20_000 / scale),
         bench_idle_fleet("idle_fleet", 6, 58),
         bench_idle_fleet("idle_fleet_busy", 6, 0),
+        bench_cluster_step(),
     ];
     // The end-to-end Fig 9 sweep takes seconds per iteration; only the
     // full (baseline-writing) mode pays for it. `--check` never gates on

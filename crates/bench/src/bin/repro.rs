@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--sched MODE] [--audit LEVEL]
-//!       [--persist MODE] [--faults KIND] [--json-out DIR] <target>...
+//!       [--persist MODE] [--faults KIND] [--hosts N] [--arrival MODE]
+//!       [--json-out DIR] <target>...
 //! repro all                      # every table and figure
 //! repro ablations                # the design-choice ablations
 //! repro fig9 fig10               # specific targets
@@ -12,6 +13,8 @@
 //! repro --audit epoch fig9       # cross-check invariants every epoch
 //! repro recovery                 # the crash-consistency experiments
 //! repro --persist epoch --faults host-power-loss rec-ablation
+//! repro cluster                  # 1,000-VM/16-host consolidation run
+//! repro --hosts 8 --arrival trace cluster
 //! ```
 //!
 //! `--jobs N` spreads the work over `N` OS threads (default: available
@@ -36,6 +39,11 @@
 //! crash its fault-arming drivers inject mid-run. Every other target
 //! ignores both flags, so its exports are unchanged by them.
 //!
+//! `--hosts N` and `--arrival MODE` (`poisson` or `trace`) shape the
+//! `cluster` target — the rack-scale consolidation run with inter-host
+//! pre-copy live migration (`--hosts 0` keeps the experiment default of
+//! 16 hosts, 4 in quick mode). Every other target ignores both flags.
+//!
 //! With `--json-out DIR`, every target additionally writes machine-readable
 //! files into `DIR`: `<target>.json` for all targets, plus `<target>.csv`
 //! for figures and `<target>.txt` for text tables. A `telemetry.json`
@@ -45,7 +53,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{run_artifacts, ABLATIONS, EXTENSIONS, RECOVERY, TARGETS};
+use bench::{run_artifacts, ABLATIONS, CLUSTER, EXTENSIONS, RECOVERY, TARGETS};
 use hetero_core::experiments::ExpOptions;
 use hetero_faults::FaultKind;
 use hetero_core::{Policy, SimConfig, SingleVmSim};
@@ -80,6 +88,7 @@ fn is_known_target(target: &str) -> bool {
         || ABLATIONS.contains(&target)
         || EXTENSIONS.contains(&target)
         || RECOVERY.contains(&target)
+        || CLUSTER.contains(&target)
 }
 
 /// Parses a `--faults` crash kind by its display name.
@@ -172,22 +181,42 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--hosts" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.hosts = n,
+                None => {
+                    eprintln!("--hosts requires an integer (0 = experiment default)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--arrival" => match args.next().map(|s| s.parse()) {
+                Some(Ok(mode)) => opts.arrival = mode,
+                Some(Err(e)) => {
+                    eprintln!("--arrival: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--arrival requires a mode (poisson or trace)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
             "ablations" => targets.extend(ABLATIONS.iter().map(|s| s.to_string())),
             "extensions" => targets.extend(EXTENSIONS.iter().map(|s| s.to_string())),
             "recovery" => targets.extend(RECOVERY.iter().map(|s| s.to_string())),
+            "cluster" => targets.extend(CLUSTER.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--seed N] [--jobs N] [--sched MODE] \
                      [--audit LEVEL] [--persist MODE] [--faults KIND] \
-                     [--json-out DIR] <target>..."
+                     [--hosts N] [--arrival MODE] [--json-out DIR] <target>..."
                 );
                 println!("sched modes: event dense");
                 println!("audit levels: off epoch paranoid");
                 println!("persist modes: off eager epoch on-evict");
                 println!("fault kinds: host-power-loss guest-crash-persist");
+                println!("arrival modes: poisson trace (cluster target only)");
                 println!(
-                    "targets: all ablations extensions recovery {}",
+                    "targets: all ablations extensions recovery cluster {}",
                     TARGETS.join(" ")
                 );
                 println!(
@@ -215,7 +244,7 @@ fn main() -> ExitCode {
     if !unknown.is_empty() {
         eprintln!("unknown experiment target(s): {}", unknown.join(", "));
         eprintln!(
-            "valid targets: all ablations extensions recovery {}",
+            "valid targets: all ablations extensions recovery cluster {}",
             TARGETS.join(" ")
         );
         eprintln!(

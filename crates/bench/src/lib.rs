@@ -14,8 +14,8 @@
 #![warn(missing_docs)]
 
 use hetero_core::experiments::{
-    ablations, capacity, coordinated, distribution, extensions, micro, overhead, placement,
-    recovery, sensitivity, sharing, tables, ExpOptions,
+    ablations, capacity, cluster, coordinated, distribution, extensions, micro, overhead,
+    placement, recovery, sensitivity, sharing, tables, ExpOptions,
 };
 use hetero_sim::export::json_string;
 use hetero_sim::{Runner, SeriesSet};
@@ -58,6 +58,11 @@ pub const EXTENSIONS: [&str; 4] =
 /// `--faults`).
 pub const RECOVERY: [&str; 3] = ["rec-time", "rec-overhead", "rec-ablation"];
 
+/// Rack-scale cluster experiments (see
+/// `hetero_core::experiments::cluster`; honors `--hosts` and
+/// `--arrival`).
+pub const CLUSTER: [&str; 1] = ["cluster"];
+
 /// A structured experiment result: either a rendered text table or a
 /// figure's underlying data series (plot-ready, exportable as JSON/CSV).
 pub enum Artifact {
@@ -65,6 +70,16 @@ pub enum Artifact {
     Table(String),
     /// A figure's data series.
     Figure(SeriesSet),
+    /// A raw artifact carrying both a rendered text summary and its own
+    /// pre-serialized JSON document (the cluster experiment: the JSON is
+    /// the full outcome — report, per-VM summaries, migration trace —
+    /// and is the byte-identity surface the determinism gates diff).
+    Raw {
+        /// Rendered terminal summary.
+        text: String,
+        /// Full machine-readable JSON document.
+        json: String,
+    },
 }
 
 impl Artifact {
@@ -73,24 +88,28 @@ impl Artifact {
         match self {
             Artifact::Table(text) => text.clone(),
             Artifact::Figure(set) => set.to_string(),
+            Artifact::Raw { text, .. } => text.clone(),
         }
     }
 
     /// Machine-readable JSON: the full series set for figures, a
-    /// `{"type":"table","text":...}` wrapper for text tables.
+    /// `{"type":"table","text":...}` wrapper for text tables, the
+    /// carried document for raw artifacts.
     pub fn to_json(&self) -> String {
         match self {
             Artifact::Table(text) => {
                 format!("{{\"type\":\"table\",\"text\":{}}}", json_string(text))
             }
             Artifact::Figure(set) => set.to_json(),
+            Artifact::Raw { json, .. } => json.clone(),
         }
     }
 
-    /// CSV for figures; `None` for text tables (export those as `.txt`).
+    /// CSV for figures; `None` for text tables and raw artifacts (those
+    /// export as `.txt`).
     pub fn to_csv(&self) -> Option<String> {
         match self {
-            Artifact::Table(_) => None,
+            Artifact::Table(_) | Artifact::Raw { .. } => None,
             Artifact::Figure(set) => Some(set.to_csv()),
         }
     }
@@ -133,6 +152,13 @@ pub fn run_artifact(target: &str, opts: &ExpOptions) -> Result<Artifact, String>
         "rec-time" => Figure(recovery::rec_time(opts)),
         "rec-overhead" => Table(recovery::rec_overhead(opts)),
         "rec-ablation" => Table(recovery::rec_ablation(opts)),
+        "cluster" => {
+            let outcome = cluster::fleet_outcome(opts);
+            Artifact::Raw {
+                text: cluster::fleet_table(&outcome),
+                json: outcome.to_json(),
+            }
+        }
         other => return Err(format!("unknown experiment target '{other}'")),
     };
     Ok(out)

@@ -467,6 +467,15 @@ impl<W: Workload> SingleVmSim<W> {
         freed
     }
 
+    /// Charges externally imposed work against this VM's clock — e.g. the
+    /// pre-copy dirty rounds of an inter-host live migration, priced by the
+    /// host through [`hetero_mem::cost::CostModel::migration_cost`]. The
+    /// charge advances simulated time *and* the cost attribution together,
+    /// so the sanitizer's cost-conservation check stays exact.
+    pub fn charge_external(&mut self, category: CostCategory, t: Nanos) {
+        self.clock.charge(category, t);
+    }
+
     // ------------------------------------------------------------ placement
 
     /// The chain with FastMem struck out — degraded-placement mode while an
@@ -886,6 +895,13 @@ impl<W: Workload> SingleVmSim<W> {
             .iter()
             .map(|(_, e)| (e.heat, e.write_heat))
             .collect();
+        // The balloon is host-side device state: the VMM's grant did not
+        // change just because the guest rebooted, so the reservation must
+        // be re-registered before the workload resumes or the rebooted
+        // kernel would think it owns its full tier reservations while the
+        // host ledger still records the smaller grant.
+        let ballooned: [(MemKind, u64); 3] = [MemKind::Fast, MemKind::Medium, MemKind::Slow]
+            .map(|k| (k, self.kernel.ballooned_pages(k)));
         let recovered = (heap.len() + cache.len() + buffer.len()) as u64;
         let lost = resident_before.saturating_sub(recovered);
         self.trace(EventKind::Fault, || {
@@ -971,6 +987,15 @@ impl<W: Workload> SingleVmSim<W> {
                 .is_ok()
             {
                 self.buffer_live.push_back(off);
+            }
+        }
+        // Re-inflate the pre-crash balloon now that the survivors are
+        // placed: they fit alongside the reservation before the crash, so
+        // the fresh kernel always has the frames to give back.
+        for (kind, n) in ballooned {
+            if n > 0 {
+                let got = self.kernel.balloon_inflate(kind, n);
+                debug_assert_eq!(got, n, "post-reboot balloon must fit on {kind:?}");
             }
         }
         // The migration tally is a lifetime run statistic carried across
@@ -1572,6 +1597,19 @@ impl<W: Workload> SingleVmSim<W> {
     fn hot_pages_estimate(heat: u64, pages: u64) -> u64 {
         let cold = hetero_workloads::WorkloadSpec::COLD_HEAT as u64;
         let hot_heat = hetero_workloads::WorkloadSpec::expected_hot_heat();
+        Self::hot_pages_estimate_with(heat, pages, hot_heat, cold)
+    }
+
+    /// Core of [`Self::hot_pages_estimate`] with the heat anchors explicit.
+    /// A degenerate spec whose expected hot heat sits at or below the cold
+    /// floor leaves the inversion undefined (zero or negative denominator);
+    /// dividing anyway sends `+inf` through the `as u64` cast and reads as
+    /// `u64::MAX` hot pages. Guard it: such a heap has no detectable hot
+    /// set, so the estimate is 0.
+    fn hot_pages_estimate_with(heat: u64, pages: u64, hot_heat: f64, cold: u64) -> u64 {
+        if hot_heat <= cold as f64 {
+            return 0;
+        }
         (heat.saturating_sub(cold * pages) as f64 / (hot_heat - cold as f64)) as u64
     }
 
@@ -2442,5 +2480,32 @@ mod tests {
         assert_eq!(sim.recovered_frames(), 0, "no flush policy, no survivors");
         assert!(sim.lost_frames() > 0);
         assert!(sim.violations().is_empty(), "{:?}", sim.violations());
+    }
+
+    #[test]
+    fn hot_pages_estimate_guards_degenerate_heat_anchors() {
+        let cold = hetero_workloads::WorkloadSpec::COLD_HEAT as u64;
+        // Degenerate spec: expected hot heat *equals* the cold floor. The
+        // unguarded inversion divides by zero, sends +inf through the
+        // `as u64` cast, and reports u64::MAX hot pages.
+        assert_eq!(
+            SingleVmSim::<AppWorkload>::hot_pages_estimate_with(10_000, 100, cold as f64, cold),
+            0
+        );
+        // Hot heat *below* cold (negative denominator) must also clamp.
+        assert_eq!(
+            SingleVmSim::<AppWorkload>::hot_pages_estimate_with(10_000, 100, 1.0, cold),
+            0
+        );
+        // A fully cooled heap (aggregate at the all-cold floor) reads zero.
+        assert_eq!(
+            SingleVmSim::<AppWorkload>::hot_pages_estimate_with(cold * 100, 100, 143.7, cold),
+            0
+        );
+        // Sanity: the healthy anchors still invert: 50 hot pages at heat
+        // 143.7 over a 100-page heap.
+        let heat = (50.0 * 143.7) as u64 + 50 * cold;
+        let est = SingleVmSim::<AppWorkload>::hot_pages_estimate_with(heat, 100, 143.7, cold);
+        assert!((49..=51).contains(&est), "estimate {est} should be ~50");
     }
 }

@@ -13,10 +13,12 @@ use hetero_mem::FlushPolicy;
 use hetero_sim::Runner;
 use hetero_workloads::WorkloadSpec;
 
+use crate::cluster::ArrivalMode;
 use crate::config::SchedMode;
 
 pub mod ablations;
 pub mod capacity;
+pub mod cluster;
 pub mod coordinated;
 pub mod distribution;
 pub mod extensions;
@@ -61,6 +63,14 @@ pub struct ExpOptions {
     /// produce byte-identical exports — the mode only changes how the
     /// engine finds due management work.
     pub sched: SchedMode,
+    /// Host count for the rack-scale cluster experiment (`repro cluster
+    /// --hosts N`). `0` lets the driver pick its default (16 full, 4
+    /// quick); every non-cluster experiment ignores it.
+    pub hosts: usize,
+    /// VM arrival mode for the cluster experiment (`repro cluster
+    /// --arrival MODE`): a seeded Poisson process or the built-in
+    /// deterministic trace. Ignored by every non-cluster experiment.
+    pub arrival: ArrivalMode,
 }
 
 impl Default for ExpOptions {
@@ -73,6 +83,8 @@ impl Default for ExpOptions {
             persist: FlushPolicy::Off,
             faults: None,
             sched: SchedMode::default(),
+            hosts: 0,
+            arrival: ArrivalMode::default(),
         }
     }
 }
@@ -113,6 +125,18 @@ impl ExpOptions {
     /// Selects the epoch scheduler for every run.
     pub fn with_sched(mut self, sched: SchedMode) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Sets the cluster host count (`0` = driver default).
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts;
+        self
+    }
+
+    /// Selects the cluster VM arrival mode.
+    pub fn with_arrival(mut self, arrival: ArrivalMode) -> Self {
+        self.arrival = arrival;
         self
     }
 

@@ -9,6 +9,8 @@
 //! * [`config`] — the simulation platform configuration (§5.1 defaults),
 //! * [`engine`] — the single-VM epoch engine ([`SingleVmSim`], [`run_app`]),
 //! * [`multivm`] — the multi-VM engine with DRF/max-min sharing (Fig 13),
+//! * [`cluster`] — the rack-scale layer: many hosts, seeded VM arrivals,
+//!   consolidation placement, inter-host pre-copy live migration,
 //! * [`adaptive`] — the Eq. 1 tracking-interval controller,
 //! * [`metrics`] — [`RunReport`] with the paper's figures of merit,
 //! * [`experiments`] — one function per table/figure of the evaluation.
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod eventq;
@@ -37,6 +40,10 @@ pub mod metrics;
 pub mod multivm;
 pub mod policy;
 
+pub use cluster::{
+    ArrivalMode, ArrivalProcess, Cluster, ClusterOutcome, ClusterReport, ClusterSpec,
+    MigrationPolicy, MigrationRecord,
+};
 pub use config::{SchedMode, SimConfig};
 pub use eventq::{EngineEvent, EventQueue};
 pub use engine::{run_app, SingleVmSim};

@@ -7,6 +7,11 @@
 //! a guest squeezed below its footprint swaps (and pays for it), which is
 //! exactly the failure mode the paper demonstrates for single-resource
 //! max-min in §5.5.
+//!
+//! The per-host mechanics — ledger, VM slots, growth/release, the event
+//! heap — live in [`FleetCore`], shared between this single-host engine and
+//! the rack-scale [`crate::cluster::Cluster`], whose hosts each own one
+//! `FleetCore` and step it independently.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -53,6 +58,14 @@ impl VmSetup {
             max_bytes,
         }
     }
+
+    /// Adds a Medium-tier reservation (`min` reserved, growable to `max`)
+    /// for three-tier hosts.
+    pub fn with_medium(mut self, min: u64, max: u64) -> Self {
+        self.min_bytes[MemKind::Medium] = min;
+        self.max_bytes[MemKind::Medium] = max;
+        self
+    }
 }
 
 /// Growth request chunk (simulated pages).
@@ -60,169 +73,171 @@ const GROW_CHUNK: u64 = 256;
 /// Free-fraction threshold below which a guest asks the VMM for more.
 const GROW_THRESHOLD: f64 = 0.04;
 
-struct VmState {
-    id: GuestId,
-    sim: SingleVmSim<AppWorkload>,
-    min: KindMap<u64>,
-    done: bool,
+/// Every tier a grant can cover, fastest first. Both the single-host fleet
+/// and the cluster iterate this — never a hard-coded `[Fast, Slow]` pair,
+/// which is how Medium-tier grants used to leak on VM finish (they were
+/// neither returned by `release_surplus` nor growable under pressure).
+pub(crate) fn grant_kinds() -> [MemKind; 3] {
+    MemKind::ALL
 }
 
-/// The multi-VM engine.
-pub struct MultiVmSim {
-    cfg: SimConfig,
-    fair: FairShare,
-    vms: Vec<VmState>,
+/// Bytes → simulated pages for tier `kind`. Fast and Slow floor at one
+/// page — a machine or guest always has *some* of each, mirroring
+/// `SimConfig::guest_frames_fast`/`_slow` — while Medium is genuinely
+/// optional and maps zero bytes to zero pages.
+pub(crate) fn tier_pages(cfg: &SimConfig, kind: MemKind, bytes: u64) -> u64 {
+    let pages = bytes / cfg.scale / cfg.page_size;
+    match kind {
+        MemKind::Medium => pages,
+        MemKind::Fast | MemKind::Slow => pages.max(1),
+    }
+}
+
+/// The machine's tier sizes in simulated pages — the conservation target a
+/// host's fair-share ledger is audited against.
+pub(crate) fn machine_totals(cfg: &SimConfig) -> KindMap<u64> {
+    KindMap::from_fn(|k| match k {
+        MemKind::Fast => tier_pages(cfg, k, cfg.fast_bytes),
+        MemKind::Medium => tier_pages(cfg, k, cfg.medium_bytes),
+        MemKind::Slow => tier_pages(cfg, k, cfg.slow_bytes),
+    })
+}
+
+/// One booted guest and its scheduling state.
+pub(crate) struct VmState {
+    pub(crate) id: GuestId,
+    pub(crate) sim: SingleVmSim<AppWorkload>,
+    pub(crate) min: KindMap<u64>,
+    pub(crate) done: bool,
+    /// Host-relative arrival offset: the co-scheduling key is
+    /// `offset + sim.now()`, so a VM admitted mid-run sorts after the
+    /// fleet's past. Zero for single-host fleets (all VMs boot at t=0).
+    pub(crate) offset: Nanos,
+    /// Fraction of resident pages re-dirtied per pre-copy round during an
+    /// inter-host live migration — derived from the workload's write
+    /// intensity and hot fraction at boot.
+    pub(crate) dirty_rate: f64,
+}
+
+impl VmState {
+    /// Builds and boot-balloons one guest: its frame space is its maximum
+    /// reservation per tier, pages beyond the granted minimum start
+    /// ballooned out, and its RNG stream derives from `seed_index` alone —
+    /// the result is a pure function of the descriptor, safe to build on
+    /// any [`Runner`] worker thread.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn boot(
+        cfg: &SimConfig,
+        policy: Policy,
+        bw_share: f64,
+        id: GuestId,
+        seed_index: u64,
+        setup: &VmSetup,
+        min: KindMap<u64>,
+        offset: Nanos,
+    ) -> VmState {
+        let vm_cfg = cfg
+            .clone()
+            .with_fast_bytes(setup.max_bytes[MemKind::Fast].max(cfg.page_size * cfg.scale))
+            .with_slow_bytes(setup.max_bytes[MemKind::Slow].max(cfg.page_size * cfg.scale))
+            .with_medium_bytes(setup.max_bytes[MemKind::Medium])
+            .with_seed(cfg.seed.wrapping_add(seed_index.wrapping_mul(7919)));
+        let workload = AppWorkload::new(setup.spec.clone(), cfg.page_size, cfg.scale);
+        let mut sim = SingleVmSim::new(vm_cfg, policy, workload);
+        sim.set_bandwidth_share(bw_share);
+        for k in grant_kinds() {
+            let max_pages = tier_pages(cfg, k, setup.max_bytes[k]);
+            let ballooned = max_pages.saturating_sub(min[k]);
+            let yielded = sim.yield_pages(k, ballooned);
+            debug_assert_eq!(yielded, ballooned, "boot balloon must succeed");
+        }
+        let spec = &setup.spec;
+        let dirty_rate = (spec.write_fraction.clamp(0.0, 1.0)
+            * spec.hot_page_fraction.clamp(0.0, 1.0))
+        .clamp(0.05, 0.75);
+        VmState {
+            id,
+            sim,
+            min,
+            done: false,
+            offset,
+            dirty_rate,
+        }
+    }
+
+    /// The co-scheduling key: host-relative simulated time.
+    pub(crate) fn host_now(&self) -> Nanos {
+        self.offset + self.sim.now()
+    }
+}
+
+/// The per-host fleet mechanics: one fair-share ledger, the VM slots it
+/// arbitrates, and the machine tier totals it conserves. `MultiVmSim`
+/// wraps exactly one of these; a `Cluster` owns one per host, which is
+/// what lets hosts step on separate [`Runner`] threads without sharing
+/// ledger state.
+pub(crate) struct FleetCore {
+    pub(crate) fair: FairShare,
+    pub(crate) vms: Vec<VmState>,
     /// Machine tier sizes (simulated pages) — the conservation target the
     /// fair-share ledger is audited against.
-    totals: KindMap<u64>,
+    pub(crate) totals: KindMap<u64>,
+    /// Pages finished guests could not balloon back (pinned slab/net-buf
+    /// residue of short yields). They stay granted — the ledger must keep
+    /// agreeing with the kernels that own them — but are surfaced here
+    /// rather than silently leaking from the free pool.
+    pub(crate) stranded: u64,
 }
 
-impl MultiVmSim {
-    /// Builds a co-execution: the machine has `cfg.fast_bytes` /
-    /// `cfg.slow_bytes` total; each VM boots with its reserved minimum
-    /// usable (the rest of its maximum ballooned out) and runs `policy`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the reserved minima oversubscribe the machine.
-    pub fn new(cfg: SimConfig, share: SharePolicy, policy: Policy, setups: Vec<VmSetup>) -> Self {
-        MultiVmSim::new_with_jobs(cfg, share, policy, setups, 1)
-    }
-
-    /// As [`MultiVmSim::new`], building and boot-ballooning the guests on
-    /// `jobs` worker threads.
-    ///
-    /// Registration with the fair-share ledger stays sequential in setup
-    /// order — it is shared state. Everything after it is VM-local: each
-    /// guest derives its RNG stream from its own descriptor seed, builds
-    /// its kernel against its own maximum reservation, and inflates its
-    /// boot balloon without touching the ledger. The [`Runner`]'s
-    /// descriptor-order merge therefore makes the fleet byte-identical for
-    /// any thread count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the reserved minima oversubscribe the machine.
-    pub fn new_with_jobs(
-        cfg: SimConfig,
-        share: SharePolicy,
-        policy: Policy,
-        setups: Vec<VmSetup>,
-        jobs: usize,
-    ) -> Self {
-        let to_pages = |bytes: u64| (bytes / cfg.scale / cfg.page_size).max(1);
-        let totals = KindMap::from_fn(|k| match k {
-            MemKind::Fast => to_pages(cfg.fast_bytes),
-            MemKind::Slow => to_pages(cfg.slow_bytes),
-            MemKind::Medium => 0,
-        });
-        let mut fair = FairShare::new(share, totals);
-        let bw_share = 1.0 / setups.len().max(1) as f64;
-        let mins: Vec<KindMap<u64>> = setups
-            .iter()
-            .map(|s| KindMap::from_fn(|k| to_pages(s.min_bytes[k]).min(totals[k])))
-            .collect();
-        for (i, min) in mins.iter().enumerate() {
-            fair.register(GuestId(i as u32), *min);
-        }
-        let items: Vec<(usize, VmSetup, KindMap<u64>)> = setups
-            .into_iter()
-            .zip(mins)
-            .enumerate()
-            .map(|(i, (s, m))| (i, s, m))
-            .collect();
-        let cfg_ref = &cfg;
-        let vms = Runner::new(jobs).run(items, |(i, setup, min)| {
-            // The guest's frame space is its maximum; pages beyond the
-            // reserved minimum start ballooned out.
-            let vm_cfg = cfg_ref
-                .clone()
-                .with_fast_bytes(
-                    setup.max_bytes[MemKind::Fast].max(cfg_ref.page_size * cfg_ref.scale),
-                )
-                .with_slow_bytes(
-                    setup.max_bytes[MemKind::Slow].max(cfg_ref.page_size * cfg_ref.scale),
-                )
-                .with_seed(cfg_ref.seed.wrapping_add(i as u64 * 7919));
-            let workload = AppWorkload::new(setup.spec, cfg_ref.page_size, cfg_ref.scale);
-            let mut sim = SingleVmSim::new(vm_cfg, policy, workload);
-            sim.set_bandwidth_share(bw_share);
-            for k in [MemKind::Fast, MemKind::Slow] {
-                let max_pages = to_pages(setup.max_bytes[k]);
-                let ballooned = max_pages.saturating_sub(min[k]);
-                let yielded = sim.yield_pages(k, ballooned);
-                debug_assert_eq!(yielded, ballooned, "boot balloon must succeed");
-            }
-            VmState {
-                id: GuestId(i as u32),
-                sim,
-                min,
-                done: false,
-            }
-        });
-        MultiVmSim {
-            cfg,
-            fair,
-            vms,
+impl FleetCore {
+    pub(crate) fn new(share: SharePolicy, totals: KindMap<u64>) -> Self {
+        FleetCore {
+            fair: FairShare::new(share, totals),
+            vms: Vec::new(),
             totals,
+            stranded: 0,
         }
     }
 
-    /// Runs every VM to completion, co-scheduled by simulated time, and
-    /// returns their reports in setup order.
-    ///
-    /// # Panics
-    ///
-    /// With an explicit `SimConfig::audit` level set, panics if the run
-    /// produced any violation — in the fair-share ledger or inside any
-    /// guest's own sanitizer. Use [`MultiVmSim::run_audited`] to inspect
-    /// violations without panicking.
-    pub fn run(self) -> Vec<RunReport> {
-        let audit = self.cfg.audit;
-        let (reports, violations) = self.run_audited();
-        if audit != AuditLevel::Off && !violations.is_empty() {
-            let mut msg = format!(
-                "invariant sanitizer ({} level) found {} violation(s) in multi-VM run:",
-                audit,
-                violations.len(),
-            );
-            for v in &violations {
-                msg.push_str("\n  - ");
-                msg.push_str(&v.to_string());
-            }
-            panic!("{msg}");
-        }
-        reports
-    }
-
-    /// As [`MultiVmSim::run`], additionally returning every violation found
-    /// (always empty when `SimConfig::effective_audit` is `Off`): the
-    /// machine-level ledger conservation checks run after each scheduling
-    /// step, followed by each guest's own collected violations.
-    pub fn run_audited(mut self) -> (Vec<RunReport>, Vec<Violation>) {
-        let audited = self.cfg.effective_audit().is_enabled();
-        let mut violations = Vec::new();
-        match self.cfg.sched {
-            SchedMode::Dense => self.drive_dense(audited, &mut violations),
-            SchedMode::Event => self.drive_event(audited, &mut violations),
-        }
-        let reports = self.vms.iter().map(|v| v.sim.report()).collect();
-        for vm in &self.vms {
-            violations.extend_from_slice(vm.sim.violations());
-        }
-        (reports, violations)
+    /// Live (not finished) VM count.
+    pub(crate) fn live(&self) -> usize {
+        self.vms.iter().filter(|v| !v.done).count()
     }
 
     /// Advances VM `i` one epoch. Returns `false` once it has finished,
     /// after releasing its surplus grant so the survivors can grow into it.
-    fn step_vm(&mut self, i: usize) -> bool {
-        if !self.vms[i].sim.step() {
+    pub(crate) fn step_vm(&mut self, i: usize) -> bool {
+        let recoveries = self.vms[i].sim.recoveries();
+        let alive = self.vms[i].sim.step();
+        if self.vms[i].sim.recoveries() != recoveries {
+            self.reconcile_reboot(i);
+        }
+        if !alive {
             self.vms[i].done = true;
-            self.release_all(i);
+            self.release_surplus(i);
             false
         } else {
             self.grow_if_pressured(i);
             true
+        }
+    }
+
+    /// Re-inflates a guest's balloon after a crash-recovery reboot.
+    ///
+    /// [`SingleVmSim::recover`] builds a fresh kernel with its full tier
+    /// reservations and an empty balloon — correct for a standalone VM,
+    /// but in a fleet the fair-share ledger survived the crash (the
+    /// memory never left the host), so the rebooted kernel must be
+    /// squeezed back down to its granted allocation before the next
+    /// audit compares the two.
+    fn reconcile_reboot(&mut self, i: usize) {
+        let alloc = self.fair.allocated(self.vms[i].id);
+        for k in grant_kinds() {
+            let vm = &mut self.vms[i];
+            let owned = vm.sim.kernel().total_frames(k) - vm.sim.kernel().ballooned_pages(k);
+            if owned > alloc[k] {
+                vm.sim.yield_pages(k, owned - alloc[k]);
+            }
         }
     }
 
@@ -232,7 +247,7 @@ impl MultiVmSim {
     /// scans only its stragglers. `live` stays in ascending index order,
     /// making the first minimum the lowest-index VM among ties — the same
     /// choice the full filtered scan made.
-    fn drive_dense(&mut self, audited: bool, violations: &mut Vec<Violation>) {
+    pub(crate) fn drive_dense(&mut self, audited: bool, violations: &mut Vec<Violation>) {
         let mut live: Vec<usize> = (0..self.vms.len()).collect();
         while !live.is_empty() {
             let pos = live
@@ -261,7 +276,7 @@ impl MultiVmSim {
     /// scan's first minimum (lowest index among time ties — `Reverse`
     /// orders `(t, i)` tuples lexicographically). Finished VMs simply
     /// never re-enter the heap.
-    fn drive_event(&mut self, audited: bool, violations: &mut Vec<Violation>) {
+    pub(crate) fn drive_event(&mut self, audited: bool, violations: &mut Vec<Violation>) {
         let mut heap: BinaryHeap<Reverse<(Nanos, usize)>> = (0..self.vms.len())
             .map(|i| Reverse((self.vms[i].sim.now(), i)))
             .collect();
@@ -280,38 +295,99 @@ impl MultiVmSim {
         }
     }
 
-    /// One pass of the machine-level conservation audit: per-guest grants
-    /// vs. what each kernel owns, and grants + free pool vs. tier totals.
-    fn audit_ledger(&self, out: &mut Vec<Violation>) {
-        let guests: Vec<(GuestId, &GuestKernel)> = self
+    /// Bounded event co-scheduling for cluster rounds: advances every live
+    /// VM whose host-relative clock sits before `deadline`, soonest first
+    /// (lowest index among ties), with the same lazy re-keying as
+    /// [`FleetCore::drive_event`]. Returns epochs stepped. Keys use
+    /// [`VmState::host_now`] so a VM admitted mid-run sorts after the
+    /// host's past rather than starving the incumbents.
+    pub(crate) fn step_until(
+        &mut self,
+        deadline: Nanos,
+        audited: bool,
+        violations: &mut Vec<Violation>,
+    ) -> u64 {
+        let mut heap: BinaryHeap<Reverse<(Nanos, usize)>> = self
             .vms
             .iter()
-            .map(|v| (v.id, v.sim.kernel()))
+            .enumerate()
+            .filter(|(_, v)| !v.done)
+            .map(|(i, v)| Reverse((v.host_now(), i)))
             .collect();
+        let mut epochs = 0;
+        while let Some(Reverse((t, i))) = heap.pop() {
+            let now = self.vms[i].host_now();
+            if t != now {
+                heap.push(Reverse((now, i)));
+                continue;
+            }
+            if t >= deadline {
+                break;
+            }
+            epochs += 1;
+            if self.step_vm(i) {
+                heap.push(Reverse((self.vms[i].host_now(), i)));
+            }
+            if audited {
+                self.audit_ledger(violations);
+            }
+        }
+        epochs
+    }
+
+    /// One pass of the machine-level conservation audit: per-guest grants
+    /// vs. what each kernel owns, and grants + free pool vs. tier totals.
+    pub(crate) fn audit_ledger(&self, out: &mut Vec<Violation>) {
+        let guests: Vec<(GuestId, &GuestKernel)> =
+            self.vms.iter().map(|v| (v.id, v.sim.kernel())).collect();
         out.extend(audit_fair_share(&self.fair, &guests, &self.totals));
     }
 
     /// A finished VM returns everything above its minimum so others can
-    /// use it.
-    fn release_all(&mut self, i: usize) {
+    /// use it — on *every* tier it holds grants on.
+    ///
+    /// When a yield comes back short (the guest's remaining pages are
+    /// pinned slab/net-buf objects the balloon cannot take and the swap
+    /// path cannot evict), the un-yielded residue **stays granted**: the
+    /// guest's kernel still owns those frames, so releasing the grant
+    /// anyway would desynchronize ledger from kernel and trip
+    /// `audit_fair_share`'s guest-view check. The residue is counted in
+    /// [`FleetCore::stranded`], returned to the caller, and the
+    /// ledger/kernel agreement is asserted per tier so a partial yield can
+    /// never drift the audit.
+    pub(crate) fn release_surplus(&mut self, i: usize) -> u64 {
         let id = self.vms[i].id;
-        for k in [MemKind::Fast, MemKind::Slow] {
+        let mut residue = 0;
+        for k in grant_kinds() {
             let held = self.fair.allocated(id)[k];
             let extra = held.saturating_sub(self.vms[i].min[k]);
             if extra > 0 {
                 let yielded = self.vms[i].sim.yield_pages(k, extra);
-                self.fair.release(id, k, yielded.min(extra));
+                debug_assert!(yielded <= extra, "guest ballooned more than asked");
+                let returned = yielded.min(extra);
+                self.fair.release(id, k, returned);
+                residue += extra - returned;
+                // Reconcile: grant and kernel ownership must agree on this
+                // tier even after a partial yield.
+                debug_assert_eq!(
+                    self.fair.allocated(id)[k],
+                    self.vms[i].sim.kernel().total_frames(k)
+                        - self.vms[i].sim.kernel().ballooned_pages(k),
+                    "ledger/kernel drift on {k} after releasing {returned} of {extra}",
+                );
             }
         }
+        self.stranded += residue;
+        residue
     }
 
-    fn grow_if_pressured(&mut self, i: usize) {
-        for kind in [MemKind::Fast, MemKind::Slow] {
+    pub(crate) fn grow_if_pressured(&mut self, i: usize) {
+        for kind in grant_kinds() {
             let wants_kind = match kind {
                 MemKind::Fast => self.vms[i].sim.policy() != Policy::SlowMemOnly,
                 _ => true,
             };
-            if !wants_kind {
+            if !wants_kind || self.vms[i].sim.kernel().total_frames(kind) == 0 {
                 continue;
             }
             let swapped = self.vms[i].sim.swapped_pages();
@@ -332,7 +408,7 @@ impl MultiVmSim {
         }
     }
 
-    fn request_pages(&mut self, i: usize, kind: MemKind, pages: u64) {
+    pub(crate) fn request_pages(&mut self, i: usize, kind: MemKind, pages: u64) {
         let id = self.vms[i].id;
         // Clamp to what the guest can still deflate.
         let ballooned = self.vms[i].sim.kernel().ballooned_pages(kind);
@@ -372,6 +448,124 @@ impl MultiVmSim {
             Grant::Denied => {}
         }
     }
+}
+
+/// The multi-VM engine.
+pub struct MultiVmSim {
+    cfg: SimConfig,
+    core: FleetCore,
+}
+
+impl MultiVmSim {
+    /// Builds a co-execution: the machine has `cfg.fast_bytes` /
+    /// `cfg.slow_bytes` (and optionally `cfg.medium_bytes`) total; each VM
+    /// boots with its reserved minimum usable (the rest of its maximum
+    /// ballooned out) and runs `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reserved minima oversubscribe the machine.
+    pub fn new(cfg: SimConfig, share: SharePolicy, policy: Policy, setups: Vec<VmSetup>) -> Self {
+        MultiVmSim::new_with_jobs(cfg, share, policy, setups, 1)
+    }
+
+    /// As [`MultiVmSim::new`], building and boot-ballooning the guests on
+    /// `jobs` worker threads.
+    ///
+    /// Registration with the fair-share ledger stays sequential in setup
+    /// order — it is shared state. Everything after it is VM-local: each
+    /// guest derives its RNG stream from its own descriptor seed, builds
+    /// its kernel against its own maximum reservation, and inflates its
+    /// boot balloon without touching the ledger. The [`Runner`]'s
+    /// descriptor-order merge therefore makes the fleet byte-identical for
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reserved minima oversubscribe the machine.
+    pub fn new_with_jobs(
+        cfg: SimConfig,
+        share: SharePolicy,
+        policy: Policy,
+        setups: Vec<VmSetup>,
+        jobs: usize,
+    ) -> Self {
+        let totals = machine_totals(&cfg);
+        let mut core = FleetCore::new(share, totals);
+        let bw_share = 1.0 / setups.len().max(1) as f64;
+        let mins: Vec<KindMap<u64>> = setups
+            .iter()
+            .map(|s| KindMap::from_fn(|k| tier_pages(&cfg, k, s.min_bytes[k]).min(totals[k])))
+            .collect();
+        for (i, min) in mins.iter().enumerate() {
+            core.fair.register(GuestId(i as u32), *min);
+        }
+        let items: Vec<(usize, VmSetup, KindMap<u64>)> = setups
+            .into_iter()
+            .zip(mins)
+            .enumerate()
+            .map(|(i, (s, m))| (i, s, m))
+            .collect();
+        let cfg_ref = &cfg;
+        core.vms = Runner::new(jobs).run(items, |(i, setup, min)| {
+            VmState::boot(
+                cfg_ref,
+                policy,
+                bw_share,
+                GuestId(i as u32),
+                i as u64,
+                &setup,
+                min,
+                Nanos::ZERO,
+            )
+        });
+        MultiVmSim { cfg, core }
+    }
+
+    /// Runs every VM to completion, co-scheduled by simulated time, and
+    /// returns their reports in setup order.
+    ///
+    /// # Panics
+    ///
+    /// With an explicit `SimConfig::audit` level set, panics if the run
+    /// produced any violation — in the fair-share ledger or inside any
+    /// guest's own sanitizer. Use [`MultiVmSim::run_audited`] to inspect
+    /// violations without panicking.
+    pub fn run(self) -> Vec<RunReport> {
+        let audit = self.cfg.audit;
+        let (reports, violations) = self.run_audited();
+        if audit != AuditLevel::Off && !violations.is_empty() {
+            let mut msg = format!(
+                "invariant sanitizer ({} level) found {} violation(s) in multi-VM run:",
+                audit,
+                violations.len(),
+            );
+            for v in &violations {
+                msg.push_str("\n  - ");
+                msg.push_str(&v.to_string());
+            }
+            panic!("{msg}");
+        }
+        reports
+    }
+
+    /// As [`MultiVmSim::run`], additionally returning every violation found
+    /// (always empty when `SimConfig::effective_audit` is `Off`): the
+    /// machine-level ledger conservation checks run after each scheduling
+    /// step, followed by each guest's own collected violations.
+    pub fn run_audited(mut self) -> (Vec<RunReport>, Vec<Violation>) {
+        let audited = self.cfg.effective_audit().is_enabled();
+        let mut violations = Vec::new();
+        match self.cfg.sched {
+            SchedMode::Dense => self.core.drive_dense(audited, &mut violations),
+            SchedMode::Event => self.core.drive_event(audited, &mut violations),
+        }
+        let reports = self.core.vms.iter().map(|v| v.sim.report()).collect();
+        for vm in &self.core.vms {
+            violations.extend_from_slice(vm.sim.violations());
+        }
+        (reports, violations)
+    }
 
     /// Total simulated time of the longest-running VM, or `None` for an
     /// empty report set.
@@ -389,14 +583,23 @@ impl MultiVmSim {
     pub fn config(&self) -> &SimConfig {
         &self.cfg
     }
+
+    /// Pages finished guests could not balloon back (pinned residue of
+    /// short yields) — still granted, still owned by their kernels, but
+    /// unavailable to survivors. See [`FleetCore::release_surplus`].
+    pub fn stranded_pages(&self) -> u64 {
+        self.core.stranded
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hetero_workloads::apps;
+    use hetero_workloads::{AccessMix, Footprint};
 
     const GB: u64 = 1 << 30;
+    const MB: u64 = 1 << 20;
 
     fn quick(spec: WorkloadSpec) -> WorkloadSpec {
         let mut s = spec;
@@ -567,5 +770,131 @@ mod tests {
         for (a, b) in plain.iter().zip(audited.iter()) {
             assert_eq!(a.to_json(), b.to_json(), "audit must not perturb runs");
         }
+    }
+
+    /// Regression for the `[Fast, Slow]` hard-coding: a finished VM's
+    /// Medium-tier grant must come back to the free pool exactly like the
+    /// other tiers (and be growable under pressure in the first place).
+    #[test]
+    fn finished_vm_returns_medium_grant() {
+        let cfg = host_cfg().with_medium_bytes(2 * GB);
+        let setups = vec![
+            VmSetup::new(quick(apps::graphchi()), GB, 2 * GB, 2 * GB, 4 * GB)
+                .with_medium(GB / 2, GB),
+            VmSetup::new(quick(apps::metis()), GB, 2 * GB, 2 * GB, 4 * GB)
+                .with_medium(GB / 2, GB),
+        ];
+        let mut sim = MultiVmSim::new(
+            cfg,
+            SharePolicy::paper_drf(),
+            Policy::HeteroCoordinated,
+            setups,
+        );
+        let id = sim.core.vms[0].id;
+        let min_med = sim.core.vms[0].min[MemKind::Medium];
+        assert!(min_med > 0, "three-tier setup must register a Medium minimum");
+        // Grow vm0's Medium grant above its reserved minimum through the
+        // ledger path the fleet itself uses...
+        sim.core.request_pages(0, MemKind::Medium, 64);
+        let grown = sim.core.fair.allocated(id)[MemKind::Medium];
+        assert!(grown > min_med, "Medium grant must be growable ({grown} vs {min_med})");
+        // ...then finish it: the surplus must return to the free pool.
+        sim.core.vms[0].done = true;
+        sim.core.release_surplus(0);
+        assert_eq!(
+            sim.core.fair.allocated(id)[MemKind::Medium],
+            min_med,
+            "finished VM must return its Medium surplus"
+        );
+        let mut violations = Vec::new();
+        sim.core.audit_ledger(&mut violations);
+        assert_eq!(violations, Vec::new(), "ledger must audit clean after release");
+    }
+
+    /// A spec whose footprint is dominated by pinned slab objects: the
+    /// balloon cannot take resident slab pages and the swap path only
+    /// evicts anonymous heap, so a finished VM's yield comes back short.
+    fn slab_pinned_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "SlabPinned",
+            mpki: 5.0,
+            cpi_base: 1.0,
+            mlp: 2.0,
+            threads: 1.0,
+            clock_ghz: 2.67,
+            total_instructions: 2_000_000_000,
+            instructions_per_epoch: 50_000_000,
+            footprint: Footprint {
+                heap: 16 * MB,
+                page_cache: 0,
+                buffer_cache: 0,
+                slab: 400 * MB,
+                net_buf: 0,
+            },
+            access_mix: AccessMix {
+                heap: 0.2,
+                page_cache: 0.0,
+                buffer_cache: 0.0,
+                slab: 0.8,
+                net_buf: 0.0,
+            },
+            hot_wss_bytes: 32 * MB,
+            hot_access_fraction: 0.8,
+            hot_page_fraction: 0.25,
+            fresh_hot_fraction: 0.5,
+            write_fraction: 0.3,
+            heap_churn_per_sec: 0.0,
+            io_churn_per_sec: 0.0,
+            kernel_buf_churn_per_sec: 0.0,
+            ramp_fraction: 0.5,
+        }
+    }
+
+    /// Regression for the short-yield residue: when a finished VM cannot
+    /// balloon its full surplus back, the un-yielded pages stay granted
+    /// (they are still frame-backed in the guest), the ledger keeps
+    /// agreeing with the kernel, and the residue is counted as stranded
+    /// instead of silently leaking from the free pool.
+    #[test]
+    fn short_yield_leaves_ledger_consistent() {
+        let cfg = SimConfig::paper_default()
+            .with_fast_bytes(2 * GB)
+            .with_slow_bytes(4 * GB)
+            .with_seed(11);
+        let setups = vec![VmSetup::new(
+            slab_pinned_spec(),
+            32 * MB,
+            64 * MB,
+            GB,
+            2 * GB,
+        )];
+        let mut sim = MultiVmSim::new(
+            cfg,
+            SharePolicy::MaxMin,
+            Policy::HeteroCoordinated,
+            setups,
+        );
+        let mut violations = Vec::new();
+        sim.core.drive_event(false, &mut violations);
+        let vm = &sim.core.vms[0];
+        assert!(vm.done, "workload must run to completion");
+        assert!(
+            sim.core.stranded > 0,
+            "slab-pinned surplus must come back short and be counted"
+        );
+        // The residue stays granted *and* frame-backed: ledger == kernel
+        // ownership on every tier.
+        let alloc = sim.core.fair.allocated(vm.id);
+        for k in grant_kinds() {
+            let owned =
+                vm.sim.kernel().total_frames(k) - vm.sim.kernel().ballooned_pages(k);
+            assert_eq!(alloc[k], owned, "ledger/kernel drift on {k}");
+        }
+        assert!(
+            alloc.total() > vm.min.total(),
+            "the stranded residue should sit above the reserved minimum"
+        );
+        sim.core.audit_ledger(&mut violations);
+        assert_eq!(violations, Vec::new(), "short yield must not drift the audit");
     }
 }

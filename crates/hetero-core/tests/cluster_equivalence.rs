@@ -1,0 +1,183 @@
+//! Cluster determinism matrix.
+//!
+//! The cluster's contract is the same one the single-host engines pin:
+//! `jobs` is a pure performance lever. Sharding hosts across worker
+//! threads must never change a single exported byte — not the cluster
+//! report, not a per-VM summary, not the migration trace. This matrix
+//! pins that across policies and seeds with the epoch-level invariant
+//! sanitizer armed (so runs that "agree" by corrupting shared state the
+//! same way twice still get caught), exercises the trace-driven arrival
+//! mode with a guaranteed live migration, and soaks the whole fleet with
+//! seeded guest crashes to prove the chaos is thread-count-invariant too.
+
+use hetero_core::cluster::{ArrivalProcess, Cluster, ClusterSpec, MigrationPolicy};
+use hetero_core::multivm::VmSetup;
+use hetero_core::{AuditLevel, Policy, SimConfig};
+use hetero_mem::FlushPolicy;
+use hetero_sim::Nanos;
+use hetero_vmm::SharePolicy;
+use hetero_workloads::{apps, WorkloadSpec};
+
+const GB: u64 = 1 << 30;
+const MB: u64 = 1 << 20;
+
+/// Guest-LRU, coordinated and VMM-only management exercise disjoint
+/// engine paths inside every host.
+const POLICIES: [Policy; 3] = [
+    Policy::HeteroCoordinated,
+    Policy::HeteroLru,
+    Policy::VmmExclusive,
+];
+
+const SEEDS: [u64; 3] = [7, 42, 1009];
+
+fn quick(mut spec: WorkloadSpec) -> WorkloadSpec {
+    spec.total_instructions /= 160;
+    spec
+}
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::paper_default()
+        .with_fast_bytes(4 * GB)
+        .with_slow_bytes(8 * GB)
+        .with_seed(seed)
+        .with_audit(AuditLevel::Epoch)
+}
+
+/// A small Poisson fleet: three hosts, two templates, eighteen arrivals.
+fn poisson_spec() -> ClusterSpec {
+    ClusterSpec {
+        hosts: 3,
+        templates: vec![
+            VmSetup::new(quick(apps::graphchi()), 512 * MB, GB, GB, 2 * GB),
+            VmSetup::new(quick(apps::nginx()), 128 * MB, 256 * MB, 512 * MB, GB),
+        ],
+        arrivals: ArrivalProcess::Poisson {
+            mean_interarrival: Nanos::from_millis(20),
+            count: 18,
+        },
+        quantum: Nanos::from_millis(50),
+        migration: MigrationPolicy {
+            imbalance_threshold: 0.10,
+            ..MigrationPolicy::default()
+        },
+        fault_rate: 0.0,
+    }
+}
+
+/// A trace that forces a live migration: a short-lived blocker reserves
+/// one host entirely, both long-running VMs land on the other, and the
+/// balancer must move one across once the blocker departs.
+fn migration_trace_spec() -> ClusterSpec {
+    ClusterSpec {
+        hosts: 2,
+        templates: vec![
+            VmSetup::new(quick(apps::graphchi()), GB, 3 * GB, 2 * GB, 6 * GB),
+            VmSetup::new(
+                {
+                    let mut s = quick(apps::nginx());
+                    s.total_instructions /= 8;
+                    s
+                },
+                4 * GB,
+                8 * GB,
+                4 * GB,
+                8 * GB,
+            ),
+        ],
+        arrivals: ArrivalProcess::Trace(vec![
+            (Nanos::ZERO, 1),
+            (Nanos::ZERO, 0),
+            (Nanos::ZERO, 0),
+        ]),
+        quantum: Nanos::from_millis(100),
+        migration: MigrationPolicy {
+            imbalance_threshold: 0.10,
+            ..MigrationPolicy::default()
+        },
+        fault_rate: 0.0,
+    }
+}
+
+fn run_json(policy: Policy, seed: u64, spec: ClusterSpec, jobs: usize) -> String {
+    // `run` panics on any sanitizer violation with an explicit audit level
+    // set, so a clean return is also a clean cluster-boundary audit.
+    Cluster::new(cfg(seed), SharePolicy::paper_drf(), policy, spec, jobs)
+        .run()
+        .to_json()
+}
+
+#[test]
+fn poisson_matrix_is_byte_identical_across_jobs() {
+    for policy in POLICIES {
+        for seed in SEEDS {
+            let seq = run_json(policy, seed, poisson_spec(), 1);
+            let par = run_json(policy, seed, poisson_spec(), 4);
+            assert_eq!(seq, par, "policy {policy:?} seed {seed} diverged");
+        }
+    }
+}
+
+#[test]
+fn seeds_actually_change_the_run() {
+    let a = run_json(Policy::HeteroCoordinated, SEEDS[0], poisson_spec(), 1);
+    let b = run_json(Policy::HeteroCoordinated, SEEDS[1], poisson_spec(), 1);
+    assert_ne!(a, b, "different seeds must produce different fleets");
+}
+
+#[test]
+fn trace_mode_migrates_and_is_byte_identical_across_jobs() {
+    for seed in SEEDS {
+        let outcome = Cluster::new(
+            cfg(seed),
+            SharePolicy::paper_drf(),
+            Policy::HeteroCoordinated,
+            migration_trace_spec(),
+            1,
+        )
+        .run();
+        assert!(
+            outcome.report.migrations >= 1,
+            "seed {seed}: engineered imbalance must live-migrate"
+        );
+        let m = &outcome.migrations[0];
+        assert!(m.pages_copied > 0 && !m.cost.is_zero() && !m.downtime.is_zero());
+        let par = Cluster::new(
+            cfg(seed),
+            SharePolicy::paper_drf(),
+            Policy::HeteroCoordinated,
+            migration_trace_spec(),
+            4,
+        )
+        .run();
+        assert_eq!(outcome.to_json(), par.to_json(), "seed {seed} diverged");
+    }
+}
+
+/// Chaos soak: every guest armed with seeded power-loss crashes over the
+/// write-behind NVM tier. The crashes must fire (a fault-free run exports
+/// different bytes) and the whole chaotic fleet must still be
+/// thread-count-invariant and audit-clean.
+#[test]
+fn chaos_fleet_with_faults_armed_is_byte_identical_across_jobs() {
+    let chaotic = |fault_rate: f64, jobs: usize, seed: u64| {
+        let mut spec = poisson_spec();
+        spec.fault_rate = fault_rate;
+        Cluster::new(
+            cfg(seed).with_persist(FlushPolicy::EpochBatched),
+            SharePolicy::paper_drf(),
+            Policy::HeteroLru,
+            spec,
+            jobs,
+        )
+        .run()
+        .to_json()
+    };
+    for seed in SEEDS {
+        let seq = chaotic(0.05, 1, seed);
+        let par = chaotic(0.05, 4, seed);
+        assert_eq!(seq, par, "seed {seed}: chaos diverged across jobs");
+        let calm = chaotic(0.0, 1, seed);
+        assert_ne!(seq, calm, "seed {seed}: faults never fired — soak is vacuous");
+    }
+}

@@ -238,6 +238,31 @@ pub enum Violation {
         /// Machine tier size.
         total: u64,
     },
+    /// A guest is registered on more than one host's ledger. Frame
+    /// ownership must be unique cluster-wide: an inter-host migration has
+    /// to debit the source ledger before crediting the destination, so two
+    /// simultaneous owners mean the transfer double-granted.
+    CrossHostOwnership {
+        /// The doubly-owned guest.
+        guest: GuestId,
+        /// The first host found holding it.
+        first_host: u32,
+        /// The second host found holding it.
+        second_host: u32,
+    },
+    /// Summed per-host grants plus free pools do not cover the summed
+    /// cluster tier capacity exactly — a migration created or destroyed
+    /// pages at the host boundary.
+    ClusterConservation {
+        /// Tier checked.
+        kind: MemKind,
+        /// Pages granted to guests across every host ledger.
+        allocated: u64,
+        /// Pages free across every host ledger.
+        free: u64,
+        /// Summed tier capacity across hosts.
+        total: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -382,6 +407,23 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "{kind}: ledger allocated {allocated} + free {free} != total {total}"
+            ),
+            Violation::CrossHostOwnership {
+                guest,
+                first_host,
+                second_host,
+            } => write!(
+                f,
+                "{guest} is owned by host{first_host} and host{second_host} simultaneously"
+            ),
+            Violation::ClusterConservation {
+                kind,
+                allocated,
+                free,
+                total,
+            } => write!(
+                f,
+                "{kind}: cluster-wide allocated {allocated} + free {free} != summed capacity {total}"
             ),
         }
     }

@@ -36,5 +36,8 @@ pub use audit::{audit_kernel, audit_vmm, Violation};
 pub use inject::{FaultInjector, FaultRecord, FaultSite, FaultTrace, RingAction};
 pub use plan::{FaultKind, FaultPlan, PlanError};
 pub use retry::{retry_with_backoff, Backoff, RetryExhausted};
-pub use sanitize::{audit_fair_share, audit_residency, audit_tracker, AuditLevel, EpochCosts, Sanitizer};
+pub use sanitize::{
+    audit_cluster, audit_fair_share, audit_residency, audit_tracker, AuditLevel, EpochCosts,
+    HostLedgerView, Sanitizer,
+};
 pub use shadow::ShadowModel;

@@ -397,6 +397,67 @@ pub fn audit_fair_share(
     out
 }
 
+/// One host's ledger view for the cluster-boundary audit.
+pub struct HostLedgerView<'a> {
+    /// Host index within the cluster.
+    pub host: u32,
+    /// The host's fair-share ledger.
+    pub fair: &'a FairShare,
+    /// The guests resident on this host, with their kernels.
+    pub guests: Vec<(GuestId, &'a GuestKernel)>,
+    /// The host's tier capacity (simulated pages).
+    pub totals: KindMap<u64>,
+}
+
+/// Extends the fair-share audit across the host boundary: each host ledger
+/// must conserve on its own ([`audit_fair_share`]), no guest may be owned
+/// by two hosts at once, and the summed grants plus free pools must cover
+/// the summed cluster capacity exactly — so an inter-host migration that
+/// fails to debit its source, or double-credits its destination, is caught
+/// on the next audit pass.
+pub fn audit_cluster(hosts: &[HostLedgerView<'_>]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for h in hosts {
+        out.extend(audit_fair_share(h.fair, &h.guests, &h.totals));
+    }
+    // No frame owner appears on two ledgers. BTreeMap keeps the scan
+    // deterministic in guest order.
+    let mut owner: std::collections::BTreeMap<GuestId, u32> = std::collections::BTreeMap::new();
+    for h in hosts {
+        for id in h.fair.guest_ids() {
+            match owner.get(&id) {
+                Some(&first) => out.push(Violation::CrossHostOwnership {
+                    guest: id,
+                    first_host: first,
+                    second_host: h.host,
+                }),
+                None => {
+                    owner.insert(id, h.host);
+                }
+            }
+        }
+    }
+    // Cluster-wide conservation per tier: a migration debits the source
+    // and credits the destination exactly, so the sums are invariant.
+    for &kind in MemKind::ALL.iter() {
+        let total: u64 = hosts.iter().map(|h| h.totals[kind]).sum();
+        if total == 0 {
+            continue;
+        }
+        let allocated: u64 = hosts.iter().map(|h| h.fair.consumed()[kind]).sum();
+        let free: u64 = hosts.iter().map(|h| h.fair.free(kind)).sum();
+        if allocated + free != total {
+            out.push(Violation::ClusterConservation {
+                kind,
+                allocated,
+                free,
+                total,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

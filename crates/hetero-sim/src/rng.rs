@@ -115,6 +115,19 @@ impl SimRng {
         floor as u64 + u64::from(self.chance(frac))
     }
 
+    /// Exponential variate with the given mean (inverse-CDF transform):
+    /// the inter-arrival time of a Poisson process with rate `1 / mean`.
+    ///
+    /// Non-positive or non-finite means return 0 — a degenerate process
+    /// where every arrival is immediate — rather than NaN.
+    pub fn next_exponential(&mut self, mean: f64) -> f64 {
+        if !mean.is_finite() || mean <= 0.0 {
+            return 0.0;
+        }
+        // u ∈ [0, 1) ⇒ 1 − u ∈ (0, 1]: ln stays finite.
+        -(1.0 - self.next_f64()).ln() * mean
+    }
+
     /// Derives an independent generator (for per-VM streams).
     pub fn fork(&mut self) -> SimRng {
         SimRng::seed_from(self.next_u64())
@@ -213,6 +226,24 @@ mod tests {
     #[test]
     fn stochastic_round_negative_is_zero() {
         assert_eq!(SimRng::seed_from(0).stochastic_round(-3.5), 0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = SimRng::seed_from(6);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.next_exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((0..1000).all(|_| r.next_exponential(1.0) >= 0.0));
+    }
+
+    #[test]
+    fn exponential_degenerate_means_are_zero() {
+        let mut r = SimRng::seed_from(1);
+        assert_eq!(r.next_exponential(0.0), 0.0);
+        assert_eq!(r.next_exponential(-2.0), 0.0);
+        assert_eq!(r.next_exponential(f64::NAN), 0.0);
+        assert_eq!(r.next_exponential(f64::INFINITY), 0.0);
     }
 
     #[test]

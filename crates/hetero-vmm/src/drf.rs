@@ -167,6 +167,36 @@ impl FairShare {
         self.total[kind] - self.consumed[kind]
     }
 
+    /// Pages currently granted per tier across all guests (the `C` vector
+    /// of Algorithm 1). A host's load is `consumed().total()` over
+    /// `totals().total()` — what cluster placement and migration balance.
+    pub fn consumed(&self) -> KindMap<u64> {
+        self.consumed
+    }
+
+    /// The per-tier capacity this ledger arbitrates (the `R` vector).
+    pub fn totals(&self) -> KindMap<u64> {
+        self.total
+    }
+
+    /// A guest's reserved minimum per tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown guests.
+    pub fn reserved_min(&self, id: GuestId) -> KindMap<u64> {
+        self.guests[&id].min
+    }
+
+    /// Registered guests in ascending id order — a deterministic iteration
+    /// surface over the internal hash map, for audits that compare ledgers
+    /// across hosts.
+    pub fn guest_ids(&self) -> Vec<GuestId> {
+        let mut ids: Vec<GuestId> = self.guests.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Dominant share of a guest (Algorithm 1 line 10): the maximum over
     /// tiers of `weight * alloc / total`. Under max-min this degenerates to
     /// the guest's share of total pages.

@@ -3,7 +3,9 @@
 //! Re-exports the public API of the workspace so downstream users can depend
 //! on a single crate. See the individual crates for details:
 //!
-//! * [`hetero_core`] — the HeteroOS policies and simulators (start here),
+//! * [`hetero_core`] — the HeteroOS policies and simulators, from
+//!   single-VM engines up to the rack-scale [`hetero_core::cluster`]
+//!   layer with inter-host live migration (start here),
 //! * [`hetero_workloads`] — the datacenter application models,
 //! * [`hetero_guest`] / [`hetero_vmm`] — the guest-OS and hypervisor substrates,
 //! * [`hetero_mem`] — the heterogeneous-memory hardware model,
