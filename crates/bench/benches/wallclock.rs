@@ -14,13 +14,14 @@
 //! Flags (after `--`):
 //! * `--smoke` — reduced iteration counts for CI smoke runs;
 //! * `--check` — compare the measured gate benches (object traffic,
-//!   `repro_epochs`, `idle_fleet`, `cluster_step`) against the committed
+//!   `repro_epochs`, `idle_fleet`, `cluster_step`, snapshot save/restore)
+//!   against the committed
 //!   `BENCH_substrate.json` and exit non-zero on a >2x regression. Does
 //!   **not** rewrite the committed baseline.
 
 use std::time::Instant;
 
-use hetero_core::experiments::{cluster, placement, ExpOptions};
+use hetero_core::experiments::{checkpoint, cluster, placement, ExpOptions};
 use hetero_core::multivm::{MultiVmSim, VmSetup};
 use hetero_core::{Policy, SimConfig, SingleVmSim};
 use hetero_guest::buddy::BuddyAllocator;
@@ -238,6 +239,40 @@ fn bench_cluster_step() -> BenchResult {
     BenchResult { name: "cluster_step", ns_per_op, ops }
 }
 
+/// Steps the canonical `ckpt-single` scenario a few dozen epochs in, so
+/// the snapshot benches measure a *mid-run* engine with live ledgers,
+/// queues and RNG streams — the state a `--checkpoint-every` run pays to
+/// serialize — not a freshly booted one.
+fn midrun_single_sim() -> SingleVmSim<AppWorkload> {
+    let opts = ExpOptions::quick();
+    let mut sim = checkpoint::single_sim(&opts, Policy::HeteroCoordinated);
+    for _ in 0..64 {
+        if !sim.step() {
+            break;
+        }
+    }
+    sim
+}
+
+/// Full versioned serialization of a mid-run engine. Ops = snapshot
+/// bytes, so the committed entry tracks per-byte encode cost.
+fn bench_snapshot_save(iters: u64) -> BenchResult {
+    let sim = midrun_single_sim();
+    run_bench("snapshot_save", iters, move || {
+        std::hint::black_box(sim.save()).len() as u64
+    })
+}
+
+/// Parse + rebuild of the same snapshot. Ops = snapshot bytes.
+fn bench_snapshot_restore(iters: u64) -> BenchResult {
+    let bytes = midrun_single_sim().save();
+    run_bench("snapshot_restore", iters, move || {
+        let restored = SingleVmSim::restore(&bytes).expect("valid snapshot");
+        std::hint::black_box(restored.now());
+        bytes.len() as u64
+    })
+}
+
 /// One full quick-mode Fig 9 sweep on `jobs` worker threads, timed
 /// end-to-end (a single iteration — the sweep is seconds, not nanos). The
 /// `jobs = 1` / `jobs = 0` (available parallelism) pair is the committed
@@ -291,6 +326,8 @@ fn check_regression(results: &[BenchResult]) -> bool {
         "repro_epochs",
         "idle_fleet",
         "cluster_step",
+        "snapshot_save",
+        "snapshot_restore",
     ] {
         let Some(committed) = baseline_ns_per_op(&json, name) else {
             eprintln!("--check: baseline has no entry for {name}; skipping");
@@ -332,6 +369,8 @@ fn main() {
         bench_idle_fleet("idle_fleet", 6, 58),
         bench_idle_fleet("idle_fleet_busy", 6, 0),
         bench_cluster_step(),
+        bench_snapshot_save((200 / scale).max(1)),
+        bench_snapshot_restore((200 / scale).max(1)),
     ];
     // The end-to-end Fig 9 sweep takes seconds per iteration; only the
     // full (baseline-writing) mode pays for it. `--check` never gates on

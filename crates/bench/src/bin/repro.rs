@@ -15,6 +15,8 @@
 //! repro --persist epoch --faults host-power-loss rec-ablation
 //! repro cluster                  # 1,000-VM/16-host consolidation run
 //! repro --hosts 8 --arrival trace cluster
+//! repro --checkpoint-every 10 cluster        # snapshot every 10 rounds
+//! repro --resume checkpoints/cluster-3.snap cluster   # resume one
 //! ```
 //!
 //! `--jobs N` spreads the work over `N` OS threads (default: available
@@ -44,6 +46,16 @@
 //! pre-copy live migration (`--hosts 0` keeps the experiment default of
 //! 16 hosts, 4 in quick mode). Every other target ignores both flags.
 //!
+//! `--checkpoint-every N` snapshots the run every `N` steps (cluster
+//! rounds for the `cluster` target) into `--checkpoint-dir DIR` (default
+//! `checkpoints/`) as versioned binary snapshots named `<target>-<k>.snap`,
+//! and `--resume FILE` restores a run from one such snapshot instead of
+//! booting fresh. Both accept exactly one checkpointable target
+//! (`ckpt-single`, `ckpt-fleet` or `cluster`) per invocation. A resumed
+//! run finishes **byte-identically** to an uninterrupted one — same
+//! rendered output, same JSON exports. A missing, truncated or
+//! version-mismatched snapshot exits nonzero with a descriptive message.
+//!
 //! With `--json-out DIR`, every target additionally writes machine-readable
 //! files into `DIR`: `<target>.json` for all targets, plus `<target>.csv`
 //! for figures and `<target>.txt` for text tables. A `telemetry.json`
@@ -53,7 +65,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{run_artifacts, ABLATIONS, CLUSTER, EXTENSIONS, RECOVERY, TARGETS};
+use bench::{
+    run_artifacts, run_checkpointable, Artifact, ABLATIONS, CHECKPOINTABLE, CLUSTER, EXTENSIONS,
+    RECOVERY, TARGETS,
+};
 use hetero_core::experiments::ExpOptions;
 use hetero_faults::FaultKind;
 use hetero_core::{Policy, SimConfig, SingleVmSim};
@@ -89,6 +104,36 @@ fn is_known_target(target: &str) -> bool {
         || EXTENSIONS.contains(&target)
         || RECOVERY.contains(&target)
         || CLUSTER.contains(&target)
+        || CHECKPOINTABLE.contains(&target)
+}
+
+/// Prints one artifact and, with `--json-out`, writes the same export
+/// set as a straight run (`<target>.json` + `.csv`/`.txt` +
+/// `telemetry.json`) so determinism gates can `diff -r` a checkpointed
+/// or resumed run against an uninterrupted one.
+fn emit(
+    target: &str,
+    artifact: &Artifact,
+    json_out: Option<&std::path::Path>,
+    seed: u64,
+) -> ExitCode {
+    let rendered = artifact.render();
+    println!("==================== {target} ====================");
+    println!("{rendered}");
+    if let Some(dir) = json_out {
+        let result = write_file(dir, &format!("{target}.json"), &artifact.to_json())
+            .and_then(|()| match artifact.to_csv() {
+                Some(csv) => write_file(dir, &format!("{target}.csv"), &csv),
+                None => write_file(dir, &format!("{target}.txt"), &rendered),
+            })
+            .and_then(|()| write_file(dir, "telemetry.json", &telemetry_snapshot(seed)));
+        if let Err(e) = result {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        println!("machine-readable exports written to {}", dir.display());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses a `--faults` crash kind by its display name.
@@ -109,6 +154,9 @@ fn main() -> ExitCode {
     let mut jobs: usize = 0;
     let mut targets: Vec<String> = Vec::new();
     let mut json_out: Option<PathBuf> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_dir = PathBuf::from("checkpoints");
+    let mut resume: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -199,6 +247,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--checkpoint-every" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => checkpoint_every = Some(n),
+                _ => {
+                    eprintln!("--checkpoint-every requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-dir" => match args.next() {
+                Some(dir) => checkpoint_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--checkpoint-dir requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match args.next() {
+                Some(file) => resume = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--resume requires a snapshot file");
+                    return ExitCode::FAILURE;
+                }
+            },
             "all" => targets.extend(TARGETS.iter().map(|s| s.to_string())),
             "ablations" => targets.extend(ABLATIONS.iter().map(|s| s.to_string())),
             "extensions" => targets.extend(EXTENSIONS.iter().map(|s| s.to_string())),
@@ -208,13 +277,19 @@ fn main() -> ExitCode {
                 println!(
                     "usage: repro [--quick] [--seed N] [--jobs N] [--sched MODE] \
                      [--audit LEVEL] [--persist MODE] [--faults KIND] \
-                     [--hosts N] [--arrival MODE] [--json-out DIR] <target>..."
+                     [--hosts N] [--arrival MODE] [--json-out DIR] \
+                     [--checkpoint-every N] [--checkpoint-dir DIR] \
+                     [--resume FILE] <target>..."
                 );
                 println!("sched modes: event dense");
                 println!("audit levels: off epoch paranoid");
                 println!("persist modes: off eager epoch on-evict");
                 println!("fault kinds: host-power-loss guest-crash-persist");
                 println!("arrival modes: poisson trace (cluster target only)");
+                println!(
+                    "checkpointable targets (--checkpoint-every/--resume): {}",
+                    CHECKPOINTABLE.join(" ")
+                );
                 println!(
                     "targets: all ablations extensions recovery cluster {}",
                     TARGETS.join(" ")
@@ -260,6 +335,74 @@ fn main() -> ExitCode {
             eprintln!("cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
+    }
+    if checkpoint_every.is_some() || resume.is_some() {
+        // Checkpoint/resume mode drives exactly one run step by step; a
+        // multi-target sweep has no single stream of snapshots to name.
+        let target = match targets.as_slice() {
+            [t] if CHECKPOINTABLE.contains(&t.as_str()) => t.clone(),
+            [t] => {
+                eprintln!(
+                    "'{t}' is not checkpointable; --checkpoint-every/--resume \
+                     accept one of: {}",
+                    CHECKPOINTABLE.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+            _ => {
+                eprintln!(
+                    "--checkpoint-every/--resume accept exactly one target \
+                     (one of: {})",
+                    CHECKPOINTABLE.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let resume_bytes = match &resume {
+            Some(path) => match std::fs::read(path) {
+                Ok(bytes) => Some(bytes),
+                Err(e) => {
+                    eprintln!("cannot read snapshot {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        if checkpoint_every.is_some() {
+            if let Err(e) = std::fs::create_dir_all(&checkpoint_dir) {
+                eprintln!("cannot create {}: {e}", checkpoint_dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        let run_jobs = if jobs == 0 {
+            hetero_sim::runner::available_jobs()
+        } else {
+            jobs
+        };
+        let run_opts = opts.with_jobs(run_jobs);
+        let mut seq = 0u64;
+        let result = run_checkpointable(
+            &target,
+            &run_opts,
+            checkpoint_every,
+            resume_bytes.as_deref(),
+            &mut |step, bytes| {
+                seq += 1;
+                let path = checkpoint_dir.join(format!("{target}-{seq}.snap"));
+                std::fs::write(&path, bytes)
+                    .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+                println!("checkpoint {seq} at step {step} -> {}", path.display());
+                Ok(())
+            },
+        );
+        let artifact = match result {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return emit(&target, &artifact, json_out.as_deref(), opts.seed);
     }
     for (target, result) in run_artifacts(&targets, &opts, jobs) {
         let artifact = match result {

@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 use hetero_core::experiments::{
-    ablations, capacity, cluster, coordinated, distribution, extensions, micro, overhead,
-    placement, recovery, sensitivity, sharing, tables, ExpOptions,
+    ablations, capacity, checkpoint, cluster, coordinated, distribution, extensions, micro,
+    overhead, placement, recovery, sensitivity, sharing, tables, ExpOptions,
 };
+use hetero_core::multivm::MultiVmSim;
+use hetero_core::{AuditLevel, Cluster, Policy, RunReport, SingleVmSim};
 use hetero_sim::export::json_string;
 use hetero_sim::{Runner, SeriesSet};
 
@@ -62,6 +64,12 @@ pub const RECOVERY: [&str; 3] = ["rec-time", "rec-overhead", "rec-ablation"];
 /// `hetero_core::experiments::cluster`; honors `--hosts` and
 /// `--arrival`).
 pub const CLUSTER: [&str; 1] = ["cluster"];
+
+/// Targets the checkpoint/restore driver accepts (`repro
+/// --checkpoint-every N` / `--resume FILE`) — one canonical scenario per
+/// simulation layer (see `hetero_core::experiments::checkpoint`).
+/// `ckpt-single` and `ckpt-fleet` also run standalone as plain targets.
+pub const CHECKPOINTABLE: [&str; 3] = ["ckpt-single", "ckpt-fleet", "cluster"];
 
 /// A structured experiment result: either a rendered text table or a
 /// figure's underlying data series (plot-ready, exportable as JSON/CSV).
@@ -159,9 +167,175 @@ pub fn run_artifact(target: &str, opts: &ExpOptions) -> Result<Artifact, String>
                 json: outcome.to_json(),
             }
         }
+        "ckpt-single" | "ckpt-fleet" => {
+            run_checkpointable(target, opts, None, None, &mut |_, _| Ok(()))?
+        }
         other => return Err(format!("unknown experiment target '{other}'")),
     };
     Ok(out)
+}
+
+/// Where periodic checkpoints go: called with `(step, snapshot bytes)`
+/// after every `--checkpoint-every` interval; an `Err` aborts the run
+/// (a snapshot that cannot be written is not a checkpoint).
+pub type SnapshotSink<'a> = &'a mut dyn FnMut(u64, &[u8]) -> Result<(), String>;
+
+/// Mirrors the engine's end-of-run audit check, but as a recoverable
+/// error instead of a panic: the `repro` binary turns it into a
+/// nonzero exit with the violation list on stderr.
+fn fail_on_violations(
+    audit: AuditLevel,
+    what: &str,
+    violations: &[impl std::fmt::Display],
+) -> Result<(), String> {
+    if audit == AuditLevel::Off || violations.is_empty() {
+        return Ok(());
+    }
+    let mut msg = format!(
+        "invariant sanitizer ({audit} level) found {} violation(s) in {what} run:",
+        violations.len(),
+    );
+    for v in violations {
+        msg.push_str("\n  - ");
+        msg.push_str(&v.to_string());
+    }
+    Err(msg)
+}
+
+fn single_text(r: &RunReport) -> String {
+    format!(
+        "ckpt-single: {} under {} — runtime {:.2} ms, {} epochs, \
+         {} migrations, {:.2}% overhead\n",
+        r.app,
+        r.policy,
+        r.runtime.as_millis_f64(),
+        r.epochs,
+        r.migrations,
+        r.overhead_percent(),
+    )
+}
+
+fn fleet_text(reports: &[RunReport]) -> String {
+    let mut out = String::from("ckpt-fleet: co-scheduled VM templates on one DRF host\n");
+    for r in reports {
+        out.push_str(&format!(
+            "  {:<12} {:<18} {:>12.2} ms {:>8} epochs {:>8} migrations\n",
+            r.app,
+            r.policy,
+            r.runtime.as_millis_f64(),
+            r.epochs,
+            r.migrations,
+        ));
+    }
+    out
+}
+
+fn fleet_json(reports: &[RunReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Runs a checkpointable target with optional periodic snapshots and
+/// optional resume-from-snapshot, returning the same artifact shape the
+/// straight run produces (byte-identical when resumed mid-run).
+///
+/// * `every = Some(n)` calls `on_snapshot(step, bytes)` after every `n`
+///   engine steps (single/fleet) or cluster rounds; the callback decides
+///   where the bytes go (the `repro` binary writes `<target>-<k>.snap`).
+/// * `resume = Some(bytes)` restores the run from a snapshot instead of
+///   booting fresh; layer/version mismatches and truncation surface as
+///   descriptive `Err`s, never panics.
+///
+/// The cluster target restores with `opts.jobs` boot workers — thread
+/// count is a restore-time parameter, never part of the snapshot, and
+/// the outcome is byte-identical at any value.
+///
+/// # Errors
+///
+/// Unknown or non-checkpointable targets, undecodable snapshots, failed
+/// snapshot writes (propagated from `on_snapshot`) and audit violations
+/// all come back as error strings.
+pub fn run_checkpointable(
+    target: &str,
+    opts: &ExpOptions,
+    every: Option<u64>,
+    resume: Option<&[u8]>,
+    on_snapshot: SnapshotSink<'_>,
+) -> Result<Artifact, String> {
+    let due = |step: u64| matches!(every, Some(n) if n > 0 && step.is_multiple_of(n));
+    match target {
+        "ckpt-single" => {
+            let mut sim = match resume {
+                Some(bytes) => SingleVmSim::restore(bytes)
+                    .map_err(|e| format!("cannot resume '{target}': {e}"))?,
+                None => checkpoint::single_sim(opts, Policy::HeteroCoordinated),
+            };
+            let mut steps = 0u64;
+            while sim.step() {
+                steps += 1;
+                if due(steps) {
+                    on_snapshot(steps, &sim.save())?;
+                }
+            }
+            fail_on_violations(opts.audit, target, sim.violations())?;
+            let report = sim.report();
+            Ok(Artifact::Raw {
+                text: single_text(&report),
+                json: report.to_json(),
+            })
+        }
+        "ckpt-fleet" => {
+            let mut sim = match resume {
+                Some(bytes) => MultiVmSim::restore(bytes)
+                    .map_err(|e| format!("cannot resume '{target}': {e}"))?,
+                None => checkpoint::fleet_sim(opts, Policy::HeteroCoordinated),
+            };
+            let mut steps = 0u64;
+            while sim.step_fleet() {
+                steps += 1;
+                if due(steps) {
+                    on_snapshot(steps, &sim.save())?;
+                }
+            }
+            let (reports, violations) = sim.into_results();
+            fail_on_violations(opts.audit, target, &violations)?;
+            Ok(Artifact::Raw {
+                text: fleet_text(&reports),
+                json: fleet_json(&reports),
+            })
+        }
+        "cluster" => {
+            let mut c = match resume {
+                Some(bytes) => Cluster::restore(bytes, opts.jobs.max(1))
+                    .map_err(|e| format!("cannot resume '{target}': {e}"))?,
+                None => checkpoint::cluster_sim(opts),
+            };
+            let mut rounds = 0u64;
+            while c.step_round() {
+                rounds += 1;
+                if due(rounds) {
+                    on_snapshot(rounds, &c.save())?;
+                }
+            }
+            let (outcome, violations) = c.finish();
+            fail_on_violations(opts.audit, target, &violations)?;
+            Ok(Artifact::Raw {
+                text: cluster::fleet_table(&outcome),
+                json: outcome.to_json(),
+            })
+        }
+        other => Err(format!(
+            "'{other}' is not checkpointable (expected one of: {})",
+            CHECKPOINTABLE.join(", ")
+        )),
+    }
 }
 
 /// Runs many experiment targets with a total parallelism budget of `jobs`

@@ -88,6 +88,9 @@ impl IntervalController {
     }
 }
 
+
+hetero_sim::impl_snap!(struct IntervalController { interval, min, max, prev_misses });
+
 #[cfg(test)]
 mod tests {
     use super::*;

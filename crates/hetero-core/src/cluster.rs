@@ -369,6 +369,8 @@ pub struct Cluster {
     finished: Vec<(u32, RunReport)>,
     /// Guest id → round of its last migration (cooldown bookkeeping).
     cooldowns: std::collections::BTreeMap<u32, u64>,
+    /// Violations accumulated across rounds; drained by [`Cluster::finish`].
+    violations: Vec<Violation>,
 }
 
 impl Cluster {
@@ -423,6 +425,7 @@ impl Cluster {
             migrations: Vec::new(),
             finished: Vec::new(),
             cooldowns: std::collections::BTreeMap::new(),
+            violations: Vec::new(),
         }
     }
 
@@ -437,12 +440,20 @@ impl Cluster {
             } => {
                 let mut rng = SimRng::seed_from(seed ^ ARRIVAL_STREAM_SALT);
                 let mean = mean_interarrival.as_nanos() as f64;
-                let mut t = 0.0f64;
+                // Accumulate in integer nanos, stochastically rounding
+                // each gap. A running f64 sum loses ulp precision as it
+                // grows — past 2^53 ns (~104 days) it can only represent
+                // even nano counts, so long schedules quantized and
+                // drifted. Per-gap rounding keeps every arrival exact at
+                // any horizon, and `stochastic_round` keeps it
+                // mean-preserving.
+                let mut t = 0u64;
                 (0..*count)
                     .map(|_| {
-                        t += rng.next_exponential(mean);
+                        let gap = rng.next_exponential(mean);
+                        t = t.saturating_add(rng.stochastic_round(gap));
                         let tmpl = rng.next_range(0, spec.templates.len() as u64) as usize;
-                        (Nanos::from_nanos(t as u64), tmpl)
+                        (Nanos::from_nanos(t), tmpl)
                     })
                     .collect()
             }
@@ -492,20 +503,60 @@ impl Cluster {
     /// host's per-epoch ledger audit, every guest's own sanitizer, and the
     /// cluster-boundary conservation audit after every round.
     pub fn run_audited(mut self) -> (ClusterOutcome, Vec<Violation>) {
-        let audited = self.cfg.effective_audit().is_enabled();
-        let mut violations = Vec::new();
-        while !self.pending.is_empty() || self.hosts.iter().any(|h| h.core.live() > 0) {
-            let round_end = self.now + self.spec.quantum;
-            self.rounds += 1;
-            self.admit_arrivals(round_end);
-            self.step_hosts(round_end, audited, &mut violations);
-            self.retire_departures(&mut violations);
-            self.balance();
-            if audited {
-                self.audit_cluster_boundary(&mut violations);
-            }
-            self.now = round_end;
+        while self.step_round() {}
+        self.finish()
+    }
+
+    /// Whether the cluster still has work: pending arrivals or live VMs.
+    pub fn is_active(&self) -> bool {
+        !self.pending.is_empty() || self.hosts.iter().any(|h| h.core.live() > 0)
+    }
+
+    /// Advances the cluster one scheduling round: admits due arrivals,
+    /// steps every host to the round deadline, retires finished VMs,
+    /// retries arrivals those retirements may have made feasible, and
+    /// runs the migration policy. Returns `false` (without advancing
+    /// time) once nothing is pending and no VM is live.
+    ///
+    /// This is the checkpointable driver: a loop over `step_round`
+    /// produces the same cluster as [`Cluster::run`], and the cluster can
+    /// be [saved](Cluster::save) between any two rounds. Violations
+    /// accumulate internally and come back from [`Cluster::finish`].
+    pub fn step_round(&mut self) -> bool {
+        if !self.is_active() {
+            return false;
         }
+        let audited = self.cfg.effective_audit().is_enabled();
+        let mut violations = std::mem::take(&mut self.violations);
+        let round_end = self.now + self.spec.quantum;
+        self.rounds += 1;
+        let deferred = self.admit_arrivals(round_end);
+        self.step_hosts(round_end, audited, &mut violations);
+        self.retire_departures(&mut violations);
+        // Second admission pass: a retirement that just freed capacity
+        // can place an arrival deferred earlier in this same round —
+        // without it, such an arrival waited a full quantum next to an
+        // idle host. Only the still-infeasible remainder counts as
+        // deferred and re-queues for the next round, ahead of any
+        // later-scheduled arrivals at the same instant.
+        let still_deferred = self.admit_batch(deferred);
+        self.deferrals += still_deferred.len() as u64;
+        for &(_, tmpl) in still_deferred.iter().rev() {
+            self.pending.push_front((round_end, tmpl));
+        }
+        self.balance();
+        if audited {
+            self.audit_cluster_boundary(&mut violations);
+        }
+        self.violations = violations;
+        self.now = round_end;
+        true
+    }
+
+    /// Collects the outcome of a finished (or abandoned) step-driven run:
+    /// the cluster report, per-VM reports ascending by id, the migration
+    /// trace, and every violation accumulated across rounds.
+    pub fn finish(mut self) -> (ClusterOutcome, Vec<Violation>) {
         self.finished.sort_by_key(|&(id, _)| id);
         let report = self.report();
         let outcome = ClusterOutcome {
@@ -513,27 +564,40 @@ impl Cluster {
             vm_reports: std::mem::take(&mut self.finished),
             migrations: std::mem::take(&mut self.migrations),
         };
-        (outcome, violations)
+        (outcome, std::mem::take(&mut self.violations))
     }
 
-    /// Admits every arrival due before `round_end` onto the least-loaded
-    /// feasible host (ties break to the lower host index). Arrivals with
-    /// no feasible host are deferred to the next round; reservations
-    /// larger than an empty host are rejected outright (they can never
-    /// fit). Placement decisions are sequential — they touch the shared
-    /// ledgers — but the booting of the admitted VMs is embarrassingly
-    /// parallel and fans out across the Runner.
-    fn admit_arrivals(&mut self, round_end: Nanos) {
-        /// A placement decision handed to the parallel boot phase:
-        /// `(host, template, id, seed, min reservation, arrival, bw share)`.
-        type Placement = (usize, usize, GuestId, u64, KindMap<u64>, Nanos, f64);
-        let mut boots: Vec<Placement> = Vec::new();
-        let mut deferred: Vec<(Nanos, usize)> = Vec::new();
+    /// Pops every arrival due before `round_end` and runs one admission
+    /// pass over them. Returns the arrivals that found no feasible host —
+    /// the round loop retries them after retirements free capacity, and
+    /// re-queues whatever still does not fit.
+    fn admit_arrivals(&mut self, round_end: Nanos) -> Vec<(Nanos, usize)> {
+        let mut due = Vec::new();
         while let Some(&(t, tmpl)) = self.pending.front() {
             if t >= round_end {
                 break;
             }
             self.pending.pop_front();
+            due.push((t, tmpl));
+        }
+        self.admit_batch(due)
+    }
+
+    /// One admission pass: places each arrival onto the least-loaded
+    /// feasible host (ties break to the lower host index). Reservations
+    /// larger than an empty host are rejected outright (they can never
+    /// fit); arrivals with no feasible host right now are returned, in
+    /// order, for the caller to retry or defer. Placement decisions are
+    /// sequential — they touch the shared ledgers — but the booting of
+    /// the admitted VMs is embarrassingly parallel and fans out across
+    /// the Runner.
+    fn admit_batch(&mut self, due: Vec<(Nanos, usize)>) -> Vec<(Nanos, usize)> {
+        /// A placement decision handed to the parallel boot phase:
+        /// `(host, template, id, seed, min reservation, arrival, bw share)`.
+        type Placement = (usize, usize, GuestId, u64, KindMap<u64>, Nanos, f64);
+        let mut boots: Vec<Placement> = Vec::new();
+        let mut deferred: Vec<(Nanos, usize)> = Vec::new();
+        for (t, tmpl) in due {
             let setup = &self.spec.templates[tmpl];
             let min = KindMap::from_fn(|k| tier_pages(&self.cfg, k, setup.min_bytes[k]));
             if grant_kinds()
@@ -545,9 +609,9 @@ impl Cluster {
                 continue;
             }
             let Some(host) = self.place(min) else {
-                // Feasible in principle — retry when load drains.
-                self.deferrals += 1;
-                deferred.push((round_end, tmpl));
+                // Feasible in principle — the caller decides whether to
+                // retry this round or defer to the next.
+                deferred.push((t, tmpl));
                 continue;
             };
             let id = GuestId(self.next_guest);
@@ -559,11 +623,6 @@ impl Cluster {
             self.hosts[host].peak_live = self.hosts[host].peak_live.max(live);
             let bw_share = 1.0 / live as f64;
             boots.push((host, tmpl, id, u64::from(id.0), min, t, bw_share));
-        }
-        // Deferred arrivals re-queue for the next round, ahead of any
-        // later-scheduled arrivals at the same instant.
-        for d in deferred.into_iter().rev() {
-            self.pending.push_front(d);
         }
         let cfg = &self.cfg;
         let policy = self.policy;
@@ -584,6 +643,7 @@ impl Cluster {
             }
             self.hosts[host].core.vms.push(vm);
         }
+        deferred
     }
 
     /// The least-loaded host with room for `min` on every tier, or `None`.
@@ -870,6 +930,111 @@ pub fn mean_peak_live(report: &ClusterReport) -> f64 {
     sum as f64 / report.per_host.len() as f64
 }
 
+
+hetero_sim::impl_snap!(enum ArrivalProcess {
+    0 => Poisson { mean_interarrival, count },
+    1 => Trace(entries),
+});
+
+hetero_sim::impl_snap!(struct MigrationPolicy {
+    imbalance_threshold,
+    max_per_round,
+    max_precopy_rounds,
+    stop_copy_pages,
+    cooldown_rounds,
+});
+
+hetero_sim::impl_snap!(struct ClusterSpec {
+    hosts,
+    templates,
+    arrivals,
+    quantum,
+    migration,
+    fault_rate,
+});
+
+hetero_sim::impl_snap!(struct MigrationRecord {
+    at,
+    vm,
+    from,
+    to,
+    precopy_rounds,
+    pages_copied,
+    cost,
+    downtime,
+});
+
+hetero_sim::impl_snap!(struct HostState { core, vms_admitted, peak_live, epochs });
+
+impl Cluster {
+    /// Serializes the complete cluster state — every host fleet (each VM
+    /// engine included), the pending arrival queue, scheduler counters,
+    /// migration trace, finished reports, cooldowns and accumulated
+    /// violations — under a
+    /// [`LAYER_CLUSTER`](crate::snapshot::LAYER_CLUSTER) header.
+    ///
+    /// `jobs` is a host resource, not simulation state: it is not
+    /// captured, and [`Cluster::restore`] takes it as a parameter (the
+    /// run is byte-identical at any thread count anyway).
+    pub fn save(&self) -> Vec<u8> {
+        use hetero_sim::snap::Snap;
+        let mut w = hetero_sim::snap::SnapWriter::new();
+        hetero_sim::snap::write_header(&mut w, crate::snapshot::LAYER_CLUSTER);
+        self.cfg.snap(&mut w);
+        self.policy.snap(&mut w);
+        self.spec.snap(&mut w);
+        self.hosts.snap(&mut w);
+        self.pending.snap(&mut w);
+        self.host_totals.snap(&mut w);
+        self.next_guest.snap(&mut w);
+        self.now.snap(&mut w);
+        self.rounds.snap(&mut w);
+        self.arrivals.snap(&mut w);
+        self.departures.snap(&mut w);
+        self.deferrals.snap(&mut w);
+        self.rejected.snap(&mut w);
+        self.makespan.snap(&mut w);
+        self.migrations.snap(&mut w);
+        self.finished.snap(&mut w);
+        self.cooldowns.snap(&mut w);
+        self.violations.snap(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a cluster from [`Cluster::save`] bytes; the resumed run
+    /// continues byte-identically. Fails loudly on a bad magic, version
+    /// or layer, on truncation, and on trailing bytes — never panics on
+    /// malformed input.
+    pub fn restore(bytes: &[u8], jobs: usize) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        use hetero_sim::snap::Snap;
+        let mut r = hetero_sim::snap::SnapReader::new(bytes);
+        hetero_sim::snap::read_header(&mut r, crate::snapshot::LAYER_CLUSTER)?;
+        let cluster = Cluster {
+            cfg: Snap::unsnap(&mut r)?,
+            policy: Snap::unsnap(&mut r)?,
+            spec: Snap::unsnap(&mut r)?,
+            jobs,
+            hosts: Snap::unsnap(&mut r)?,
+            pending: Snap::unsnap(&mut r)?,
+            host_totals: Snap::unsnap(&mut r)?,
+            next_guest: Snap::unsnap(&mut r)?,
+            now: Snap::unsnap(&mut r)?,
+            rounds: Snap::unsnap(&mut r)?,
+            arrivals: Snap::unsnap(&mut r)?,
+            departures: Snap::unsnap(&mut r)?,
+            deferrals: Snap::unsnap(&mut r)?,
+            rejected: Snap::unsnap(&mut r)?,
+            makespan: Snap::unsnap(&mut r)?,
+            migrations: Snap::unsnap(&mut r)?,
+            finished: Snap::unsnap(&mut r)?,
+            cooldowns: Snap::unsnap(&mut r)?,
+            violations: Snap::unsnap(&mut r)?,
+        };
+        r.finish()?;
+        Ok(cluster)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1125,5 +1290,110 @@ mod tests {
             ..outcome.report
         };
         assert_eq!(mean_peak_live(&empty), 0.0);
+    }
+    #[test]
+    fn poisson_schedule_accumulates_integer_nanos() {
+        // Regression: the schedule used to accumulate arrival times in an
+        // f64 running sum. Past 2^53 ns the ulp is 2 ns, so every arrival
+        // landed on an even nanosecond and gaps quantized. 4096 arrivals
+        // at a one-hour mean push the horizon to ~1.5e16 ns, well past
+        // 2^53 (~9.0e15): integer accumulation must still produce odd
+        // timestamps out there, and stay sorted.
+        let spec = ClusterSpec {
+            hosts: 1,
+            templates: vec![VmSetup::new(
+                apps::redis(),
+                64 * MB,
+                128 * MB,
+                256 * MB,
+                512 * MB,
+            )],
+            arrivals: ArrivalProcess::Poisson {
+                mean_interarrival: Nanos::from_secs(3600),
+                count: 4096,
+            },
+            quantum: Nanos::from_millis(50),
+            migration: MigrationPolicy::default(),
+            fault_rate: 0.0,
+        };
+        let schedule = Cluster::schedule(&spec, 42);
+        assert!(
+            schedule.iter().zip(schedule.iter().skip(1)).all(|(a, b)| a.0 <= b.0),
+            "arrival times must be nondecreasing"
+        );
+        let past_2_53: Vec<u64> = schedule
+            .iter()
+            .map(|&(t, _)| t.as_nanos())
+            .filter(|&t| t > (1u64 << 53))
+            .collect();
+        assert!(
+            past_2_53.len() > 1000,
+            "schedule must cross 2^53 ns to exercise the regression \
+             (got {} arrivals past it)",
+            past_2_53.len()
+        );
+        assert!(
+            past_2_53.iter().any(|t| t % 2 == 1),
+            "f64 accumulation quantizes to even nanos past 2^53; integer \
+             accumulation must keep odd timestamps"
+        );
+    }
+
+    #[test]
+    fn arrival_deferred_by_full_host_places_when_a_retirement_frees_room() {
+        // One host, fully reserved by a short-lived blocker admitted at
+        // t=0. A second VM arrives inside round 1, cannot fit, and the
+        // blocker finishes within the same (generously long) round. The
+        // second admission pass must place it in round 1 — before the fix
+        // it waited a full quantum next to an idle host and was counted
+        // as a deferral.
+        let blocker = {
+            let mut s = apps::redis();
+            // A handful of epochs: finishes well inside the first round.
+            s.total_instructions = s.instructions_per_epoch * 4;
+            s
+        };
+        let follower = {
+            let mut s = apps::nginx();
+            s.total_instructions = s.instructions_per_epoch * 8;
+            s
+        };
+        let cfg = SimConfig::paper_default()
+            .with_fast_bytes(2 * GB)
+            .with_slow_bytes(4 * GB)
+            .with_seed(7);
+        // The blocker reserves the entire host on every tier.
+        let spec = ClusterSpec {
+            hosts: 1,
+            templates: vec![
+                VmSetup::new(blocker, 2 * GB, 2 * GB, 4 * GB, 4 * GB),
+                VmSetup::new(follower, 32 * MB, 64 * MB, 128 * MB, 256 * MB),
+            ],
+            arrivals: ArrivalProcess::Trace(vec![
+                (Nanos::ZERO, 0),
+                (Nanos::from_millis(1), 1),
+            ]),
+            // Long enough that the blocker certainly retires in round 1.
+            quantum: Nanos::from_secs(30),
+            migration: MigrationPolicy::default(),
+            fault_rate: 0.0,
+        };
+        let outcome = Cluster::new(
+            cfg,
+            SharePolicy::paper_drf(),
+            Policy::HeteroCoordinated,
+            spec,
+            1,
+        )
+        .run();
+        let r = &outcome.report;
+        assert_eq!(r.arrivals, 2, "both VMs must be admitted");
+        assert_eq!(r.departures, 2, "both VMs must finish");
+        assert_eq!(r.rejected, 0);
+        assert_eq!(
+            r.deferrals, 0,
+            "the retirement frees the host within round 1, so the same-round \
+             second admission pass must place the follower without a deferral"
+        );
     }
 }

@@ -376,6 +376,51 @@ impl Default for SimConfig {
     }
 }
 
+
+hetero_sim::impl_snap!(enum SchedMode {
+    0 => Dense {},
+    1 => Event {},
+});
+
+hetero_sim::impl_snap!(struct SimConfig {
+    fast_bytes,
+    slow_bytes,
+    medium_bytes,
+    fast_throttle,
+    slow_throttle,
+    medium_throttle,
+    llc,
+    page_size,
+    scale,
+    seed,
+    costs,
+    cpus,
+    scan_interval,
+    scan_batch,
+    migrate_batch,
+    demote_batch,
+    fast_low_watermark,
+    lru_cold_heat,
+    lru_age_batch,
+    stats_window,
+    adaptive_bounds,
+    adaptive_interval,
+    guided_tracking,
+    eager_io_override,
+    typed_demotion,
+    nvm_slow,
+    write_aware,
+    bare_metal,
+    trace_events,
+    app_hints,
+    bulk_ops,
+    audit_invariants,
+    audit,
+    telemetry,
+    sched,
+    persist,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2140,6 +2140,92 @@ pub fn run_app(cfg: &SimConfig, policy: Policy, spec: hetero_workloads::Workload
     SingleVmSim::new(cfg.clone(), policy, workload).run()
 }
 
+
+hetero_sim::impl_snap!(struct TierChain { kinds, len });
+
+hetero_sim::impl_snap!(struct SingleVmSim {
+    cfg,
+    policy,
+    workload,
+    kernel,
+    rng,
+    clock,
+    tracker,
+    scan_scratch,
+    interval,
+    next_scan,
+    next_window,
+    prioritized,
+    fast_params,
+    slow_params,
+    medium_params,
+    chain_fast_first,
+    chain_slow_only,
+    chain_slow_first,
+    heap_chunks,
+    hot_vpns,
+    next_demote,
+    last_scan_yield,
+    cache_next,
+    cache_live,
+    cache_lazy,
+    buffer_next,
+    buffer_live,
+    buffer_lazy,
+    misses_total,
+    epoch_misses,
+    slow_writes,
+    swapped_heap,
+    bw_share,
+    scans,
+    scanned_pages,
+    epochs,
+    done,
+    events,
+    telemetry,
+    injector,
+    degraded,
+    storm_factor,
+    violations,
+    sanitizer,
+    migrations_tallied,
+    persist,
+    timerq,
+    epochs_skipped,
+    aging_touches,
+    heap_gfns,
+    pending_crash,
+    recoveries,
+    recovered_frames,
+    lost_frames,
+});
+
+impl SingleVmSim<AppWorkload> {
+    /// Serializes the complete engine state — kernel, RNG stream, clock,
+    /// tracker, event queue, fault injector, persistence domain and every
+    /// counter — under a [`LAYER_SINGLE`](crate::snapshot::LAYER_SINGLE)
+    /// header. A run resumed via [`SingleVmSim::restore`] continues
+    /// byte-identically.
+    pub fn save(&self) -> Vec<u8> {
+        use hetero_sim::snap::Snap;
+        let mut w = hetero_sim::snap::SnapWriter::new();
+        hetero_sim::snap::write_header(&mut w, crate::snapshot::LAYER_SINGLE);
+        self.snap(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds an engine from [`SingleVmSim::save`] bytes. Fails loudly
+    /// on a bad magic, version or layer, on truncation, and on trailing
+    /// bytes — never panics on malformed input.
+    pub fn restore(bytes: &[u8]) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        let mut r = hetero_sim::snap::SnapReader::new(bytes);
+        hetero_sim::snap::read_header(&mut r, crate::snapshot::LAYER_SINGLE)?;
+        let sim = <Self as hetero_sim::snap::Snap>::unsnap(&mut r)?;
+        r.finish()?;
+        Ok(sim)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -180,6 +180,45 @@ impl EventQueue {
     }
 }
 
+
+hetero_sim::impl_snap!(enum EngineEvent {
+    0 => Scan {},
+    1 => Reclaim {},
+    2 => StatsWindow {},
+    3 => PersistFlush {},
+    4 => PhaseChange {},
+    5 => FaultArm {},
+});
+
+impl hetero_sim::snap::Snap for EventQueue {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        // Dump the heap ascending by (deadline, seq): `seq` is unique per
+        // entry, so the order is total and a heap rebuilt from the same
+        // entries pops identically. Stale (superseded) entries are
+        // preserved deliberately — their lazy drops still cost pops after
+        // a restore, exactly as they would have in the original run.
+        let mut entries: Vec<(Nanos, u64, EngineEvent)> =
+            self.heap.iter().map(|&Reverse(e)| e).collect();
+        entries.sort_unstable();
+        entries.snap(w);
+        self.armed.snap(w);
+        self.seq.snap(w);
+        self.fired.snap(w);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        use hetero_sim::snap::Snap;
+        let entries: Vec<(Nanos, u64, EngineEvent)> = Snap::unsnap(r)?;
+        Ok(EventQueue {
+            heap: entries.into_iter().map(Reverse).collect(),
+            armed: Snap::unsnap(r)?,
+            seq: Snap::unsnap(r)?,
+            fired: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,7 @@ use crate::config::SchedMode;
 
 pub mod ablations;
 pub mod capacity;
+pub mod checkpoint;
 pub mod cluster;
 pub mod coordinated;
 pub mod distribution;

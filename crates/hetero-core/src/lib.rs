@@ -39,6 +39,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod multivm;
 pub mod policy;
+pub mod snapshot;
 
 pub use cluster::{
     ArrivalMode, ArrivalProcess, Cluster, ClusterOutcome, ClusterReport, ClusterSpec,

@@ -4,7 +4,7 @@ use hetero_sim::export::{json_f64, json_string};
 use hetero_sim::{Clock, CostCategory, Nanos};
 
 /// The result of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Policy and application names (for table rendering).
     pub policy: &'static str,
@@ -199,6 +199,24 @@ impl RunReport {
         out
     }
 }
+
+
+hetero_sim::impl_snap!(struct RunReport {
+    policy,
+    app,
+    runtime,
+    breakdown,
+    misses,
+    migrations,
+    scans,
+    scanned_pages,
+    fast_alloc_miss_ratio,
+    avg_miss_latency_ns,
+    achieved_bandwidth_gbps,
+    slow_writes,
+    epochs,
+    events_dropped,
+});
 
 #[cfg(test)]
 mod tests {

@@ -454,6 +454,9 @@ impl FleetCore {
 pub struct MultiVmSim {
     cfg: SimConfig,
     core: FleetCore,
+    /// Ledger-audit violations accumulated by step-driven runs (see
+    /// [`MultiVmSim::step_fleet`]); drained by `into_results`.
+    violations: Vec<Violation>,
 }
 
 impl MultiVmSim {
@@ -519,7 +522,11 @@ impl MultiVmSim {
                 Nanos::ZERO,
             )
         });
-        MultiVmSim { cfg, core }
+        MultiVmSim {
+            cfg,
+            core,
+            violations: Vec::new(),
+        }
     }
 
     /// Runs every VM to completion, co-scheduled by simulated time, and
@@ -555,7 +562,7 @@ impl MultiVmSim {
     /// step, followed by each guest's own collected violations.
     pub fn run_audited(mut self) -> (Vec<RunReport>, Vec<Violation>) {
         let audited = self.cfg.effective_audit().is_enabled();
-        let mut violations = Vec::new();
+        let mut violations = std::mem::take(&mut self.violations);
         match self.cfg.sched {
             SchedMode::Dense => self.core.drive_dense(audited, &mut violations),
             SchedMode::Event => self.core.drive_event(audited, &mut violations),
@@ -591,6 +598,83 @@ impl MultiVmSim {
         self.core.stranded
     }
 }
+
+
+impl MultiVmSim {
+    /// One scheduling step of the fleet: advances the live VM furthest
+    /// behind in simulated time (ties to the lowest index) by one epoch —
+    /// the dense scheduler's selection rule, which the event scheduler
+    /// provably matches. Returns `false` once every VM has finished.
+    ///
+    /// This is the checkpointable driver: a loop over `step_fleet`
+    /// produces the same fleet as [`MultiVmSim::run`], and the fleet can
+    /// be [saved](MultiVmSim::save) between any two steps. Ledger-audit
+    /// violations accumulate internally and come back from
+    /// [`MultiVmSim::into_results`].
+    pub fn step_fleet(&mut self) -> bool {
+        let audited = self.cfg.effective_audit().is_enabled();
+        let Some(i) = (0..self.core.vms.len())
+            .filter(|&i| !self.core.vms[i].done)
+            .min_by_key(|&i| self.core.vms[i].sim.now())
+        else {
+            return false;
+        };
+        self.core.step_vm(i);
+        if audited {
+            let mut violations = std::mem::take(&mut self.violations);
+            self.core.audit_ledger(&mut violations);
+            self.violations = violations;
+        }
+        true
+    }
+
+    /// Reports in setup order plus every violation found — the surface
+    /// [`MultiVmSim::run_audited`] returns, for step-driven
+    /// (checkpointable) runs.
+    pub fn into_results(mut self) -> (Vec<RunReport>, Vec<Violation>) {
+        let reports = self.core.vms.iter().map(|v| v.sim.report()).collect();
+        let mut violations = std::mem::take(&mut self.violations);
+        for vm in &self.core.vms {
+            violations.extend_from_slice(vm.sim.violations());
+        }
+        (reports, violations)
+    }
+
+    /// Serializes the complete fleet — configuration, fair-share ledger,
+    /// every VM engine and the accumulated violations — under a
+    /// [`LAYER_FLEET`](crate::snapshot::LAYER_FLEET) header.
+    pub fn save(&self) -> Vec<u8> {
+        use hetero_sim::snap::Snap;
+        let mut w = hetero_sim::snap::SnapWriter::new();
+        hetero_sim::snap::write_header(&mut w, crate::snapshot::LAYER_FLEET);
+        self.cfg.snap(&mut w);
+        self.core.snap(&mut w);
+        self.violations.snap(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a fleet from [`MultiVmSim::save`] bytes; the resumed run
+    /// continues byte-identically. Fails loudly on a bad magic, version
+    /// or layer, on truncation, and on trailing bytes.
+    pub fn restore(bytes: &[u8]) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        use hetero_sim::snap::Snap;
+        let mut r = hetero_sim::snap::SnapReader::new(bytes);
+        hetero_sim::snap::read_header(&mut r, crate::snapshot::LAYER_FLEET)?;
+        let fleet = MultiVmSim {
+            cfg: Snap::unsnap(&mut r)?,
+            core: Snap::unsnap(&mut r)?,
+            violations: Snap::unsnap(&mut r)?,
+        };
+        r.finish()?;
+        Ok(fleet)
+    }
+}
+
+hetero_sim::impl_snap!(struct VmSetup { spec, min_bytes, max_bytes });
+
+hetero_sim::impl_snap!(struct VmState { id, sim, min, done, offset, dirty_rate });
+
+hetero_sim::impl_snap!(struct FleetCore { fair, vms, totals, stranded });
 
 #[cfg(test)]
 mod tests {

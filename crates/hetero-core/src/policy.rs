@@ -142,6 +142,19 @@ pub enum Tracking {
     Guided,
 }
 
+
+hetero_sim::impl_snap!(enum Policy {
+    0 => SlowMemOnly {},
+    1 => FastMemOnly {},
+    2 => Random {},
+    3 => NumaPreferred {},
+    4 => HeapOd {},
+    5 => HeapIoSlabOd {},
+    6 => HeteroLru {},
+    7 => VmmExclusive {},
+    8 => HeteroCoordinated {},
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,33 @@
+//! Whole-engine checkpoint/restore (DESIGN.md §15).
+//!
+//! Every simulation layer serializes its *complete* state — engines, RNG
+//! streams, event queues, ledgers, fault injectors, persistence domains —
+//! into the hand-rolled versioned binary format of [`hetero_sim::snap`]. A
+//! run resumed from a snapshot continues **byte-identically**: reports,
+//! traces and JSON exports match an uninterrupted run exactly, which is
+//! what the differential tests in `tests/checkpoint.rs` pin.
+//!
+//! Each snapshot starts with the common header (magic `HSNP`, format
+//! version, layer tag). The layer tag states *which* simulator the bytes
+//! capture, so restoring a fleet snapshot as a cluster fails loudly with
+//! [`hetero_sim::snap::SnapshotError::WrongLayer`] instead of
+//! misinterpreting bytes.
+//!
+//! What is deliberately **not** captured:
+//!
+//! * worker-thread counts (`jobs`) — a host resource, not simulation
+//!   state; runs are byte-identical at any thread count, so
+//!   [`Cluster::restore`](crate::Cluster::restore) takes it as a
+//!   parameter,
+//! * audit scratch (`ShadowModel`) — rebuilt from scratch on the next
+//!   audit boundary by construction,
+//! * derived caches that are recomputed before first use.
+
+/// Layer tag of a [`SingleVmSim`](crate::SingleVmSim) snapshot.
+pub const LAYER_SINGLE: u8 = 1;
+
+/// Layer tag of a [`MultiVmSim`](crate::multivm::MultiVmSim) snapshot.
+pub const LAYER_FLEET: u8 = 2;
+
+/// Layer tag of a [`Cluster`](crate::Cluster) snapshot.
+pub const LAYER_CLUSTER: u8 = 3;

@@ -1,0 +1,290 @@
+//! Checkpoint/restore differential matrix.
+//!
+//! The tentpole contract: a run resumed from a mid-run snapshot finishes
+//! **byte-identically** to an uninterrupted one — same reports, same
+//! JSON exports, same final snapshot bytes. Pinned here across:
+//!
+//! * three policies × three seeds on the single-VM scenario,
+//! * the fleet scenario at `jobs ∈ {1, 4}` (boot fan-out only),
+//! * the rack-scale cluster at `jobs ∈ {1, 4}` with a mid-run round
+//!   checkpoint, comparing the full outcome JSON and migration trace,
+//! * a chaos leg with latency storms and power losses armed, snapshotted
+//!   mid-storm — the resumed fault trace and recovery state must match
+//!   byte for byte,
+//! * the failure modes: flipped version byte, wrong layer, truncation —
+//!   each a descriptive `Err`, never a panic.
+
+use hetero_core::experiments::checkpoint::{cluster_sim, fleet_sim, single_sim};
+use hetero_core::experiments::ExpOptions;
+use hetero_core::multivm::MultiVmSim;
+use hetero_core::{Cluster, Policy, SingleVmSim};
+use hetero_faults::{FaultInjector, FaultPlan};
+use hetero_sim::snap::SnapshotError;
+
+/// `expect_err` without requiring `Debug` on the (large) sim types.
+fn must_fail<T>(result: Result<T, SnapshotError>, what: &str) -> SnapshotError {
+    match result {
+        Ok(_) => panic!("{what}: snapshot unexpectedly restored"),
+        Err(e) => e,
+    }
+}
+
+const POLICIES: [Policy; 3] = [
+    Policy::HeteroCoordinated,
+    Policy::HeteroLru,
+    Policy::SlowMemOnly,
+];
+const SEEDS: [u64; 3] = [11, 42, 77];
+
+fn quick_with_seed(seed: u64) -> ExpOptions {
+    let mut opts = ExpOptions::quick();
+    opts.seed = seed;
+    opts
+}
+
+#[test]
+fn single_vm_resume_matrix_is_byte_identical() {
+    for policy in POLICIES {
+        for seed in SEEDS {
+            let opts = quick_with_seed(seed);
+            let mut straight = single_sim(&opts, policy);
+            let mut total = 0u64;
+            while straight.step() {
+                total += 1;
+            }
+            assert!(total >= 2, "{policy:?}/{seed}: run too short to checkpoint");
+
+            let mut first = single_sim(&opts, policy);
+            for _ in 0..total / 2 {
+                assert!(first.step(), "{policy:?}/{seed}: checkpoint past the end");
+            }
+            let snap = first.save();
+            drop(first);
+            let mut resumed = SingleVmSim::restore(&snap)
+                .unwrap_or_else(|e| panic!("{policy:?}/{seed}: restore failed: {e}"));
+            while resumed.step() {}
+
+            assert_eq!(
+                straight.report(),
+                resumed.report(),
+                "{policy:?}/{seed}: resumed report diverged"
+            );
+            assert_eq!(
+                straight.report().to_json(),
+                resumed.report().to_json(),
+                "{policy:?}/{seed}: resumed JSON export diverged"
+            );
+            assert_eq!(
+                straight.save(),
+                resumed.save(),
+                "{policy:?}/{seed}: final snapshot bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_resume_is_byte_identical_and_jobs_invariant() {
+    let opts = quick_with_seed(42);
+    let mut straight = fleet_sim(&opts, Policy::HeteroCoordinated);
+    let mut total = 0u64;
+    while straight.step_fleet() {
+        total += 1;
+    }
+    assert!(total >= 2);
+    let straight_final = straight.save();
+    let (straight_reports, _) = straight.into_results();
+
+    for jobs in [1usize, 4] {
+        let mut jopts = opts;
+        jopts.jobs = jobs;
+        let mut first = fleet_sim(&jopts, Policy::HeteroCoordinated);
+        for _ in 0..total / 2 {
+            assert!(first.step_fleet(), "jobs={jobs}: checkpoint past the end");
+        }
+        let snap = first.save();
+        let mut resumed = MultiVmSim::restore(&snap)
+            .unwrap_or_else(|e| panic!("jobs={jobs}: restore failed: {e}"));
+        while resumed.step_fleet() {}
+        assert_eq!(
+            resumed.save(),
+            straight_final,
+            "jobs={jobs}: final fleet snapshot diverged"
+        );
+        let (reports, _) = resumed.into_results();
+        assert_eq!(reports, straight_reports, "jobs={jobs}: reports diverged");
+    }
+}
+
+#[test]
+fn cluster_resume_matrix_is_byte_identical_across_jobs() {
+    let opts = quick_with_seed(42);
+    // Uninterrupted reference via the same step-driven path `run()` wraps.
+    let straight = cluster_sim(&opts);
+    let (reference, _) = {
+        let mut c = straight;
+        while c.step_round() {}
+        c.finish()
+    };
+    let reference_json = reference.to_json();
+    assert!(
+        !reference.migrations.is_empty(),
+        "scenario must exercise live migration for the trace comparison"
+    );
+
+    for jobs in [1usize, 4] {
+        let mut jopts = opts;
+        jopts.jobs = jobs;
+        let mut first = cluster_sim(&jopts);
+        // Checkpoint mid-run: a handful of rounds in, with the run alive.
+        for _ in 0..3 {
+            assert!(first.step_round(), "jobs={jobs}: checkpoint past the end");
+        }
+        let snap = first.save();
+        drop(first);
+        // Restore with the *other* jobs count: thread count is a
+        // restore-time parameter, never part of the snapshot.
+        let other = if jobs == 1 { 4 } else { 1 };
+        let mut resumed = Cluster::restore(&snap, other)
+            .unwrap_or_else(|e| panic!("jobs={jobs}: restore failed: {e}"));
+        while resumed.step_round() {}
+        let (outcome, _) = resumed.finish();
+        assert_eq!(
+            outcome.to_json(),
+            reference_json,
+            "jobs={jobs}->{other}: resumed cluster outcome diverged"
+        );
+        assert_eq!(
+            outcome.migrations, reference.migrations,
+            "jobs={jobs}->{other}: migration trace diverged"
+        );
+    }
+}
+
+/// A plan that keeps latency storms mostly on and pulls the plug often
+/// enough that recovery machinery runs well within a quick run.
+fn stormy_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        latency_storm: 0.40,
+        storm_max_factor: 6.0,
+        storm_max_epochs: 8,
+        host_power_loss: 0.05,
+        ..FaultPlan::quiescent(seed)
+    }
+}
+
+#[test]
+fn checkpoint_under_armed_faults_resumes_identically() {
+    let opts = quick_with_seed(42);
+    let mut straight = single_sim(&opts, Policy::HeteroCoordinated);
+    straight.set_fault_injector(FaultInjector::new(stormy_plan(7)));
+    let mut total = 0u64;
+    while straight.step() {
+        total += 1;
+    }
+    assert!(total >= 3, "chaos run too short to checkpoint mid-storm");
+    let straight_trace = straight
+        .fault_injector()
+        .expect("injector stays armed")
+        .trace()
+        .to_text();
+    assert!(
+        straight_trace.contains("latency-storm"),
+        "plan must actually fire storms:\n{straight_trace}"
+    );
+    assert!(
+        straight_trace.contains("host-power-loss"),
+        "plan must actually pull the plug:\n{straight_trace}"
+    );
+    let straight_final = straight.save();
+    let straight_report = straight.report();
+
+    // Checkpoint at two different depths — with storms armed at 40% per
+    // step and storms lasting up to 8 epochs, at least one of these lands
+    // inside an active storm window.
+    for cut in [total / 3, 2 * total / 3] {
+        let mut first = single_sim(&opts, Policy::HeteroCoordinated);
+        first.set_fault_injector(FaultInjector::new(stormy_plan(7)));
+        for _ in 0..cut {
+            assert!(first.step(), "cut={cut}: checkpoint past the end");
+        }
+        let snap = first.save();
+        drop(first);
+        let mut resumed = SingleVmSim::restore(&snap)
+            .unwrap_or_else(|e| panic!("cut={cut}: restore failed: {e}"));
+        while resumed.step() {}
+        assert_eq!(
+            resumed.report(),
+            straight_report,
+            "cut={cut}: chaos report diverged"
+        );
+        assert_eq!(
+            resumed
+                .fault_injector()
+                .expect("injector survives the snapshot")
+                .trace()
+                .to_text(),
+            straight_trace,
+            "cut={cut}: fault trace diverged after resume"
+        );
+        assert_eq!(
+            resumed.save(),
+            straight_final,
+            "cut={cut}: final chaos snapshot bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn flipped_version_byte_is_rejected_cleanly() {
+    let opts = quick_with_seed(42);
+    let mut sim = single_sim(&opts, Policy::HeteroCoordinated);
+    assert!(sim.step());
+    let mut bytes = sim.save();
+    // Header layout: 4 magic bytes, then the little-endian u32 version.
+    bytes[4] ^= 0xFF;
+    let err = must_fail(SingleVmSim::restore(&bytes), "flipped version");
+    let msg = err.to_string();
+    assert!(msg.contains("version"), "undescriptive error: {msg}");
+}
+
+#[test]
+fn wrong_layer_snapshot_is_rejected_cleanly() {
+    let opts = quick_with_seed(42);
+    let mut fleet = fleet_sim(&opts, Policy::HeteroCoordinated);
+    assert!(fleet.step_fleet());
+    let fleet_bytes = fleet.save();
+
+    let err = must_fail(Cluster::restore(&fleet_bytes, 1), "fleet bytes as cluster");
+    assert!(err.to_string().contains("layer"), "{err}");
+    let err = must_fail(SingleVmSim::restore(&fleet_bytes), "fleet bytes as single VM");
+    assert!(err.to_string().contains("layer"), "{err}");
+}
+
+#[test]
+fn truncated_and_garbage_snapshots_are_rejected_cleanly() {
+    let opts = quick_with_seed(42);
+    let mut sim = single_sim(&opts, Policy::HeteroCoordinated);
+    assert!(sim.step());
+    let bytes = sim.save();
+
+    // Every proper prefix must fail loud — never panic, never succeed.
+    for cut in [0, 3, 4, 8, 9, bytes.len() / 2, bytes.len() - 1] {
+        let err = must_fail(SingleVmSim::restore(&bytes[..cut]), "truncated snapshot");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("truncated") || msg.contains("magic"),
+            "cut={cut}: undescriptive error: {msg}"
+        );
+    }
+
+    // Garbage with the wrong magic is identified as such.
+    let err = must_fail(SingleVmSim::restore(b"notasnap-at-all"), "garbage");
+    assert!(err.to_string().contains("magic"), "{err}");
+
+    // Trailing junk after a valid payload is also an error.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0u8; 7]);
+    let err = must_fail(SingleVmSim::restore(&padded), "trailing bytes");
+    assert!(err.to_string().contains("trailing"), "{err}");
+}

@@ -579,6 +579,34 @@ pub fn audit_vmm(vmm: &Vmm, guests: &[(GuestId, &GuestKernel)]) -> Vec<Violation
     out
 }
 
+hetero_sim::impl_snap!(enum Violation {
+    0 => FrameAccounting { kind, resident, free, total },
+    1 => LruMembership { kind, listed, flagged },
+    2 => LruWalk { kind, walked, listed },
+    3 => LruClassMismatch { gfn, page_type },
+    4 => BalloonAccounting { kind, flagged, tracked },
+    5 => PageCacheEntry { gfn, page_type },
+    6 => PageCacheDuplicate { gfn },
+    7 => GrantMismatch { guest, granted, backed, kind },
+    8 => GuestViewMismatch { guest, kind, granted, kernel_owned },
+    9 => MachineAccounting { kind, free, backed, total },
+    10 => TrackerAccounting { tracked, known },
+    11 => TrackerOutOfRange { gfn, total_frames },
+    12 => ScanCandidate { gfn, hot, reason },
+    13 => PageCacheCount { indexed, resident },
+    14 => SlabAccounting { class, backing, resident },
+    15 => SwapResidency { vpn },
+    16 => ResidencyDrift { page_type, kind, field, tracked, walked },
+    17 => ColdLedgerDrift { kind, tracked, walked },
+    18 => FreeFrameDrift { kind, free, walked },
+    19 => CostConservation { now_ns, attributed_ns },
+    20 => CounterRegression { name, prev, now },
+    21 => MigrationDelta { epoch, engine, kernel },
+    22 => LedgerConservation { kind, allocated, free, total },
+    23 => CrossHostOwnership { guest, first_host, second_host },
+    24 => ClusterConservation { kind, allocated, free, total },
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -470,3 +470,22 @@ impl FaultInjector {
         }
     }
 }
+
+hetero_sim::impl_snap!(enum FaultSite {
+    0 => MemAlloc {},
+    1 => Throttle {},
+    2 => Migration {},
+    3 => Kswapd {},
+    4 => RingFront {},
+    5 => RingBack {},
+    6 => Guest {},
+    7 => Host {},
+});
+
+hetero_sim::impl_snap!(struct FaultRecord { step, site, kind });
+
+hetero_sim::impl_snap!(struct FaultTrace { records });
+
+hetero_sim::impl_snap!(struct FaultInjector {
+    plan, rng, step, trace, storm, stall_left, delayed_front, delayed_back
+});

@@ -343,6 +343,26 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+hetero_sim::impl_snap!(enum FaultKind {
+    0 => AllocFail(kind),
+    1 => LatencyStorm { factor, epochs },
+    2 => MigrateFail {},
+    3 => KswapdStall { steps },
+    4 => RingDrop {},
+    5 => RingDelay { ticks },
+    6 => RingFullBackpressure {},
+    7 => GuestCrash {},
+    8 => HostPowerLoss {},
+    9 => GuestCrashPersist {},
+});
+
+hetero_sim::impl_snap!(struct FaultPlan {
+    seed, alloc_fail, latency_storm, storm_max_factor, storm_max_epochs,
+    migrate_fail, kswapd_stall, stall_max_steps, ring_drop, ring_delay,
+    delay_max_ticks, ring_full, guest_crash, host_power_loss,
+    guest_crash_persist
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -458,6 +458,33 @@ pub fn audit_cluster(hosts: &[HostLedgerView<'_>]) -> Vec<Violation> {
     out
 }
 
+hetero_sim::impl_snap!(enum AuditLevel {
+    0 => Off {},
+    1 => Epoch {},
+    2 => Paranoid {},
+});
+
+impl hetero_sim::snap::Snap for Sanitizer {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        self.level.snap(w);
+        // `shadow` is rebuilt from scratch on every audit pass; snapshotting
+        // it would only duplicate kernel state that is already captured.
+        self.prev_counters.snap(w);
+        self.prev_attributed.snap(w);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        use hetero_sim::snap::Snap;
+        Ok(Sanitizer {
+            level: Snap::unsnap(r)?,
+            shadow: ShadowModel::default(),
+            prev_counters: Snap::unsnap(r)?,
+            prev_attributed: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -306,6 +306,10 @@ impl BuddyAllocator {
     }
 }
 
+hetero_sim::impl_snap!(struct OrderBits { words, len, hint });
+
+hetero_sim::impl_snap!(struct BuddyAllocator { base, frames, free_lists, free_frames });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1406,6 +1406,13 @@ impl GuestKernel {
     }
 }
 
+hetero_sim::impl_snap!(struct GuestConfig { frames, cpus, page_size });
+
+hetero_sim::impl_snap!(struct GuestKernel {
+    config, mm, buddies, pcp, lru, space, pt, cache, skbuff, fs_meta,
+    stats, swap, ballooned, pt_backing, next_cpu, migrations
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

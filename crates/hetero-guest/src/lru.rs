@@ -411,6 +411,16 @@ impl LruRegistry {
     }
 }
 
+hetero_sim::impl_snap!(struct LruList { head, tail, len });
+
+hetero_sim::impl_snap!(struct SplitLru { active, inactive });
+
+hetero_sim::impl_snap!(struct LruTransitionStats {
+    insert_active, insert_inactive, removals, activations, deactivations, reclaimed
+});
+
+hetero_sim::impl_snap!(struct LruRegistry { lists, transitions });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -373,6 +373,10 @@ impl MemMap {
     }
 }
 
+hetero_sim::impl_snap!(struct Residency { pages, heat, write_heat });
+
+hetero_sim::impl_snap!(struct MemMap { pages, ranges, residency, ledger });
+
 #[cfg(test)]
 mod tests {
     use super::*;

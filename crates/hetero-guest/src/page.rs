@@ -244,6 +244,48 @@ impl Page {
     }
 }
 
+impl hetero_sim::snap::Snap for Gfn {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        Ok(Gfn(r.take_u64()?))
+    }
+}
+
+impl hetero_sim::snap::Snap for PageFlags {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_u16(self.0);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        Ok(PageFlags(r.take_u16()?))
+    }
+}
+
+hetero_sim::impl_snap!(enum PageType {
+    0 => HeapAnon {},
+    1 => PageCache {},
+    2 => BufferCache {},
+    3 => Slab {},
+    4 => NetBuf {},
+    5 => PageTable {},
+    6 => Dma {},
+});
+
+hetero_sim::impl_snap!(enum RMap {
+    0 => None {},
+    1 => Anon(vpn),
+    2 => File(file, offset),
+});
+
+hetero_sim::impl_snap!(struct Page {
+    flags, page_type, kind, heat, write_heat, lru_prev, lru_next, rmap
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -216,6 +216,21 @@ impl PageCache {
     }
 }
 
+impl hetero_sim::snap::Snap for FileId {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        Ok(FileId(r.take_u64()?))
+    }
+}
+
+hetero_sim::impl_snap!(struct FileSlots { base, slots, live });
+
+hetero_sim::impl_snap!(struct PageCache { files, total, hits, misses });
+
 #[cfg(test)]
 mod tests {
     use super::*;

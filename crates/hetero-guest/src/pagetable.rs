@@ -367,6 +367,18 @@ impl PageTable {
     }
 }
 
+hetero_sim::impl_snap!(struct Pte { gfn, accessed, dirty });
+
+hetero_sim::impl_snap!(enum Entry {
+    0 => Empty {},
+    1 => Table(table),
+    2 => Leaf(pte),
+});
+
+hetero_sim::impl_snap!(struct Table { entries, used });
+
+hetero_sim::impl_snap!(struct PageTable { root, mapped, table_pages });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -145,6 +145,8 @@ impl PerCpuLists {
     }
 }
 
+hetero_sim::impl_snap!(struct PerCpuLists { lists, batch, high, fast_path_hits, refills });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -316,6 +316,43 @@ impl SlabCache {
     }
 }
 
+impl hetero_sim::snap::Snap for SlabCache {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_str(self.name);
+        self.object_size.snap(w);
+        self.objects_per_page.snap(w);
+        self.slabs.snap(w);
+        self.objects.snap(w);
+        self.partial_hint.snap(w);
+        self.page_hint.snap(w);
+        self.total_allocs.snap(w);
+        self.total_frees.snap(w);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        use hetero_sim::snap::Snap;
+        // The class name normally points into rodata; intern the restored
+        // copy (the two well-known classes map back to their literals).
+        let name = match r.take_string()?.as_str() {
+            "skbuff" => "skbuff",
+            "fs-meta" => "fs-meta",
+            other => hetero_sim::snap::leak_str(other.to_string()),
+        };
+        Ok(SlabCache {
+            name,
+            object_size: Snap::unsnap(r)?,
+            objects_per_page: Snap::unsnap(r)?,
+            slabs: Snap::unsnap(r)?,
+            objects: Snap::unsnap(r)?,
+            partial_hint: Snap::unsnap(r)?,
+            page_hint: Snap::unsnap(r)?,
+            total_allocs: Snap::unsnap(r)?,
+            total_frees: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

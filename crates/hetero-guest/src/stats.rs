@@ -141,6 +141,10 @@ impl AllocStats {
     }
 }
 
+hetero_sim::impl_snap!(struct TypeCounters { requests, fast_requests, fast_hits });
+
+hetero_sim::impl_snap!(struct AllocStats { window, cumulative });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,10 @@ impl SwapMap {
     }
 }
 
+hetero_sim::impl_snap!(struct SwapEntry { heat, write_heat });
+
+hetero_sim::impl_snap!(struct SwapMap { entries, swap_outs, swap_ins });
+
 #[cfg(test)]
 mod tests {
     use super::*;

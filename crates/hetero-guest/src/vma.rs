@@ -221,6 +221,15 @@ impl AddressSpace {
     }
 }
 
+hetero_sim::impl_snap!(enum VmaKind {
+    0 => Anon {},
+    1 => FileMap {},
+});
+
+hetero_sim::impl_snap!(struct Vma { start, pages, kind, mem_hint });
+
+hetero_sim::impl_snap!(struct AddressSpace { vmas, limit });
+
 #[cfg(test)]
 mod tests {
     use super::*;

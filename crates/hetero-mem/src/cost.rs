@@ -157,6 +157,10 @@ impl CostModel {
     }
 }
 
+hetero_sim::impl_snap!(struct CostModel {
+    scan_per_page, tlb_flush, validity_check_per_page, clflush_per_line, sfence
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

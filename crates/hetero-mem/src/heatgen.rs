@@ -163,6 +163,8 @@ impl ColdLedger {
     }
 }
 
+hetero_sim::impl_snap!(struct ColdLedger { threshold, cold, generation });
+
 #[cfg(test)]
 mod tests {
     use super::*;

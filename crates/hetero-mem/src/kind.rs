@@ -155,6 +155,52 @@ impl<T> std::ops::IndexMut<MemKind> for KindMap<T> {
     }
 }
 
+impl hetero_sim::snap::Snap for MemKind {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_u8(match self {
+            MemKind::Fast => 0,
+            MemKind::Medium => 1,
+            MemKind::Slow => 2,
+        });
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        match r.take_u8()? {
+            0 => Ok(MemKind::Fast),
+            1 => Ok(MemKind::Medium),
+            2 => Ok(MemKind::Slow),
+            other => Err(hetero_sim::snap::SnapshotError::corrupt(format!(
+                "invalid MemKind tag {other}"
+            ))),
+        }
+    }
+}
+
+impl hetero_sim::snap::Snap for NodeId {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_u32(self.0);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        Ok(NodeId(r.take_u32()?))
+    }
+}
+
+impl<T: hetero_sim::snap::Snap> hetero_sim::snap::Snap for KindMap<T> {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        self.values.snap(w);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        Ok(KindMap {
+            values: hetero_sim::snap::Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,23 @@ impl LlcModel {
     }
 }
 
+impl hetero_sim::snap::Snap for LlcModel {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_u64(self.size_bytes);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        let size_bytes = r.take_u64()?;
+        if size_bytes == 0 {
+            return Err(hetero_sim::snap::SnapshotError::corrupt(
+                "LlcModel size must be non-zero",
+            ));
+        }
+        Ok(LlcModel { size_bytes })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

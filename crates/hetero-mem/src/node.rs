@@ -103,6 +103,10 @@ impl NodeParams {
     }
 }
 
+hetero_sim::impl_snap!(struct NodeParams {
+    kind, capacity_bytes, load_latency, store_latency, bandwidth_gbps
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -288,6 +288,22 @@ impl PersistDomain {
     }
 }
 
+hetero_sim::impl_snap!(enum FlushPolicy {
+    0 => Off {},
+    1 => Eager {},
+    2 => EpochBatched {},
+    3 => OnEvict {},
+});
+
+hetero_sim::impl_snap!(enum FrameState {
+    0 => Dirty { clean_epochs },
+    1 => Flushed {},
+});
+
+hetero_sim::impl_snap!(struct PersistDomain {
+    policy, states, flushes, fences, evict_flushes, torn_discards
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -166,6 +166,10 @@ fn format_factor(f: f64) -> String {
     }
 }
 
+hetero_sim::impl_snap!(struct ThrottleConfig {
+    latency_factor, bandwidth_factor, latency, bandwidth_gbps
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -173,6 +173,19 @@ impl Clock {
     }
 }
 
+crate::impl_snap!(struct Clock { now, spent });
+
+crate::impl_snap!(enum CostCategory {
+    0 => Compute {},
+    1 => MemoryStall {},
+    2 => HotnessScan {},
+    3 => TlbFlush {},
+    4 => PageWalk {},
+    5 => PageCopy {},
+    6 => Management {},
+    7 => IoWait {},
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -138,6 +138,20 @@ impl EventLog {
     }
 }
 
+crate::impl_snap!(enum EventKind {
+    0 => Epoch {},
+    1 => Scan {},
+    2 => Migration {},
+    3 => Balloon {},
+    4 => Swap {},
+    5 => Fault {},
+    6 => Note {},
+});
+
+crate::impl_snap!(struct Event { at, kind, detail });
+
+crate::impl_snap!(struct EventLog { ring, capacity, dropped });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,7 +18,10 @@
 //! * [`export`] — serde-free JSON/CSV building blocks shared by every
 //!   machine-readable exporter,
 //! * [`runner`] — a deterministic parallel executor for independent runs
-//!   (descriptor-order merge, thread-count-independent output).
+//!   (descriptor-order merge, thread-count-independent output),
+//! * [`snap`] — hand-rolled versioned binary snapshots (the [`Snap`]
+//!   trait, writer/reader, magic/version header) for byte-identical
+//!   checkpoint/restore.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ pub mod export;
 pub mod rng;
 pub mod runner;
 pub mod series;
+pub mod snap;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -52,6 +56,7 @@ pub use events::{Event, EventKind, EventLog};
 pub use rng::SimRng;
 pub use runner::Runner;
 pub use series::{Series, SeriesSet};
+pub use snap::{Snap, SnapReader, SnapWriter, SnapshotError};
 pub use stats::{Counter, Histogram, RunningStats};
 pub use telemetry::{MetricValue, Registry, SpanId, SpanRecord, SpanTracer, Telemetry};
 pub use time::Nanos;

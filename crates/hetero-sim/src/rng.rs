@@ -134,6 +134,17 @@ impl SimRng {
     }
 }
 
+impl crate::snap::Snap for SimRng {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        self.s.snap(w);
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapshotError> {
+        Ok(SimRng {
+            s: crate::snap::Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

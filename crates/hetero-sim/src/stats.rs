@@ -268,6 +268,19 @@ impl RunningStats {
     }
 }
 
+impl crate::snap::Snap for Counter {
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapshotError> {
+        Ok(Counter(r.take_u64()?))
+    }
+}
+
+crate::impl_snap!(struct Histogram { buckets, count, sum, min, max });
+
+crate::impl_snap!(struct RunningStats { n, mean, m2, min, max });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -502,6 +502,22 @@ impl Telemetry {
     }
 }
 
+crate::impl_snap!(enum MetricValue {
+    0 => Counter(v),
+    1 => Gauge(v),
+    2 => Histogram(h),
+});
+
+crate::impl_snap!(struct Registry { metrics });
+
+crate::impl_snap!(struct SpanRecord { id, parent, depth, label, start, end });
+
+crate::impl_snap!(struct OpenSpan { id, label, start });
+
+crate::impl_snap!(struct SpanTracer { next_id, open, finished, capacity, dropped });
+
+crate::impl_snap!(struct Telemetry { registry, spans });
+
 #[cfg(test)]
 mod tests {
     use super::*;

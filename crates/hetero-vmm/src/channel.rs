@@ -158,6 +158,22 @@ impl SharedRing {
     }
 }
 
+hetero_sim::impl_snap!(enum FrontMsg {
+    0 => OnDemand { kind, pages, fallback },
+    1 => TrackingList(ranges),
+    2 => ExceptionList(types),
+    3 => MigrationDone(pages),
+    4 => BalloonAck { kind, pages },
+});
+
+hetero_sim::impl_snap!(enum BackMsg {
+    0 => Grant { kind, pages },
+    1 => HotPages(gfns),
+    2 => BalloonRequest { kind, pages },
+});
+
+hetero_sim::impl_snap!(struct SharedRing { front_to_back, back_to_front, capacity });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -391,6 +391,62 @@ impl FairShare {
     }
 }
 
+impl hetero_sim::snap::Snap for GuestId {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_u32(self.0);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        Ok(GuestId(r.take_u32()?))
+    }
+}
+
+hetero_sim::impl_snap!(enum SharePolicy {
+    0 => MaxMin {},
+    1 => WeightedDrf { weights },
+});
+
+hetero_sim::impl_snap!(struct GuestShare { min, alloc });
+
+impl hetero_sim::snap::Snap for FairShare {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        self.policy.snap(w);
+        self.total.snap(w);
+        self.consumed.snap(w);
+        // HashMap iteration order is unspecified; dump entries sorted by
+        // guest id so the same ledger always produces the same bytes.
+        let mut ids: Vec<&GuestId> = self.guests.keys().collect();
+        ids.sort();
+        w.put_u64(ids.len() as u64);
+        for id in ids {
+            id.snap(w);
+            self.guests[id].snap(w);
+        }
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        use hetero_sim::snap::Snap;
+        let policy = Snap::unsnap(r)?;
+        let total = Snap::unsnap(r)?;
+        let consumed = Snap::unsnap(r)?;
+        let n = r.take_u64()? as usize;
+        let mut guests = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id: GuestId = Snap::unsnap(r)?;
+            let share: GuestShare = Snap::unsnap(r)?;
+            guests.insert(id, share);
+        }
+        Ok(FairShare {
+            policy,
+            total,
+            consumed,
+            guests,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -366,6 +366,13 @@ impl HotnessTracker {
     }
 }
 
+hetero_sim::impl_snap!(struct ScanOutcome { scanned, hot_candidates, cold_candidates });
+
+hetero_sim::impl_snap!(struct HotnessTracker {
+    history, known, tracked, hot_threshold, cursor, tracked_cursor,
+    resident_scratch, total_scans, total_scanned_frames
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

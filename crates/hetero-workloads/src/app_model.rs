@@ -179,6 +179,12 @@ impl Workload for AppWorkload {
     }
 }
 
+hetero_sim::impl_snap!(struct AppWorkload {
+    spec, page_size, epoch, epochs_total, ramp_epochs,
+    target_heap, target_cache, target_buffer, target_slab, target_netbuf,
+    resident_heap, resident_cache, resident_buffer, resident_slab, resident_netbuf
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

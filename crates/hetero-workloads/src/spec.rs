@@ -243,6 +243,61 @@ pub trait Workload {
     fn progress(&self) -> f64;
 }
 
+hetero_sim::impl_snap!(struct Footprint { heap, page_cache, buffer_cache, slab, net_buf });
+
+hetero_sim::impl_snap!(struct AccessMix { heap, page_cache, buffer_cache, slab, net_buf });
+
+impl hetero_sim::snap::Snap for WorkloadSpec {
+    fn snap(&self, w: &mut hetero_sim::snap::SnapWriter) {
+        w.put_str(self.name);
+        self.mpki.snap(w);
+        self.cpi_base.snap(w);
+        self.mlp.snap(w);
+        self.threads.snap(w);
+        self.clock_ghz.snap(w);
+        self.total_instructions.snap(w);
+        self.instructions_per_epoch.snap(w);
+        self.footprint.snap(w);
+        self.access_mix.snap(w);
+        self.hot_wss_bytes.snap(w);
+        self.hot_access_fraction.snap(w);
+        self.hot_page_fraction.snap(w);
+        self.fresh_hot_fraction.snap(w);
+        self.write_fraction.snap(w);
+        self.heap_churn_per_sec.snap(w);
+        self.io_churn_per_sec.snap(w);
+        self.kernel_buf_churn_per_sec.snap(w);
+        self.ramp_fraction.snap(w);
+    }
+    fn unsnap(
+        r: &mut hetero_sim::snap::SnapReader<'_>,
+    ) -> Result<Self, hetero_sim::snap::SnapshotError> {
+        use hetero_sim::snap::Snap;
+        let name = hetero_sim::snap::leak_str(r.take_string()?);
+        Ok(WorkloadSpec {
+            name,
+            mpki: Snap::unsnap(r)?,
+            cpi_base: Snap::unsnap(r)?,
+            mlp: Snap::unsnap(r)?,
+            threads: Snap::unsnap(r)?,
+            clock_ghz: Snap::unsnap(r)?,
+            total_instructions: Snap::unsnap(r)?,
+            instructions_per_epoch: Snap::unsnap(r)?,
+            footprint: Snap::unsnap(r)?,
+            access_mix: Snap::unsnap(r)?,
+            hot_wss_bytes: Snap::unsnap(r)?,
+            hot_access_fraction: Snap::unsnap(r)?,
+            hot_page_fraction: Snap::unsnap(r)?,
+            fresh_hot_fraction: Snap::unsnap(r)?,
+            write_fraction: Snap::unsnap(r)?,
+            heap_churn_per_sec: Snap::unsnap(r)?,
+            io_churn_per_sec: Snap::unsnap(r)?,
+            kernel_buf_churn_per_sec: Snap::unsnap(r)?,
+            ramp_fraction: Snap::unsnap(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
