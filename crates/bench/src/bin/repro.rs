@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--sched MODE] [--audit LEVEL]
 //!       [--persist MODE] [--faults KIND] [--hosts N] [--arrival MODE]
-//!       [--json-out DIR] <target>...
+//!       [--tier-profile NAME] [--tracking MODE] [--json-out DIR] <target>...
 //! repro all                      # every table and figure
 //! repro ablations                # the design-choice ablations
 //! repro fig9 fig10               # specific targets
@@ -15,6 +15,8 @@
 //! repro --persist epoch --faults host-power-loss rec-ablation
 //! repro cluster                  # 1,000-VM/16-host consolidation run
 //! repro --hosts 8 --arrival trace cluster
+//! repro tiers                    # device-profile topology × tracking matrix
+//! repro --tier-profile optane-dc --tracking access-bit ckpt-single
 //! repro --checkpoint-every 10 cluster        # snapshot every 10 rounds
 //! repro --resume checkpoints/cluster-3.snap cluster   # resume one
 //! ```
@@ -46,6 +48,15 @@
 //! pre-copy live migration (`--hosts 0` keeps the experiment default of
 //! 16 hosts, 4 in quick mode). Every other target ignores both flags.
 //!
+//! `--tier-profile NAME` (`table1-trio`, `optane-dc` or `cxl`) replaces
+//! the throttle-derived node parameters of the checkpointable scenarios
+//! with a named device profile — Optane DC carries asymmetric load/store
+//! latency *and* separate read/write bandwidth — and `--tracking MODE`
+//! (`none`, `full-vm`, `guided` or `access-bit`) overrides each policy's
+//! hotness-tracking discipline (`access-bit` harvests real page-table A/D
+//! bits). The `tiers` target sweeps the whole topology × policy ×
+//! tracking matrix in one run.
+//!
 //! `--checkpoint-every N` snapshots the run every `N` steps (cluster
 //! rounds for the `cluster` target) into `--checkpoint-dir DIR` (default
 //! `checkpoints/`) as versioned binary snapshots named `<target>-<k>.snap`,
@@ -67,10 +78,11 @@ use std::process::ExitCode;
 
 use bench::{
     run_artifacts, run_checkpointable, Artifact, ABLATIONS, CHECKPOINTABLE, CLUSTER, EXTENSIONS,
-    RECOVERY, TARGETS,
+    RECOVERY, TARGETS, TIERS,
 };
 use hetero_core::experiments::ExpOptions;
 use hetero_faults::FaultKind;
+use hetero_mem::TierProfile;
 use hetero_core::{Policy, SimConfig, SingleVmSim};
 use hetero_workloads::{apps, AppWorkload};
 
@@ -104,6 +116,7 @@ fn is_known_target(target: &str) -> bool {
         || EXTENSIONS.contains(&target)
         || RECOVERY.contains(&target)
         || CLUSTER.contains(&target)
+        || TIERS.contains(&target)
         || CHECKPOINTABLE.contains(&target)
 }
 
@@ -247,6 +260,33 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--tier-profile" => match args.next().map(|s| s.parse::<TierProfile>()) {
+                Some(Ok(profile)) => opts.tier_profile = Some(profile),
+                Some(Err(e)) => {
+                    eprintln!("--tier-profile: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!(
+                        "--tier-profile requires a name ({})",
+                        TierProfile::names().join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tracking" => match args.next().map(|s| s.parse()) {
+                Some(Ok(mode)) => opts.tracking = Some(mode),
+                Some(Err(e)) => {
+                    eprintln!("--tracking: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!(
+                        "--tracking requires a mode (none, full-vm, guided or access-bit)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--checkpoint-every" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n > 0 => checkpoint_every = Some(n),
                 _ => {
@@ -277,7 +317,8 @@ fn main() -> ExitCode {
                 println!(
                     "usage: repro [--quick] [--seed N] [--jobs N] [--sched MODE] \
                      [--audit LEVEL] [--persist MODE] [--faults KIND] \
-                     [--hosts N] [--arrival MODE] [--json-out DIR] \
+                     [--hosts N] [--arrival MODE] [--tier-profile NAME] \
+                     [--tracking MODE] [--json-out DIR] \
                      [--checkpoint-every N] [--checkpoint-dir DIR] \
                      [--resume FILE] <target>..."
                 );
@@ -286,12 +327,14 @@ fn main() -> ExitCode {
                 println!("persist modes: off eager epoch on-evict");
                 println!("fault kinds: host-power-loss guest-crash-persist");
                 println!("arrival modes: poisson trace (cluster target only)");
+                println!("tier profiles: {}", TierProfile::names().join(" "));
+                println!("tracking modes: none full-vm guided access-bit");
                 println!(
                     "checkpointable targets (--checkpoint-every/--resume): {}",
                     CHECKPOINTABLE.join(" ")
                 );
                 println!(
-                    "targets: all ablations extensions recovery cluster {}",
+                    "targets: all ablations extensions recovery cluster tiers {}",
                     TARGETS.join(" ")
                 );
                 println!(
@@ -319,7 +362,7 @@ fn main() -> ExitCode {
     if !unknown.is_empty() {
         eprintln!("unknown experiment target(s): {}", unknown.join(", "));
         eprintln!(
-            "valid targets: all ablations extensions recovery cluster {}",
+            "valid targets: all ablations extensions recovery cluster tiers {}",
             TARGETS.join(" ")
         );
         eprintln!(

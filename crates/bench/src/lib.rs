@@ -15,7 +15,7 @@
 
 use hetero_core::experiments::{
     ablations, capacity, checkpoint, cluster, coordinated, distribution, extensions, micro,
-    overhead, placement, recovery, sensitivity, sharing, tables, ExpOptions,
+    overhead, placement, recovery, sensitivity, sharing, tables, tiers, ExpOptions,
 };
 use hetero_core::multivm::MultiVmSim;
 use hetero_core::{AuditLevel, Cluster, Policy, RunReport, SingleVmSim};
@@ -64,6 +64,11 @@ pub const RECOVERY: [&str; 3] = ["rec-time", "rec-overhead", "rec-ablation"];
 /// `hetero_core::experiments::cluster`; honors `--hosts` and
 /// `--arrival`).
 pub const CLUSTER: [&str; 1] = ["cluster"];
+
+/// The N-tier device-profile scenario family (see
+/// `hetero_core::experiments::tiers`; composes with `--tier-profile` and
+/// `--tracking` on every other single-VM target too).
+pub const TIERS: [&str; 1] = ["tiers"];
 
 /// Targets the checkpoint/restore driver accepts (`repro
 /// --checkpoint-every N` / `--resume FILE`) — one canonical scenario per
@@ -157,6 +162,7 @@ pub fn run_artifact(target: &str, opts: &ExpOptions) -> Result<Artifact, String>
         "ext-wear" => Figure(extensions::ext_wear(opts)),
         "ext-baremetal" => Figure(extensions::ext_baremetal(opts)),
         "ext-hints" => Figure(extensions::ext_hints(opts)),
+        "tiers" => Figure(tiers::tiers_matrix(opts)),
         "rec-time" => Figure(recovery::rec_time(opts)),
         "rec-overhead" => Table(recovery::rec_overhead(opts)),
         "rec-ablation" => Table(recovery::rec_ablation(opts)),

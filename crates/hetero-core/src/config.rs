@@ -4,8 +4,10 @@ use std::fmt;
 use std::str::FromStr;
 
 use hetero_faults::AuditLevel;
-use hetero_mem::{CostModel, FlushPolicy, LlcModel, ThrottleConfig};
+use hetero_mem::{CostModel, FlushPolicy, LlcModel, ThrottleConfig, TierProfile};
 use hetero_sim::Nanos;
+
+use crate::policy::Tracking;
 
 /// How the epoch engine schedules its periodic management work.
 ///
@@ -188,6 +190,19 @@ pub struct SimConfig {
     /// [`CostModel::flush_cost`], and makes `HostPowerLoss` /
     /// `GuestCrashPersist` faults survivable via `SingleVmSim::recover`.
     pub persist: FlushPolicy,
+    /// Named device-profile tier topology (`repro --tier-profile`). `None`
+    /// (the default) keeps the throttle-derived Table-3 node parameters;
+    /// `Some(profile)` resolves each populated tier's latency and
+    /// read/write bandwidth from the registry instead (the
+    /// [`TierProfile`] docs list the profiles). The medium tier still
+    /// activates only when `medium_bytes > 0`.
+    pub tier_profile: Option<TierProfile>,
+    /// Hotness-tracking override (`repro --tracking`). `None` (the
+    /// default) uses the policy's own discipline
+    /// ([`Policy::tracking`](crate::Policy::tracking));
+    /// `Some(Tracking::AccessBit)` swaps the scan source to page-table
+    /// A/D harvests while keeping the rest of the policy intact.
+    pub tracking_override: Option<Tracking>,
 }
 
 impl SimConfig {
@@ -237,6 +252,8 @@ impl SimConfig {
             telemetry: false,
             sched: SchedMode::Event,
             persist: FlushPolicy::Off,
+            tier_profile: None,
+            tracking_override: None,
         }
     }
 
@@ -331,6 +348,20 @@ impl SimConfig {
         self
     }
 
+    /// Selects a named device-profile tier topology (`None` restores the
+    /// throttle-derived defaults).
+    pub fn with_tier_profile(mut self, profile: Option<TierProfile>) -> Self {
+        self.tier_profile = profile;
+        self
+    }
+
+    /// Overrides the hotness-tracking discipline (`None` restores the
+    /// policy's own choice).
+    pub fn with_tracking(mut self, tracking: Option<Tracking>) -> Self {
+        self.tracking_override = tracking;
+        self
+    }
+
     /// Sets the FastMem:SlowMem capacity ratio the way the paper states it
     /// ("1/8 ratio" = FastMem is 1/8 of SlowMem).
     pub fn with_capacity_ratio(mut self, num: u64, den: u64) -> Self {
@@ -419,6 +450,8 @@ hetero_sim::impl_snap!(struct SimConfig {
     telemetry,
     sched,
     persist,
+    tier_profile,
+    tracking_override,
 });
 
 #[cfg(test)]
@@ -474,6 +507,19 @@ mod tests {
         assert!("wheel".parse::<SchedMode>().is_err());
         assert_eq!(SchedMode::Event.to_string(), "event");
         assert_eq!(SchedMode::Dense.to_string(), "dense");
+    }
+
+    #[test]
+    fn tier_profile_and_tracking_default_off() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.tier_profile, None);
+        assert_eq!(c.tracking_override, None);
+        let c = c
+            .with_tier_profile(Some(TierProfile::OptaneDc))
+            .with_tracking(Some(Tracking::AccessBit));
+        assert_eq!(c.tier_profile, Some(TierProfile::OptaneDc));
+        assert_eq!(c.tracking_override, Some(Tracking::AccessBit));
+        assert_eq!(c.with_tier_profile(None).tier_profile, None);
     }
 
     #[test]

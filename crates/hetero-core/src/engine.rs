@@ -120,6 +120,14 @@ pub struct SingleVmSim<W: Workload = AppWorkload> {
     /// Pages the previous coordinated scan actually migrated (drives the
     /// yield-aware interval backoff).
     last_scan_yield: u64,
+    /// Resume cursor (virtual page) for batched A/D harvest sweeps
+    /// ([`Tracking::AccessBit`]): the next sweep continues where the last
+    /// one ran out of budget, wrapping over the tracked ranges.
+    ab_cursor: u64,
+    /// Harvest scratch for A/D sweeps (`(gfn, accessed, dirty)` per
+    /// visited mapped PTE); reused across scans, never snapshotted —
+    /// always drained within one sweep.
+    ab_harvest: Vec<(Gfn, bool, bool)>,
     cache_next: u64,
     cache_live: std::collections::VecDeque<u64>,
     cache_lazy: std::collections::VecDeque<u64>,
@@ -208,14 +216,33 @@ impl<W: Workload> SingleVmSim<W> {
         // (and lets event dispatch prove an epoch's aging is a no-op)
         // instead of recounting the heap densely every epoch.
         kernel.configure_cold_ledger(cfg.lru_cold_heat);
-        let fast_params = NodeParams::new(MemKind::Fast, cfg.fast_bytes.max(1), cfg.fast_throttle);
-        let slow_params = if cfg.nvm_slow {
-            NodeParams::nvm_like(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle)
-        } else {
-            NodeParams::new(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle)
+        // A named device profile resolves each populated tier's latency and
+        // read/write bandwidth from the registry; otherwise the Table-3
+        // throttle factors apply (with the optional `nvm_slow` store
+        // asymmetry). A three-tier profile's medium spec is only consulted
+        // when `medium_bytes` actually populates the tier; a two-tier
+        // profile under a three-tier capacity config keeps the throttle-
+        // derived medium parameters.
+        let profile_spec = cfg.tier_profile.map(hetero_mem::TierProfile::spec);
+        let fast_params = match &profile_spec {
+            Some(spec) => spec.fast.node_params(MemKind::Fast, cfg.fast_bytes.max(1)),
+            None => NodeParams::new(MemKind::Fast, cfg.fast_bytes.max(1), cfg.fast_throttle),
         };
-        let medium_params = (medium_frames > 0)
-            .then(|| NodeParams::new(MemKind::Medium, cfg.medium_bytes.max(1), cfg.medium_throttle));
+        let slow_params = match &profile_spec {
+            Some(spec) => spec.slow.node_params(MemKind::Slow, cfg.slow_bytes.max(1)),
+            None if cfg.nvm_slow => {
+                NodeParams::nvm_like(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle)
+            }
+            None => NodeParams::new(MemKind::Slow, cfg.slow_bytes.max(1), cfg.slow_throttle),
+        };
+        let medium_params = (medium_frames > 0).then(|| {
+            match profile_spec.as_ref().and_then(|s| s.tier(MemKind::Medium)) {
+                Some(spec) => spec.node_params(MemKind::Medium, cfg.medium_bytes.max(1)),
+                None => {
+                    NodeParams::new(MemKind::Medium, cfg.medium_bytes.max(1), cfg.medium_throttle)
+                }
+            }
+        });
         let (chain_fast_first, chain_slow_only, chain_slow_first) = if medium_frames > 0 {
             (
                 TierChain::new(&[MemKind::Fast, MemKind::Medium, MemKind::Slow]),
@@ -256,6 +283,8 @@ impl<W: Workload> SingleVmSim<W> {
             hot_vpns: Default::default(),
             next_demote: Nanos::ZERO,
             last_scan_yield: u64::MAX,
+            ab_cursor: 0,
+            ab_harvest: Vec::new(),
             cache_next: 0,
             cache_live: Default::default(),
             cache_lazy: Default::default(),
@@ -681,12 +710,8 @@ impl<W: Workload> SingleVmSim<W> {
         if self.clock.now() < self.next_demote {
             return false;
         }
-        let tiers: &[MemKind] = if self.medium_params.is_some() {
-            &[MemKind::Fast, MemKind::Medium]
-        } else {
-            &[MemKind::Fast]
-        };
-        tiers.iter().any(|&tier| {
+        let managed = if self.medium_params.is_some() { 2 } else { 1 };
+        MemKind::ALL[..managed].iter().any(|&tier| {
             let total = self.kernel.total_frames(tier);
             let low = (self.cfg.fast_low_watermark * total as f64) as u64;
             self.kernel.free_frames(tier) < low
@@ -699,7 +724,7 @@ impl<W: Workload> SingleVmSim<W> {
     /// watermark-driven, which [`SingleVmSim::lru_pressure`] watches.
     fn arm_management_events(&mut self) {
         self.timerq.arm(EngineEvent::StatsWindow, self.next_window);
-        if self.policy.tracking() != Tracking::None {
+        if self.effective_tracking() != Tracking::None {
             self.timerq.arm(EngineEvent::Scan, self.next_scan);
         }
         if self.policy.uses_guest_lru() && self.next_demote > self.clock.now() {
@@ -866,7 +891,7 @@ impl<W: Workload> SingleVmSim<W> {
         let mut resident_before = 0u64;
         {
             let mm = self.kernel.memmap();
-            for tier in [MemKind::Fast, MemKind::Medium, MemKind::Slow] {
+            for tier in MemKind::ALL {
                 resident_before +=
                     mm.iter_kind(tier).filter(|&g| mm.page(g).is_present()).count() as u64;
             }
@@ -900,8 +925,8 @@ impl<W: Workload> SingleVmSim<W> {
         // be re-registered before the workload resumes or the rebooted
         // kernel would think it owns its full tier reservations while the
         // host ledger still records the smaller grant.
-        let ballooned: [(MemKind, u64); 3] = [MemKind::Fast, MemKind::Medium, MemKind::Slow]
-            .map(|k| (k, self.kernel.ballooned_pages(k)));
+        let ballooned: [(MemKind, u64); 3] =
+            MemKind::ALL.map(|k| (k, self.kernel.ballooned_pages(k)));
         let recovered = (heap.len() + cache.len() + buffer.len()) as u64;
         let lost = resident_before.saturating_sub(recovered);
         self.trace(EventKind::Fault, || {
@@ -935,6 +960,8 @@ impl<W: Workload> SingleVmSim<W> {
         self.next_window = self.clock.now() + self.cfg.stats_window;
         self.next_demote = self.clock.now();
         self.last_scan_yield = u64::MAX;
+        self.ab_cursor = 0;
+        self.ab_harvest.clear();
         if self.cfg.sched == SchedMode::Event {
             // Stale pre-crash deadlines in the heap are lazily dropped;
             // re-arming records the rebooted schedule.
@@ -1621,9 +1648,10 @@ impl<W: Workload> SingleVmSim<W> {
         if pages == 0 {
             return;
         }
-        let heat: u64 = mm.heat_on(PageType::HeapAnon, MemKind::Fast)
-            + mm.heat_on(PageType::HeapAnon, MemKind::Medium)
-            + mm.heat_on(PageType::HeapAnon, MemKind::Slow);
+        let heat: u64 = MemKind::ALL
+            .iter()
+            .map(|&k| mm.heat_on(PageType::HeapAnon, k))
+            .sum();
         let hot_now = Self::hot_pages_estimate(heat, pages);
         let target = (target_frac * pages as f64) as u64;
         // Each cooling pass is one hotness generation: pages cooled here
@@ -1688,10 +1716,8 @@ impl<W: Workload> SingleVmSim<W> {
                 continue;
             }
             let m = misses * share;
-            let heats =
-                [MemKind::Fast, MemKind::Medium, MemKind::Slow].map(|k| mm.heat_on(t, k) as f64);
-            let wheats = [MemKind::Fast, MemKind::Medium, MemKind::Slow]
-                .map(|k| mm.write_heat_on(t, k) as f64);
+            let heats = MemKind::ALL.map(|k| mm.heat_on(t, k) as f64);
+            let wheats = MemKind::ALL.map(|k| mm.write_heat_on(t, k) as f64);
             let heat_total: f64 = heats.iter().sum();
             let wheat_total: f64 = wheats.iter().sum();
             if heat_total <= 0.0 {
@@ -1734,10 +1760,20 @@ impl<W: Workload> SingleVmSim<W> {
                 + writes[i] * p.store_latency.as_nanos() as f64)
                 * storm
                 / keff;
-            bw_bound = bw_bound.max(
+            // Symmetric nodes keep the legacy single-rail formula verbatim
+            // (bit-identical floats for every pre-existing config); profiles
+            // with a read/write bandwidth split — Optane DC's 6.6 GB/s read
+            // vs 2.3 GB/s write — serialize each direction on its own rail.
+            let node_bw = if p.bandwidth_gbps == p.write_bandwidth_gbps {
                 (reads[i] + writes[i]) * line_bytes * storm
-                    / (p.bandwidth_gbps * self.bw_share),
-            );
+                    / (p.bandwidth_gbps * self.bw_share)
+            } else {
+                (reads[i] * line_bytes / p.bandwidth_gbps
+                    + writes[i] * line_bytes / p.write_bandwidth_gbps)
+                    * storm
+                    / self.bw_share
+            };
+            bw_bound = bw_bound.max(node_bw);
         }
         let total_ns = lat_bound.max(bw_bound);
         let compute = Nanos::from_nanos(compute_ns.round() as u64);
@@ -1750,9 +1786,10 @@ impl<W: Workload> SingleVmSim<W> {
         let swapped_total = self.kernel.swapped_pages() + self.swapped_heap;
         if swapped_total > 0 {
             let heap_misses = misses * spec.access_mix.heap;
-            let resident_heat = (mm.heat_on(PageType::HeapAnon, MemKind::Fast)
-                + mm.heat_on(PageType::HeapAnon, MemKind::Medium)
-                + mm.heat_on(PageType::HeapAnon, MemKind::Slow)) as f64;
+            let resident_heat = MemKind::ALL
+                .iter()
+                .map(|&k| mm.heat_on(PageType::HeapAnon, k))
+                .sum::<u64>() as f64;
             // The swap subsystem remembers real per-page heat; unbacked
             // allocations are assumed cold.
             let swap_heat = self.kernel.swapped_heat() as f64
@@ -1835,11 +1872,19 @@ impl<W: Workload> SingleVmSim<W> {
         if self.policy.uses_guest_lru() {
             self.run_guest_lru();
         }
-        match self.policy.tracking() {
+        match self.effective_tracking() {
             Tracking::None => {}
             Tracking::FullVm => self.run_vmm_exclusive_tracking(),
             Tracking::Guided => self.run_coordinated_tracking(),
+            Tracking::AccessBit => self.run_access_bit_tracking(),
         }
+    }
+
+    /// The tracking discipline actually in force: the policy's default,
+    /// unless the config pins one (`SimConfig::with_tracking`, surfaced as
+    /// `repro --tracking`).
+    fn effective_tracking(&self) -> Tracking {
+        self.cfg.tracking_override.unwrap_or(self.policy.tracking())
     }
 
     fn run_guest_lru(&mut self) {
@@ -1871,13 +1916,9 @@ impl<W: Workload> SingleVmSim<W> {
             .ratio(self.cfg.stats_window) as u64)
             .clamp(0, 3)
             + 1;
-        let tiers: &[MemKind] = if self.medium_params.is_some() {
-            &[MemKind::Fast, MemKind::Medium]
-        } else {
-            &[MemKind::Fast]
-        };
+        let managed = if self.medium_params.is_some() { 2 } else { 1 };
         let mut any = false;
-        for &tier in tiers {
+        for &tier in &MemKind::ALL[..managed] {
             let total = self.kernel.total_frames(tier);
             let free = self.kernel.free_frames(tier);
             let low = (self.cfg.fast_low_watermark * total as f64) as u64;
@@ -2132,6 +2173,196 @@ impl<W: Workload> SingleVmSim<W> {
         }
         self.span_close(scan_span);
     }
+
+    fn run_access_bit_tracking(&mut self) {
+        let mut fired = 0;
+        while self.clock.now() >= self.next_scan && fired < 4 {
+            fired += 1;
+            self.access_bit_scan_once();
+        }
+        if self.clock.now() >= self.next_scan {
+            self.next_scan = self.clock.now() + self.interval.interval();
+        }
+    }
+
+    /// One A/D-harvest pass (HMM-V-style page-table tracking). Unlike the
+    /// oracle-driven disciplines, hotness comes from the page table itself:
+    /// the inter-scan activity sets real accessed/dirty bits, and
+    /// [`PageTable::scan_and_reset`] harvests them — access bits for heat,
+    /// dirty bits for the write heat that the §4.3 write-aware rank
+    /// consumes. Priced per PTE walked via [`CostModel::scan_per_page`].
+    ///
+    /// [`PageTable::scan_and_reset`]: hetero_guest::pagetable::PageTable::scan_and_reset
+    /// [`CostModel::scan_per_page`]: hetero_mem::CostModel
+    fn access_bit_scan_once(&mut self) {
+        let scan_span = self.span_open("vmm-decision");
+        // Same Eq. 1 adaptive cadence + yield-aware backoff as the
+        // coordinated discipline.
+        if self.cfg.adaptive_interval {
+            self.interval.observe(self.epoch_misses);
+            if self.last_scan_yield.saturating_mul(4)
+                < self.cfg.sim_batch(self.cfg.migrate_batch)
+            {
+                self.interval.back_off(1.5);
+            }
+            self.next_scan += self.interval.interval();
+        } else {
+            self.next_scan += self.cfg.scan_interval;
+        }
+        self.scans += 1;
+        let interval = if self.cfg.adaptive_interval {
+            self.interval.interval()
+        } else {
+            self.cfg.scan_interval
+        };
+        // Sweep window: up to `batch` heap VPNs starting at the resume
+        // cursor, wrapping across the anon ranges (BTreeMap order, so the
+        // walk is deterministic at any `--jobs`).
+        let mut ranges = self
+            .kernel
+            .address_space()
+            .ranges_of(hetero_guest::vma::VmaKind::Anon);
+        ranges.retain(|&(s, e)| e > s);
+        if ranges.is_empty() {
+            self.span_close(scan_span);
+            return;
+        }
+        let total_vpns: u64 = ranges.iter().map(|&(s, e)| e - s).sum();
+        let batch = self.cfg.sim_batch(self.cfg.scan_batch);
+        let mut remaining = batch.min(total_vpns);
+        let mut idx = ranges
+            .iter()
+            .position(|&(s, e)| self.ab_cursor >= s && self.ab_cursor < e)
+            .or_else(|| ranges.iter().position(|&(s, _)| s > self.ab_cursor))
+            .unwrap_or(0);
+        let mut cur = if self.ab_cursor >= ranges[idx].0 && self.ab_cursor < ranges[idx].1 {
+            self.ab_cursor
+        } else {
+            ranges[idx].0
+        };
+        let mut window: Vec<(u64, u64)> = Vec::new();
+        while remaining > 0 {
+            let (_, e) = ranges[idx];
+            let take = (e - cur).min(remaining);
+            window.push((cur, cur + take));
+            remaining -= take;
+            cur += take;
+            if cur >= e {
+                idx = (idx + 1) % ranges.len();
+                cur = ranges[idx].0;
+            }
+        }
+        self.ab_cursor = cur;
+        // Inter-scan guest activity: the touch oracle drives real PTE bits.
+        // A touched page dirties in proportion to its write heat, so the
+        // dirty-bit channel sees the same store skew §4.3 describes.
+        let mut rng = self.rng.fork();
+        for &(lo, hi) in &window {
+            for vpn in lo..hi {
+                let Some(gfn) = self.kernel.page_table().translate(vpn) else {
+                    continue;
+                };
+                let page = self.kernel.memmap().page(gfn);
+                let p_touch = Self::touch_probability(interval, page);
+                let w_ratio =
+                    (page.write_heat as f64 / (page.heat as f64).max(1.0)).min(1.0);
+                if !rng.chance(p_touch) {
+                    continue;
+                }
+                let write = rng.chance(w_ratio);
+                self.kernel.touch_page(vpn, write);
+            }
+        }
+        // Harvest-and-reset. The closure records VPNs (it holds the page
+        // table mutably); they resolve to frames right after, before the
+        // heap can move anything.
+        let mut harvest = std::mem::take(&mut self.ab_harvest);
+        harvest.clear();
+        let mut visited = 0u64;
+        for &(lo, hi) in &window {
+            visited += self.kernel.harvest_ad_range(lo, hi, |vpn, accessed, dirty| {
+                harvest.push((Gfn(vpn), accessed, dirty));
+            });
+        }
+        for entry in &mut harvest {
+            entry.0 = self
+                .kernel
+                .page_table()
+                .translate(entry.0 .0)
+                .expect("harvested PTE is mapped");
+        }
+        self.tracker
+            .scan_harvest_into(&self.kernel, &harvest, visited, &mut self.scan_scratch);
+        self.ab_harvest = harvest;
+        self.audit_scan_outcome();
+        let scanned = self.scan_scratch.scanned;
+        self.charge_scan(scanned);
+        let hot_n = self.scan_scratch.hot_candidates.len();
+        self.trace(EventKind::Scan, || {
+            format!("A/D harvest: {scanned} PTEs, {hot_n} hot candidates")
+        });
+        // Guest-side migration with validity checks, as in the coordinated
+        // discipline — but ranked purely from harvested history: access
+        // bits for heat, dirty bits (weighted by the store/load asymmetry)
+        // for write heat.
+        let budget = self.cfg.sim_batch(self.cfg.migrate_batch);
+        let mut migrated = 0u64;
+        let mut checked = 0u64;
+        let mut hot = std::mem::take(&mut self.scan_scratch.hot_candidates);
+        let store_bias = if self.cfg.write_aware {
+            (self.slow_params.store_latency.as_nanos() as f64
+                / self.slow_params.load_latency.as_nanos().max(1) as f64)
+                - 1.0
+        } else {
+            0.0
+        };
+        hot.sort_by_key(|&g| {
+            let heat = self.tracker.history_bits(g).count_ones();
+            let wheat = self.tracker.write_history_bits(g).count_ones();
+            std::cmp::Reverse(heat + (wheat as f64 * store_bias) as u32)
+        });
+        for &gfn in hot.iter().take(budget as usize) {
+            checked += 1;
+            if self.kernel.free_frames(MemKind::Fast) == 0 {
+                let moved = self.kernel.demote_inactive(MemKind::Fast, 1);
+                migrated += moved;
+                if self.kernel.free_frames(MemKind::Fast) == 0 {
+                    break;
+                }
+            }
+            let res = match self.injector.as_mut() {
+                Some(inj) => inj.migrate_page(&mut self.kernel, gfn, MemKind::Fast),
+                None => self.kernel.migrate_page(gfn, MemKind::Fast),
+            };
+            match res {
+                Ok(_) => migrated += 1,
+                Err(
+                    MigrateError::MarkedForReclaim
+                    | MigrateError::DirtyIo
+                    | MigrateError::NotPresent
+                    | MigrateError::AlreadyThere
+                    | MigrateError::NotMigratable
+                    | MigrateError::Transient,
+                ) => {}
+                Err(MigrateError::TargetFull) => break,
+            }
+        }
+        self.scan_scratch.hot_candidates = hot;
+        let validity = self.cfg.costs.validity_cost(self.cfg.real_pages(checked));
+        self.clock.charge(CostCategory::PageWalk, validity);
+        self.charge_migration(migrated, false);
+        self.last_scan_yield = migrated;
+        if migrated > 0 {
+            self.trace(EventKind::Migration, || {
+                format!("A/D tracker promoted {migrated} pages ({checked} checked)")
+            });
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.registry.observe("vmm.scan.frames_per_pass", scanned);
+            t.registry.observe("vmm.migrate.pages_per_pass", migrated);
+        }
+        self.span_close(scan_span);
+    }
 }
 
 /// Convenience: run `policy` over an [`AppWorkload`] built from `spec`.
@@ -2166,6 +2397,8 @@ hetero_sim::impl_snap!(struct SingleVmSim {
     hot_vpns,
     next_demote,
     last_scan_yield,
+    ab_cursor,
+    ab_harvest,
     cache_next,
     cache_live,
     cache_lazy,

@@ -28,14 +28,16 @@ use crate::{Policy, SimConfig, SingleVmSim};
 const GB: u64 = 1 << 30;
 
 /// The single-VM checkpoint scenario: redis on the paper's 1:4
-/// fast:slow capacity split. Honors `--quick`, `--seed`, `--audit` and
-/// `--sched`.
+/// fast:slow capacity split. Honors `--quick`, `--seed`, `--audit`,
+/// `--sched`, `--tier-profile` and `--tracking`.
 pub fn single_sim(opts: &ExpOptions, policy: Policy) -> SingleVmSim<AppWorkload> {
     let cfg = SimConfig::paper_default()
         .with_capacity_ratio(1, 4)
         .with_seed(opts.seed)
         .with_audit(opts.audit)
-        .with_sched(opts.sched);
+        .with_sched(opts.sched)
+        .with_tier_profile(opts.tier_profile)
+        .with_tracking(opts.tracking);
     let spec = opts.tune(apps::redis());
     let workload = AppWorkload::new(spec, cfg.page_size, cfg.scale);
     SingleVmSim::new(cfg, policy, workload)
@@ -51,7 +53,9 @@ pub fn fleet_sim(opts: &ExpOptions, policy: Policy) -> MultiVmSim {
         .with_slow_bytes(8 * GB)
         .with_seed(opts.seed)
         .with_audit(opts.audit)
-        .with_sched(opts.sched);
+        .with_sched(opts.sched)
+        .with_tier_profile(opts.tier_profile)
+        .with_tracking(opts.tracking);
     MultiVmSim::new_with_jobs(
         cfg,
         SharePolicy::paper_drf(),
@@ -71,7 +75,9 @@ pub fn cluster_sim(opts: &ExpOptions) -> Cluster {
         .with_slow_bytes(8 * GB)
         .with_seed(opts.seed)
         .with_audit(opts.audit)
-        .with_sched(opts.sched);
+        .with_sched(opts.sched)
+        .with_tier_profile(opts.tier_profile)
+        .with_tracking(opts.tracking);
     Cluster::new(
         cfg,
         SharePolicy::paper_drf(),

@@ -9,12 +9,13 @@
 //! published numbers use the full-length runs.
 
 use hetero_faults::{AuditLevel, FaultKind};
-use hetero_mem::FlushPolicy;
+use hetero_mem::{FlushPolicy, TierProfile};
 use hetero_sim::Runner;
 use hetero_workloads::WorkloadSpec;
 
 use crate::cluster::ArrivalMode;
 use crate::config::SchedMode;
+use crate::policy::Tracking;
 
 pub mod ablations;
 pub mod capacity;
@@ -30,6 +31,7 @@ pub mod recovery;
 pub mod sensitivity;
 pub mod sharing;
 pub mod tables;
+pub mod tiers;
 
 pub use hetero_sim::{Series, SeriesSet};
 
@@ -72,6 +74,13 @@ pub struct ExpOptions {
     /// --arrival MODE`): a seeded Poisson process or the built-in
     /// deterministic trace. Ignored by every non-cluster experiment.
     pub arrival: ArrivalMode,
+    /// Named device-profile tier topology applied to every run a driver
+    /// launches (`repro --tier-profile NAME`). `None` keeps each driver's
+    /// own throttle-derived node parameters.
+    pub tier_profile: Option<TierProfile>,
+    /// Hotness-tracking override applied to every run (`repro --tracking
+    /// MODE`). `None` keeps each policy's default discipline.
+    pub tracking: Option<Tracking>,
 }
 
 impl Default for ExpOptions {
@@ -86,6 +95,8 @@ impl Default for ExpOptions {
             sched: SchedMode::default(),
             hosts: 0,
             arrival: ArrivalMode::default(),
+            tier_profile: None,
+            tracking: None,
         }
     }
 }
@@ -138,6 +149,18 @@ impl ExpOptions {
     /// Selects the cluster VM arrival mode.
     pub fn with_arrival(mut self, arrival: ArrivalMode) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Applies a named device-profile tier topology to every run.
+    pub fn with_tier_profile(mut self, profile: TierProfile) -> Self {
+        self.tier_profile = Some(profile);
+        self
+    }
+
+    /// Overrides the hotness-tracking discipline for every run.
+    pub fn with_tracking(mut self, tracking: Tracking) -> Self {
+        self.tracking = Some(tracking);
         self
     }
 

@@ -16,7 +16,7 @@ pub fn table1() -> String {
     for t in TechProfile::table1() {
         writeln!(
             out,
-            "{:<12} {:>7.2}-{:<6.2} {:>4}-{:<4} {:>5}-{:<5} {:>6.0}-{:<5.0}",
+            "{:<12} {:>7.2}-{:<6.2} {:>4}-{:<4} {:>5}-{:<5} {:>6.1}-{:<5.1}",
             t.name,
             t.density_rel_dram.0,
             t.density_rel_dram.1,
@@ -101,11 +101,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table1_lists_three_technologies() {
+    fn table1_lists_four_technologies() {
         let t = table1();
         assert!(t.contains("Stacked-3D"));
         assert!(t.contains("DRAM"));
         assert!(t.contains("NVM (PCM)"));
+        assert!(t.contains("Optane-DC"));
+    }
+
+    #[test]
+    fn table1_pins_the_asymmetric_optane_column() {
+        let t = table1();
+        let optane = t
+            .lines()
+            .find(|l| l.starts_with("Optane-DC"))
+            .expect("Optane-DC row");
+        // Load 169-400 ns vs store 90-100 ns (inverted vs PCM), and a
+        // write→read bandwidth span whose fractions survive formatting.
+        assert!(optane.contains("169-400"), "{optane}");
+        assert!(optane.contains("90-100"), "{optane}");
+        assert!(optane.contains("2.3-6.6"), "{optane}");
+        // The trio keeps its integer bandwidth anchors.
+        assert!(t.contains("120.0-200.0"));
     }
 
     #[test]

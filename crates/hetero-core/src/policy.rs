@@ -140,7 +140,50 @@ pub enum Tracking {
     /// VMM scans guest-supplied ranges on an adaptive interval; the guest
     /// migrates after validity checks.
     Guided,
+    /// Page-table A/D tracking (HMM-V-style): hotness comes from
+    /// deterministic harvest-and-reset sweeps of the guest page table's
+    /// accessed/dirty bits — access bits for heat, dirty bits for write
+    /// heat — priced per PTE walked. No policy selects it by default;
+    /// enable it with `SimConfig::with_tracking` (`repro --tracking
+    /// access-bit`).
+    AccessBit,
 }
+
+impl fmt::Display for Tracking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tracking::None => "none",
+            Tracking::FullVm => "full-vm",
+            Tracking::Guided => "guided",
+            Tracking::AccessBit => "access-bit",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Tracking {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(Tracking::None),
+            "full-vm" => Ok(Tracking::FullVm),
+            "guided" => Ok(Tracking::Guided),
+            "access-bit" => Ok(Tracking::AccessBit),
+            other => Err(format!(
+                "unknown tracking mode '{other}' \
+                 (expected none, full-vm, guided or access-bit)"
+            )),
+        }
+    }
+}
+
+hetero_sim::impl_snap!(enum Tracking {
+    0 => None {},
+    1 => FullVm {},
+    2 => Guided {},
+    3 => AccessBit {},
+});
 
 
 hetero_sim::impl_snap!(enum Policy {

@@ -17,9 +17,13 @@
 use hetero_core::experiments::checkpoint::{cluster_sim, fleet_sim, single_sim};
 use hetero_core::experiments::ExpOptions;
 use hetero_core::multivm::MultiVmSim;
-use hetero_core::{Cluster, Policy, SingleVmSim};
+use hetero_core::{Cluster, Policy, SimConfig, SingleVmSim, Tracking};
 use hetero_faults::{FaultInjector, FaultPlan};
+use hetero_mem::TierProfile;
 use hetero_sim::snap::SnapshotError;
+use hetero_workloads::{apps, AppWorkload};
+
+const GB: u64 = 1 << 30;
 
 /// `expect_err` without requiring `Debug` on the (large) sim types.
 fn must_fail<T>(result: Result<T, SnapshotError>, what: &str) -> SnapshotError {
@@ -158,6 +162,76 @@ fn cluster_resume_matrix_is_byte_identical_across_jobs() {
             outcome.migrations, reference.migrations,
             "jobs={jobs}->{other}: migration trace diverged"
         );
+    }
+}
+
+/// A three-tier single-VM scenario: same shape as `single_sim`, plus a
+/// 2 GiB Medium tier running the Table-1 trio device profile.
+fn three_tier_sim(opts: &ExpOptions, policy: Policy) -> SingleVmSim<AppWorkload> {
+    let cfg = SimConfig::paper_default()
+        .with_capacity_ratio(1, 4)
+        .with_medium_bytes(2 * GB)
+        .with_tier_profile(Some(TierProfile::Table1Trio))
+        .with_seed(opts.seed)
+        .with_audit(opts.audit)
+        .with_sched(opts.sched);
+    // Same run-length scaling `opts.tune` applies for `--quick`.
+    let mut spec = apps::redis();
+    spec.total_instructions /= 8;
+    let workload = AppWorkload::new(spec, cfg.page_size, cfg.scale);
+    SingleVmSim::new(cfg, policy, workload)
+}
+
+/// Tier-topology legs: the `--tier-profile optane-dc --tracking
+/// access-bit` scenario (A/D harvest state — shift registers, scan
+/// cursor, pending harvest buffer — must all survive the snapshot) and a
+/// three-tier machine with a live Medium tier. Both must resume from a
+/// mid-run checkpoint byte-identically, same as every other leg.
+#[test]
+fn tier_profile_legs_resume_byte_identically() {
+    let optane = |opts: &ExpOptions| {
+        let mut o = *opts;
+        o.tier_profile = Some(TierProfile::OptaneDc);
+        o.tracking = Some(Tracking::AccessBit);
+        single_sim(&o, Policy::HeteroCoordinated)
+    };
+    let three_tier = |opts: &ExpOptions| three_tier_sim(opts, Policy::HeteroCoordinated);
+    type Leg<'a> = (&'a str, &'a dyn Fn(&ExpOptions) -> SingleVmSim<AppWorkload>);
+    let legs: [Leg; 2] = [
+        ("optane-dc/access-bit", &optane),
+        ("three-tier", &three_tier),
+    ];
+    for (name, build) in legs {
+        for seed in SEEDS {
+            let opts = quick_with_seed(seed);
+            let mut straight = build(&opts);
+            let mut total = 0u64;
+            while straight.step() {
+                total += 1;
+            }
+            assert!(total >= 2, "{name}/{seed}: run too short to checkpoint");
+
+            let mut first = build(&opts);
+            for _ in 0..total / 2 {
+                assert!(first.step(), "{name}/{seed}: checkpoint past the end");
+            }
+            let snap = first.save();
+            drop(first);
+            let mut resumed = SingleVmSim::restore(&snap)
+                .unwrap_or_else(|e| panic!("{name}/{seed}: restore failed: {e}"));
+            while resumed.step() {}
+
+            assert_eq!(
+                straight.report(),
+                resumed.report(),
+                "{name}/{seed}: resumed report diverged"
+            );
+            assert_eq!(
+                straight.save(),
+                resumed.save(),
+                "{name}/{seed}: final snapshot bytes diverged"
+            );
+        }
     }
 }
 

@@ -9,9 +9,9 @@
 //! recovers the guest mid-run with the fault injector armed.
 
 use hetero_core::multivm::{MultiVmSim, VmSetup};
-use hetero_core::{run_app, AuditLevel, Policy, SchedMode, SimConfig, SingleVmSim};
+use hetero_core::{run_app, AuditLevel, Policy, SchedMode, SimConfig, SingleVmSim, Tracking};
 use hetero_faults::{FaultInjector, FaultPlan};
-use hetero_mem::FlushPolicy;
+use hetero_mem::{FlushPolicy, TierProfile};
 use hetero_vmm::SharePolicy;
 use hetero_workloads::{apps, AppWorkload, WorkloadSpec};
 
@@ -88,6 +88,43 @@ fn multi_vm_matrix_is_byte_identical() {
                     "policy {policy:?} seed {seed} diverged"
                 );
             }
+        }
+    }
+}
+
+/// Tier-topology legs: a three-tier machine (`medium_bytes > 0`, Table-1
+/// trio profile) and the asymmetric `optane-dc` profile driven by the
+/// page-table A/D tracker. Both add scheduler paths the two-tier matrix
+/// never visits — Medium-tier demotion deadlines, and the harvest scan's
+/// own cadence — so the dense/event contract is pinned for them too.
+#[test]
+fn tier_profile_matrix_is_byte_identical() {
+    let three_tier = |seed, sched| {
+        audited_cfg(seed, sched)
+            .with_medium_bytes(2 * GB)
+            .with_tier_profile(Some(TierProfile::Table1Trio))
+    };
+    let optane_ad = |seed, sched| {
+        audited_cfg(seed, sched)
+            .with_tier_profile(Some(TierProfile::OptaneDc))
+            .with_tracking(Some(Tracking::AccessBit))
+    };
+    type Leg<'a> = (&'a str, &'a dyn Fn(u64, SchedMode) -> SimConfig, Policy);
+    let legs: [Leg; 3] = [
+        ("three-tier", &three_tier, Policy::HeteroCoordinated),
+        ("optane-dc/access-bit", &optane_ad, Policy::HeteroCoordinated),
+        ("optane-dc/access-bit-lru", &optane_ad, Policy::HeteroLru),
+    ];
+    for (name, cfg, policy) in legs {
+        for seed in SEEDS {
+            let run = |sched| run_app(&cfg(seed, sched), policy, quick(apps::graphchi()));
+            let dense = run(SchedMode::Dense);
+            let event = run(SchedMode::Event);
+            assert_eq!(
+                dense.to_json(),
+                event.to_json(),
+                "{name} seed {seed} diverged"
+            );
         }
     }
 }

@@ -227,6 +227,29 @@ impl GuestKernel {
         &self.pt
     }
 
+    /// Simulates a CPU touch through the page table: sets the PTE access
+    /// bit (and the dirty bit for writes). Returns `false` when `vpn` is
+    /// unmapped. This is the A/D-tracking analogue of the heat the VMM
+    /// scanner observes — hardware sets these bits for free; the cost
+    /// sits in the harvest ([`GuestKernel::harvest_ad_range`]).
+    pub fn touch_page(&mut self, vpn: u64, write: bool) -> bool {
+        self.pt.touch(vpn, write)
+    }
+
+    /// Harvests and resets the accessed/dirty bits of every mapped PTE in
+    /// `[start, end)`, invoking `f(vpn, accessed, dirty)` per page, and
+    /// returns the number of PTEs visited (the per-PTE work the cost
+    /// model charges). Delegates to [`PageTable::scan_and_reset`] without
+    /// exposing the table mutably.
+    pub fn harvest_ad_range(
+        &mut self,
+        start: u64,
+        end: u64,
+        f: impl FnMut(u64, bool, bool),
+    ) -> u64 {
+        self.pt.scan_and_reset(start, end, f)
+    }
+
     /// Allocation statistics (demand-prioritization input).
     pub fn stats(&self) -> &AllocStats {
         &self.stats

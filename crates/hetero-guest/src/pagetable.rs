@@ -313,9 +313,11 @@ impl PageTable {
     }
 
     /// Scans `[start, end)`, invoking `f(vpn, accessed, dirty)` for each
-    /// mapped page and **clearing the access bit** (the harvest-and-reset
-    /// cycle of software hotness tracking). Returns the number of PTEs
-    /// visited.
+    /// mapped page and **clearing both the access and dirty bits** (the
+    /// harvest-and-reset cycle of software A/D tracking). Resetting the
+    /// dirty bit alongside the access bit is what makes harvested write
+    /// heat decay: without it every page written once reads as
+    /// write-hot forever. Returns the number of PTEs visited.
     pub fn scan_and_reset(
         &mut self,
         start: u64,
@@ -350,6 +352,7 @@ impl PageTable {
                         *visited += 1;
                         f(lo, pte.accessed, pte.dirty);
                         pte.accessed = false;
+                        pte.dirty = false;
                     }
                 }
             }
@@ -467,8 +470,47 @@ mod tests {
             }
         });
         assert!(hot2.is_empty());
-        // Dirty survives scans.
-        assert!(pt.walk(7).unwrap().dirty);
+        // Dirty is harvested-and-reset too (see the regression test below).
+        assert!(!pt.walk(7).unwrap().dirty);
+    }
+
+    #[test]
+    fn scan_harvests_and_resets_dirty_bits() {
+        // Regression: scan_and_reset used to clear only the accessed bit,
+        // so a page written once reported dirty=true on every later scan
+        // and harvested write heat could never decay.
+        let mut pt = PageTable::new();
+        for vpn in 0..10 {
+            pt.map(vpn, Gfn(vpn));
+        }
+        pt.touch(3, true);
+        pt.touch(8, true);
+        pt.touch(5, false);
+        let mut written = Vec::new();
+        let visited = pt.scan_and_reset(0, 10, |vpn, _, dirty| {
+            if dirty {
+                written.push(vpn);
+            }
+        });
+        assert_eq!(visited, 10);
+        assert_eq!(written, vec![3, 8]);
+        // Second scan: the dirty bits were reset by the first harvest.
+        let mut written2 = Vec::new();
+        pt.scan_and_reset(0, 10, |vpn, _, dirty| {
+            if dirty {
+                written2.push(vpn);
+            }
+        });
+        assert!(written2.is_empty(), "dirty bits must reset: {written2:?}");
+        // A fresh write after the harvest is seen again — decay, not loss.
+        pt.touch(8, true);
+        let mut written3 = Vec::new();
+        pt.scan_and_reset(0, 10, |vpn, _, dirty| {
+            if dirty {
+                written3.push(vpn);
+            }
+        });
+        assert_eq!(written3, vec![8]);
     }
 
     #[test]

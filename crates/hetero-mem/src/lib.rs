@@ -10,6 +10,9 @@
 //! * [`kind`] — memory tiers ([`MemKind`]) and node identifiers ([`NodeId`]),
 //! * [`tech`] — the Table 1 technology characteristics,
 //! * [`throttle`] — the Table 3 (L:x, B:y) throttle configurations,
+//! * [`tier`] — named device-profile tier topologies ([`TierProfile`],
+//!   selected via `repro --tier-profile`): the Table-1 trio, Optane DC,
+//!   CXL,
 //! * [`node`] — memory-node timing (latency + bandwidth dilation),
 //! * [`frames`] — machine-frame pools ([`Mfn`], [`FramePool`]),
 //! * [`llc`] — a last-level-cache model (16 MB testbed vs 48 MB Intel
@@ -47,6 +50,7 @@ pub mod node;
 pub mod persist;
 pub mod tech;
 pub mod throttle;
+pub mod tier;
 
 pub use cost::{CostModel, MigrationBatch};
 pub use heatgen::ColdLedger;
@@ -58,3 +62,4 @@ pub use machine::{MachineMemory, MachineMemoryBuilder};
 pub use node::NodeParams;
 pub use tech::TechProfile;
 pub use throttle::ThrottleConfig;
+pub use tier::{NodeSpec, TierProfile, TierSpec};

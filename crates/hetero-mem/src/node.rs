@@ -41,8 +41,12 @@ pub struct NodeParams {
     pub load_latency: Nanos,
     /// Uncontended store (write) latency.
     pub store_latency: Nanos,
-    /// Sustainable bandwidth in GB/s.
+    /// Sustainable read bandwidth in GB/s.
     pub bandwidth_gbps: f64,
+    /// Sustainable write bandwidth in GB/s. Equal to `bandwidth_gbps`
+    /// for the symmetric throttling emulation of §2.1; device profiles
+    /// like Optane DC set it lower (writes sustain ~a third of reads).
+    pub write_bandwidth_gbps: f64,
 }
 
 impl NodeParams {
@@ -59,6 +63,7 @@ impl NodeParams {
             load_latency: throttle.latency,
             store_latency: throttle.latency,
             bandwidth_gbps: throttle.bandwidth_gbps,
+            write_bandwidth_gbps: throttle.bandwidth_gbps,
         }
     }
 
@@ -104,7 +109,8 @@ impl NodeParams {
 }
 
 hetero_sim::impl_snap!(struct NodeParams {
-    kind, capacity_bytes, load_latency, store_latency, bandwidth_gbps
+    kind, capacity_bytes, load_latency, store_latency, bandwidth_gbps,
+    write_bandwidth_gbps
 });
 
 #[cfg(test)]
@@ -126,6 +132,19 @@ mod tests {
         assert_eq!(n.store_latency, n.load_latency);
         let f = fast();
         assert_eq!(f.store_latency, f.load_latency);
+    }
+
+    #[test]
+    fn throttled_nodes_have_symmetric_bandwidth() {
+        // Read/write bandwidth only split for measured device profiles;
+        // the throttling constructors must stay exactly symmetric so the
+        // roofline's legacy single-rail path keeps producing the same
+        // bytes.
+        for n in [slow(), fast()] {
+            assert_eq!(n.write_bandwidth_gbps, n.bandwidth_gbps);
+        }
+        let nv = NodeParams::nvm_like(MemKind::Slow, 1 << 30, ThrottleConfig::slow_mem_default());
+        assert_eq!(nv.write_bandwidth_gbps, nv.bandwidth_gbps);
     }
 
     #[test]

@@ -55,14 +55,47 @@ impl TechProfile {
         }
     }
 
-    /// All Table 1 columns in presentation order.
-    pub fn table1() -> [TechProfile; 3] {
-        [Self::stacked_3d(), Self::dram(), Self::nvm_pcm()]
+    /// Intel Optane DC persistent memory, from Hirofuchi & Takano's
+    /// measurements: asymmetric load/store latency (reads miss the
+    /// on-DIMM buffer, stores complete into it) and a write bandwidth
+    /// roughly a third of the read bandwidth. The bandwidth range spans
+    /// write→read, which is the asymmetry the `optane-dc` tier profile
+    /// threads through [`crate::NodeParams`].
+    pub fn optane_dc() -> Self {
+        TechProfile {
+            name: "Optane-DC",
+            density_rel_dram: (4.0, 8.0),
+            load_latency: (Nanos::from_nanos(169), Nanos::from_nanos(400)),
+            store_latency: (Nanos::from_nanos(90), Nanos::from_nanos(100)),
+            bandwidth_gbps: (2.3, 6.6),
+        }
     }
 
-    /// Midpoint of the load-latency range.
+    /// All Table 1 columns in presentation order, plus the measured
+    /// Optane DC column the device-profile registry adds.
+    pub fn table1() -> [TechProfile; 4] {
+        [
+            Self::stacked_3d(),
+            Self::dram(),
+            Self::nvm_pcm(),
+            Self::optane_dc(),
+        ]
+    }
+
+    /// Midpoint of the load-latency range, rounded half-up in integer
+    /// nanos (truncation used to shave the odd-sum midpoints, e.g.
+    /// Optane's 169–400 ns range midpoint is 284.5 → 285, not 284).
     pub fn load_latency_mid(&self) -> Nanos {
-        Nanos::from_nanos((self.load_latency.0.as_nanos() + self.load_latency.1.as_nanos()) / 2)
+        Self::mid(self.load_latency)
+    }
+
+    /// Midpoint of the store-latency range, rounded half-up.
+    pub fn store_latency_mid(&self) -> Nanos {
+        Self::mid(self.store_latency)
+    }
+
+    fn mid((lo, hi): (Nanos, Nanos)) -> Nanos {
+        Nanos::from_nanos((lo.as_nanos() + hi.as_nanos()).div_ceil(2))
     }
 
     /// Midpoint of the bandwidth range in GB/s.
@@ -77,12 +110,41 @@ mod tests {
 
     #[test]
     fn table1_matches_paper_ordering() {
-        let [s3d, dram, pcm] = TechProfile::table1();
+        let [s3d, dram, pcm, optane] = TechProfile::table1();
         // 3D-stacked is fastest and highest-bandwidth; PCM slowest.
         assert!(s3d.load_latency_mid() < dram.load_latency_mid());
         assert!(dram.load_latency_mid() < pcm.load_latency_mid());
         assert!(s3d.bandwidth_mid() > dram.bandwidth_mid());
         assert!(dram.bandwidth_mid() > pcm.bandwidth_mid());
+        // Measured Optane loads are slower than even the PCM *projection*,
+        // but its buffered stores beat PCM stores by ~5x.
+        assert!(dram.load_latency_mid() < optane.load_latency_mid());
+        assert!(pcm.load_latency_mid() < optane.load_latency_mid());
+        assert!(optane.store_latency_mid() < pcm.store_latency_mid());
+    }
+
+    #[test]
+    fn latency_mids_round_half_up() {
+        let optane = TechProfile::optane_dc();
+        // (169 + 400) / 2 = 284.5: truncation used to report 284.
+        assert_eq!(optane.load_latency_mid(), Nanos::from_nanos(285));
+        assert_eq!(optane.store_latency_mid(), Nanos::from_nanos(95));
+        // Even-sum ranges are exact either way — pinned so the rounding
+        // change provably leaves the Table-1 trio untouched.
+        let dram = TechProfile::dram();
+        assert_eq!(dram.load_latency_mid(), Nanos::from_nanos(60));
+        let pcm = TechProfile::nvm_pcm();
+        assert_eq!(pcm.store_latency_mid(), Nanos::from_nanos(450));
+    }
+
+    #[test]
+    fn optane_asymmetry_is_inverted_vs_pcm() {
+        // Optane's buffered stores *complete faster* than its loads —
+        // the opposite asymmetry to PCM — while write bandwidth trails
+        // read bandwidth by ~3x.
+        let o = TechProfile::optane_dc();
+        assert!(o.store_latency_mid() < o.load_latency_mid());
+        assert!(o.bandwidth_gbps.0 < o.bandwidth_gbps.1 / 2.0);
     }
 
     #[test]

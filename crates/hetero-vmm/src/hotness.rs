@@ -69,6 +69,13 @@ pub struct HotnessTracker {
     /// flat table replaces the former `HashMap<Gfn, u8>` — no hashing on
     /// the per-frame scan path, and batched scans walk it sequentially.
     history: Vec<u8>,
+    /// 8-bit shift-register of harvested *dirty* bits per frame, parallel
+    /// to `history`. Only A/D-harvest scans feed it ([`scan_harvest_into`]
+    /// — oracle-driven scans have no write visibility); it supplies the
+    /// write heat that the engine's write-aware ranking consumes.
+    ///
+    /// [`scan_harvest_into`]: HotnessTracker::scan_harvest_into
+    write_history: Vec<u8>,
     /// Whether a frame has any recorded history. A history byte of 0 is a
     /// real state ("visited, never touched"), so presence needs its own bit.
     known: Vec<bool>,
@@ -103,6 +110,7 @@ impl HotnessTracker {
         );
         HotnessTracker {
             history: Vec::new(),
+            write_history: Vec::new(),
             known: Vec::new(),
             tracked: 0,
             hot_threshold,
@@ -134,6 +142,7 @@ impl HotnessTracker {
     /// Clears history (e.g. after a phase change).
     pub fn reset(&mut self) {
         self.history.clear();
+        self.write_history.clear();
         self.known.clear();
         self.tracked = 0;
         self.cursor = 0;
@@ -153,6 +162,7 @@ impl HotnessTracker {
             .unwrap_or_else(|_| panic!("{frames} frames overflow the dense hotness tables"));
         if self.history.len() < frames {
             self.history.resize(frames, 0);
+            self.write_history.resize(frames, 0);
             self.known.resize(frames, false);
         }
     }
@@ -176,6 +186,61 @@ impl HotnessTracker {
         let h = &mut self.history[i];
         *h = (*h << 1) | u8::from(touched);
         *h
+    }
+
+    /// Records one harvested A/D observation: shifts `accessed` into the
+    /// access history and `dirty` into the write history. Returns the
+    /// updated access-history byte.
+    fn record_harvest(&mut self, gfn: Gfn, accessed: bool, dirty: bool) -> u8 {
+        let h = self.record(gfn, accessed);
+        // `record` grew the tables, so the index is now in bounds.
+        let i = gfn.0 as usize;
+        let w = &mut self.write_history[i];
+        *w = (*w << 1) | u8::from(dirty);
+        h
+    }
+
+    /// The access-history byte for a frame (0 for never-seen frames).
+    pub fn history_bits(&self, gfn: Gfn) -> u8 {
+        usize::try_from(gfn.0)
+            .ok()
+            .and_then(|i| self.history.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// The harvested write-history byte for a frame (0 for never-seen
+    /// frames; only A/D-harvest scans populate it).
+    pub fn write_history_bits(&self, gfn: Gfn) -> u8 {
+        usize::try_from(gfn.0)
+            .ok()
+            .and_then(|i| self.write_history.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// A/D-harvest scan: consumes one deterministic page-table harvest
+    /// (`(gfn, accessed, dirty)` per visited PTE, as produced by
+    /// `GuestKernel::harvest_ad_range`), shifting the access bit into the
+    /// heat history and the dirty bit into the write history, then
+    /// classifying hot/cold candidates exactly as the oracle-driven scans
+    /// do. `scanned` is the number of PTEs the harvest walked (it can
+    /// exceed `harvest.len()` when unmapped holes were visited); it drives
+    /// the per-PTE scan cost. The outcome is cleared first.
+    pub fn scan_harvest_into(
+        &mut self,
+        kernel: &GuestKernel,
+        harvest: &[(Gfn, bool, bool)],
+        scanned: u64,
+        out: &mut ScanOutcome,
+    ) {
+        out.scanned = scanned;
+        out.hot_candidates.clear();
+        out.cold_candidates.clear();
+        for &(gfn, accessed, dirty) in harvest {
+            let h = self.record_harvest(gfn, accessed, dirty);
+            self.classify(kernel, gfn, h, out);
+        }
+        self.total_scans += 1;
+        self.total_scanned_frames += scanned;
     }
 
     fn classify(&self, kernel: &GuestKernel, gfn: Gfn, history: u8, out: &mut ScanOutcome) {
@@ -360,6 +425,7 @@ impl HotnessTracker {
             if i >= total || !kernel.memmap().page(Gfn(i as u64)).is_present() {
                 self.known[i] = false;
                 self.history[i] = 0;
+                self.write_history[i] = 0;
                 self.tracked -= 1;
             }
         }
@@ -369,8 +435,8 @@ impl HotnessTracker {
 hetero_sim::impl_snap!(struct ScanOutcome { scanned, hot_candidates, cold_candidates });
 
 hetero_sim::impl_snap!(struct HotnessTracker {
-    history, known, tracked, hot_threshold, cursor, tracked_cursor,
-    resident_scratch, total_scans, total_scanned_frames
+    history, write_history, known, tracked, hot_threshold, cursor,
+    tracked_cursor, resident_scratch, total_scans, total_scanned_frames
 });
 
 #[cfg(test)]
@@ -551,6 +617,59 @@ mod tests {
             assert_eq!(fresh.cold_candidates, scratch.cold_candidates);
         }
         assert_eq!(a.tracked_pages(), b.tracked_pages());
+    }
+
+    #[test]
+    fn harvest_scan_tracks_access_and_write_heat_separately() {
+        let k = kernel_with_slow_heap(4);
+        let gfns: Vec<Gfn> = {
+            let vma = *k.address_space().iter().next().unwrap();
+            (vma.start..vma.end())
+                .map(|v| k.page_table().translate(v).unwrap())
+                .collect()
+        };
+        let mut t = HotnessTracker::new(2);
+        let mut out = ScanOutcome::default();
+        // Two harvests: page 0 read each time, page 1 written each time.
+        for _ in 0..2 {
+            let harvest = vec![
+                (gfns[0], true, false),
+                (gfns[1], true, true),
+                (gfns[2], false, false),
+            ];
+            t.scan_harvest_into(&k, &harvest, 4, &mut out);
+        }
+        assert_eq!(out.scanned, 4, "holes count toward the walked-PTE cost");
+        assert_eq!(t.history_bits(gfns[0]), 0b11);
+        assert_eq!(t.write_history_bits(gfns[0]), 0);
+        assert_eq!(t.write_history_bits(gfns[1]), 0b11);
+        assert_eq!(t.history_bits(gfns[2]), 0);
+        assert_eq!(t.write_history_bits(Gfn(u64::MAX)), 0, "unseen frames are 0");
+        // Both sustained pages crossed the threshold-2 hot bar.
+        assert!(out.hot_candidates.contains(&gfns[0]));
+        assert!(out.hot_candidates.contains(&gfns[1]));
+        assert!(!out.hot_candidates.contains(&gfns[2]));
+        assert_eq!(t.total_scans(), 2);
+        assert_eq!(t.total_scanned_frames(), 8);
+    }
+
+    #[test]
+    fn harvested_write_heat_decays() {
+        let k = kernel_with_slow_heap(1);
+        let gfn = {
+            let vma = *k.address_space().iter().next().unwrap();
+            k.page_table().translate(vma.start).unwrap()
+        };
+        let mut t = HotnessTracker::new(1);
+        let mut out = ScanOutcome::default();
+        t.scan_harvest_into(&k, &[(gfn, true, true)], 1, &mut out);
+        assert_eq!(t.write_history_bits(gfn), 0b1);
+        // Three clean harvests: the write bit shifts out of the low bits.
+        for _ in 0..3 {
+            t.scan_harvest_into(&k, &[(gfn, true, false)], 1, &mut out);
+        }
+        assert_eq!(t.write_history_bits(gfn), 0b1000);
+        assert_eq!(t.history_bits(gfn), 0b1111);
     }
 
     /// Regression: `record` used to compute `gfn.0 + 1` in `u64` (overflow at
